@@ -1,0 +1,71 @@
+// Fig. 7 (a,b,c): runtime of the TP set operations on the synthetic dataset
+// with a single fact and overlapping factor ≈ 0.6, dataset sizes 20K-200K
+// (per relation, scaled by TPSET_BENCH_SCALE).
+//
+// Paper shape to reproduce:
+//  (a) intersection: LAWA ≈ OIP ≪ TI < TPDB < NORM (the last two quadratic);
+//  (b) difference:   LAWA ≪ NORM (only these two support −Tp);
+//  (c) union:        LAWA < TPDB ≪ NORM.
+#include <memory>
+
+#include "baselines/algorithm.h"
+#include "bench/harness.h"
+#include "datagen/synthetic.h"
+#include "lawa/overlap_factor.h"
+
+using namespace tpset;
+using namespace tpset::bench;
+
+namespace {
+
+// Quadratic approaches get a cardinality cap so the default run finishes;
+// the cap is printed for every skipped point.
+std::size_t CapFor(const std::string& approach, double scale) {
+  if (approach == "NORM") return Scaled(30000, scale * 10);  // ~3K at default
+  if (approach == "TPDB") return Scaled(20000, scale * 10);
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = ScaleFactor(argc, argv);
+  std::printf("# Fig. 7: synthetic, 1 fact, overlapping factor ~0.6, "
+              "len/gap in [0,3], scale=%.3g\n", scale);
+  PrintHeader("fig7");
+
+  const std::size_t paper_sizes[] = {20000, 60000, 100000, 140000, 200000};
+  const struct {
+    const char* sub;
+    SetOpKind op;
+  } subfigures[] = {{"fig7a", SetOpKind::kIntersect},
+                    {"fig7b", SetOpKind::kExcept},
+                    {"fig7c", SetOpKind::kUnion}};
+
+  for (const auto& sub : subfigures) {
+    for (std::size_t paper_n : paper_sizes) {
+      std::size_t n = Scaled(paper_n, scale);
+      // One dataset per size, shared by all approaches.
+      auto ctx = std::make_shared<TpContext>(/*hash_consing=*/false);
+      Rng rng(0xF1607 + paper_n);
+      SyntheticPairSpec spec = TableIIIPreset(0.6);
+      spec.num_tuples = n;
+      spec.num_facts = 1;
+      auto [r, s] = GenerateSyntheticPair(ctx, spec, &rng);
+      for (const SetOpAlgorithm* algo : AllAlgorithms()) {
+        if (!algo->Supports(sub.op)) continue;
+        std::size_t cap = CapFor(algo->name(), scale);
+        if (n > cap) {
+          PrintCap(sub.sub, SetOpName(sub.op), algo->name(), n, cap);
+          continue;
+        }
+        double ms = TimeMs([&] {
+          TpRelation out = algo->Compute(sub.op, r, s);
+          (void)out;
+        });
+        PrintRow(sub.sub, SetOpName(sub.op), algo->name(), n, ms);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 9b: robustness against the number of distinct facts — TP set
+// intersection at fixed cardinality (paper: 60K per relation, OF ~0.6) with
+// the fact count swept over {1, 5, 10, 100, 30000} (paper's 1F..30000F).
+//
+// Paper shape: LAWA is flat; NORM/TPDB/TI improve as facts increase (their
+// pair scans gain selectivity); OIP gains at first but pays the per-fact
+// partitioning overhead when the fact count approaches the cardinality.
+#include <memory>
+
+#include "baselines/algorithm.h"
+#include "bench/harness.h"
+#include "datagen/synthetic.h"
+
+using namespace tpset;
+using namespace tpset::bench;
+
+int main(int argc, char** argv) {
+  double scale = ScaleFactor(argc, argv);
+  std::size_t n = Scaled(60000, scale);
+  std::printf("# Fig. 9b: robustness vs number of distinct facts, n=%zu "
+              "(scale=%.3g)\n", n, scale);
+  std::printf("experiment,facts,approach,runtime_ms\n");
+
+  const std::size_t paper_facts[] = {1, 5, 10, 100, 30000};
+  for (std::size_t paper_f : paper_facts) {
+    // The 30000F point is "half the dataset size" in the paper; scale it.
+    std::size_t facts = paper_f == 30000 ? std::max<std::size_t>(1, n / 2)
+                                         : std::min(paper_f, n);
+    auto ctx = std::make_shared<TpContext>(/*hash_consing=*/false);
+    Rng rng(0xF1609B + paper_f);
+    SyntheticPairSpec spec = TableIIIPreset(0.6);
+    spec.num_tuples = n;
+    spec.num_facts = facts;
+    auto [r, s] = GenerateSyntheticPair(ctx, spec, &rng);
+
+    for (const SetOpAlgorithm* algo : AllAlgorithms()) {
+      if (!algo->Supports(SetOpKind::kIntersect)) continue;
+      // NORM and TPDB at 1-10 facts are quadratic in n/facts; cap their
+      // per-fact group size so the default run terminates.
+      if ((algo->name() == "NORM" || algo->name() == "TPDB") &&
+          n / std::max<std::size_t>(1, facts) > 30000) {
+        std::printf("fig9b,%zu,%s,SKIPPED(group>30000; quadratic baseline)\n",
+                    facts, algo->name().c_str());
+        continue;
+      }
+      double ms = TimeMs([&] {
+        TpRelation out = algo->Compute(SetOpKind::kIntersect, r, s);
+        (void)out;
+      });
+      std::printf("fig9b,%zu,%s,%.3f\n", facts, algo->name().c_str(), ms);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Micro-benchmarks (google-benchmark): LAWA sweep throughput, sort variants,
+// lineage construction/valuation, window production rate, generators.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "datagen/synthetic.h"
+#include "lawa/advancer.h"
+#include "lawa/set_ops.h"
+#include "lineage/eval.h"
+
+namespace tpset {
+namespace {
+
+std::pair<TpRelation, TpRelation> MakePair(std::shared_ptr<TpContext> ctx,
+                                           std::size_t n, std::size_t facts) {
+  Rng rng(42);
+  SyntheticPairSpec spec = TableIIIPreset(0.6);
+  spec.num_tuples = n;
+  spec.num_facts = facts;
+  return GenerateSyntheticPair(std::move(ctx), spec, &rng);
+}
+
+void BM_LawaIntersect(benchmark::State& state) {
+  auto ctx = std::make_shared<TpContext>(/*hash_consing=*/false);
+  auto [r, s] = MakePair(ctx, static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    TpRelation out = LawaIntersect(r, s);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * state.range(0));
+}
+BENCHMARK(BM_LawaIntersect)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_LawaUnion(benchmark::State& state) {
+  auto ctx = std::make_shared<TpContext>(/*hash_consing=*/false);
+  auto [r, s] = MakePair(ctx, static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    TpRelation out = LawaUnion(r, s);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * state.range(0));
+}
+BENCHMARK(BM_LawaUnion)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_LawaExcept(benchmark::State& state) {
+  auto ctx = std::make_shared<TpContext>(/*hash_consing=*/false);
+  auto [r, s] = MakePair(ctx, static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    TpRelation out = LawaExcept(r, s);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * state.range(0));
+}
+BENCHMARK(BM_LawaExcept)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+// Window production alone (no output materialization): the O(|r|+|s|) core.
+void BM_WindowAdvancer(benchmark::State& state) {
+  auto ctx = std::make_shared<TpContext>(/*hash_consing=*/false);
+  auto [r, s] = MakePair(ctx, static_cast<std::size_t>(state.range(0)), 1);
+  std::vector<TpTuple> rs = r.tuples(), ss = s.tuples();
+  SortTuples(&rs, SortMode::kComparison);
+  SortTuples(&ss, SortMode::kComparison);
+  for (auto _ : state) {
+    LineageAwareWindowAdvancer adv(rs, ss);
+    LineageAwareWindow w;
+    std::size_t count = 0;
+    while (adv.Next(&w)) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * state.range(0));
+}
+BENCHMARK(BM_WindowAdvancer)->Arg(100000)->Arg(1000000);
+
+void BM_SortComparison(benchmark::State& state) {
+  auto ctx = std::make_shared<TpContext>(/*hash_consing=*/false);
+  auto [r, s] = MakePair(ctx, static_cast<std::size_t>(state.range(0)), 16);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<TpTuple> copy = r.tuples();
+    Rng rng(1);
+    for (std::size_t i = copy.size(); i > 1; --i) {
+      std::swap(copy[i - 1], copy[rng.Below(i)]);
+    }
+    state.ResumeTiming();
+    SortTuples(&copy, SortMode::kComparison);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_SortComparison)->Arg(100000)->Arg(1000000);
+
+void BM_SortCounting(benchmark::State& state) {
+  auto ctx = std::make_shared<TpContext>(/*hash_consing=*/false);
+  auto [r, s] = MakePair(ctx, static_cast<std::size_t>(state.range(0)), 16);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<TpTuple> copy = r.tuples();
+    Rng rng(1);
+    for (std::size_t i = copy.size(); i > 1; --i) {
+      std::swap(copy[i - 1], copy[rng.Below(i)]);
+    }
+    state.ResumeTiming();
+    SortTuples(&copy, SortMode::kCounting);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_SortCounting)->Arg(100000)->Arg(1000000);
+
+void BM_LineageConstruction(benchmark::State& state) {
+  const bool consing = state.range(0) != 0;
+  for (auto _ : state) {
+    LineageManager mgr(consing);
+    VarTable vars;
+    LineageId acc = kNullLineage;
+    for (int i = 0; i < 10000; ++i) {
+      VarId v = vars.Add(0.5);
+      acc = mgr.ConcatOr(acc, mgr.MakeVar(v));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetLabel(consing ? "hash-consing" : "append-only");
+}
+BENCHMARK(BM_LineageConstruction)->Arg(0)->Arg(1);
+
+void BM_ProbabilityReadOnce(benchmark::State& state) {
+  LineageManager mgr;
+  VarTable vars;
+  LineageId acc = kNullLineage;
+  for (int i = 0; i < 64; ++i) {
+    acc = mgr.ConcatOr(acc, mgr.MakeVar(vars.Add(0.3)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ProbabilityReadOnce(mgr, acc, vars));
+  }
+}
+BENCHMARK(BM_ProbabilityReadOnce);
+
+void BM_SyntheticGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    auto ctx = std::make_shared<TpContext>(/*hash_consing=*/false);
+    Rng rng(7);
+    SyntheticSpec spec;
+    spec.num_tuples = static_cast<std::size_t>(state.range(0));
+    TpRelation rel = GenerateSynthetic(ctx, spec, "r", &rng);
+    benchmark::DoNotOptimize(rel);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SyntheticGeneration)->Arg(100000);
+
+}  // namespace
+}  // namespace tpset
+
+BENCHMARK_MAIN();

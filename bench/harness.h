@@ -1,0 +1,73 @@
+// Shared benchmark harness: scaling knobs, timing, table output.
+//
+// Every bench_fig* binary regenerates one figure/table of the paper as a
+// CSV series on stdout. Paper-scale runs are expensive; by default all
+// dataset sizes are multiplied by TPSET_BENCH_SCALE (default 0.1) so that
+// `for b in build/bench/*; do $b; done` finishes in minutes. Run with
+// TPSET_BENCH_SCALE=1 (or pass --full) for the paper's sizes. Quadratic
+// baselines are additionally capped; every applied cap is printed — no
+// silent truncation.
+#ifndef TPSET_BENCH_HARNESS_H_
+#define TPSET_BENCH_HARNESS_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+namespace tpset::bench {
+
+/// Dataset scale factor: TPSET_BENCH_SCALE env var, overridden to 1.0 by a
+/// --full argument. Default 0.1.
+inline double ScaleFactor(int argc = 0, char** argv = nullptr) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--full") return 1.0;
+  }
+  if (const char* env = std::getenv("TPSET_BENCH_SCALE")) {
+    double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 0.1;
+}
+
+/// Scales a paper-sized cardinality.
+inline std::size_t Scaled(std::size_t paper_n, double scale) {
+  std::size_t n = static_cast<std::size_t>(static_cast<double>(paper_n) * scale);
+  return n < 2 ? 2 : n;
+}
+
+/// Wall-clock time of one invocation, in milliseconds.
+inline double TimeMs(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// Prints the standard series header.
+inline void PrintHeader(const char* experiment) {
+  std::printf("# %s\n", experiment);
+  std::printf("experiment,operation,approach,n,runtime_ms\n");
+}
+
+/// Prints one series row.
+inline void PrintRow(const char* experiment, const char* operation,
+                     const std::string& approach, std::size_t n, double ms) {
+  std::printf("%s,%s,%s,%zu,%.3f\n", experiment, operation, approach.c_str(), n,
+              ms);
+  std::fflush(stdout);
+}
+
+/// Announces a skipped measurement (cap applied).
+inline void PrintCap(const char* experiment, const char* operation,
+                     const std::string& approach, std::size_t n,
+                     std::size_t cap) {
+  std::printf("%s,%s,%s,%zu,SKIPPED(cap=%zu; quadratic baseline)\n", experiment,
+              operation, approach.c_str(), n, cap);
+  std::fflush(stdout);
+}
+
+}  // namespace tpset::bench
+
+#endif  // TPSET_BENCH_HARNESS_H_

@@ -1,0 +1,90 @@
+// Revision-history scenario (the paper's Webkit dataset, §VII-C).
+//
+// A version-control system records, per file, the periods during which the
+// file remained unchanged; flaky CI tooling attaches a confidence to each
+// record. Two such histories (e.g. two mirrors of the repository) are
+// compared with TP set operations:
+//   * mirror agreement  = main ∩Tp mirror
+//   * missing on mirror = main −Tp mirror
+// The example also demonstrates swapping the set-operation backend: the
+// same intersection is executed with every Table II approach that supports
+// it, timing each — a miniature of the paper's Fig. 11a on bursty,
+// many-fact data.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <iostream>
+
+#include "baselines/algorithm.h"
+#include "datagen/realworld.h"
+#include "datagen/stats.h"
+#include "query/executor.h"
+#include "relation/io.h"
+
+using namespace tpset;
+
+namespace {
+
+double TimeMs(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  auto ctx = std::make_shared<TpContext>();
+  Rng rng(404);
+
+  WebkitSpec spec;
+  spec.num_tuples = 30000;
+  spec.num_files = 10000;
+  spec.num_commits = 3000;
+  TpRelation main_history = GenerateWebkitLike(ctx, spec, "main", &rng);
+  TpRelation mirror = ShiftedCopy(main_history, "mirror", &rng);
+
+  std::cout << "=== Repository histories ===\n";
+  PrintStats(std::cout, "main", ComputeStats(main_history));
+  std::cout << "(note the endpoint bursts: many files share one commit "
+               "timestamp)\n\n";
+
+  QueryExecutor exec(ctx);
+  if (!exec.Register(main_history).ok() || !exec.Register(mirror).ok()) {
+    std::cerr << "registration failed\n";
+    return 1;
+  }
+
+  std::cout << "=== main ∩Tp mirror with every capable backend ===\n";
+  std::printf("%-8s %12s %14s\n", "backend", "runtime_ms", "answer_tuples");
+  for (const SetOpAlgorithm* algo : AllAlgorithms()) {
+    if (!algo->Supports(SetOpKind::kIntersect)) continue;
+    std::size_t answer_size = 0;
+    double ms = TimeMs([&] {
+      Result<TpRelation> out = exec.Execute("main & mirror", algo);
+      if (out.ok()) answer_size = out->size();
+    });
+    std::printf("%-8s %12.2f %14zu\n", algo->name().c_str(), ms, answer_size);
+  }
+
+  std::cout << "\n=== Files recorded on main but (probably) not on the mirror "
+               "===\n";
+  Result<TpRelation> missing = exec.Execute("main - mirror");
+  if (!missing.ok()) {
+    std::cerr << missing.status().ToString() << '\n';
+    return 1;
+  }
+  std::printf("%zu answer tuples; first rows:\n", missing->size());
+  PrintOptions opts;
+  opts.max_rows = 8;
+  missing->set_name("");
+  PrintRelation(std::cout, *missing, opts);
+
+  std::cout << "\nEach row's p is the probability that the file's record "
+               "exists on main and not on the mirror during T —\n"
+               "a record with p < 1 on the mirror still leaves a non-zero "
+               "chance of being missing (the probabilistic\ndimension of "
+               "−Tp, paper §V-A case b).\n";
+  return 0;
+}

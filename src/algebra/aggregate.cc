@@ -1,0 +1,75 @@
+#include "algebra/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace tpset {
+
+std::vector<ExpectedCountStep> ExpectedCountSeries(const TpRelation& rel,
+                                                   ProbabilityMethod method) {
+  struct Event {
+    TimePoint time;
+    double delta;
+  };
+  std::vector<Event> events;
+  events.reserve(rel.size() * 2);
+  for (std::size_t i = 0; i < rel.size(); ++i) {
+    double p = rel.TupleProbability(i, method);
+    events.push_back({rel[i].t.start, p});
+    events.push_back({rel[i].t.end, -p});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return a.time < b.time;
+  });
+
+  // Aggregate deltas per distinct time point.
+  std::vector<std::pair<TimePoint, double>> deltas;
+  for (std::size_t i = 0; i < events.size();) {
+    TimePoint t = events[i].time;
+    double d = 0.0;
+    while (i < events.size() && events[i].time == t) d += events[i++].delta;
+    deltas.emplace_back(t, d);
+  }
+
+  // Walk the elementary segments with the running sum, merging adjacent
+  // segments whose expectation is (numerically) equal and skipping zeros.
+  constexpr double kEps = 1e-12;
+  std::vector<ExpectedCountStep> out;
+  ExpectedCountStep pending;
+  bool have_pending = false;
+  double acc = 0.0;
+  for (std::size_t k = 0; k + 1 < deltas.size(); ++k) {
+    acc += deltas[k].second;
+    Interval seg(deltas[k].first, deltas[k + 1].first);
+    if (std::abs(acc) <= kEps) {
+      if (have_pending) {
+        out.push_back(pending);
+        have_pending = false;
+      }
+      continue;
+    }
+    if (have_pending && pending.t.end == seg.start &&
+        std::abs(pending.expected_count - acc) <= kEps) {
+      pending.t.end = seg.end;
+    } else {
+      if (have_pending) out.push_back(pending);
+      pending = {seg, acc};
+      have_pending = true;
+    }
+  }
+  if (have_pending) out.push_back(pending);
+  return out;
+}
+
+std::vector<std::pair<FactId, double>> ExpectedDurationPerFact(
+    const TpRelation& rel, ProbabilityMethod method) {
+  std::map<FactId, double> acc;
+  for (std::size_t i = 0; i < rel.size(); ++i) {
+    acc[rel[i].fact] += rel.TupleProbability(i, method) *
+                        static_cast<double>(rel[i].t.Duration());
+  }
+  return {acc.begin(), acc.end()};
+}
+
+}  // namespace tpset

@@ -1,0 +1,38 @@
+// Expected-value temporal aggregation over TP relations.
+//
+// Under the possible-worlds semantics the number of facts valid at a time
+// point t is a random variable; by linearity of expectation its mean is the
+// sum of the marginal probabilities of the base tuples valid at t — no
+// lineage valuation needed for base relations. ExpectedCountSeries computes
+// that mean as a step function over time (change-preserved: consecutive
+// time points with equal expectation merge), using the same event-sweep
+// machinery as the Timeline Index. For derived relations the per-tuple
+// probability is obtained through the requested valuation method.
+#ifndef TPSET_ALGEBRA_AGGREGATE_H_
+#define TPSET_ALGEBRA_AGGREGATE_H_
+
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace tpset {
+
+/// One step of an expectation time series.
+struct ExpectedCountStep {
+  Interval t;
+  double expected_count = 0.0;  ///< E[#facts valid during t]
+};
+
+/// The expected number of valid facts over time, as maximal constant steps.
+/// Gaps with expectation 0 are omitted. O(n log n).
+std::vector<ExpectedCountStep> ExpectedCountSeries(
+    const TpRelation& rel, ProbabilityMethod method = ProbabilityMethod::kReadOnce);
+
+/// The expected total valid time per fact: Σ over tuples of p · |T|.
+/// Returns (fact, expected duration) pairs sorted by fact id.
+std::vector<std::pair<FactId, double>> ExpectedDurationPerFact(
+    const TpRelation& rel, ProbabilityMethod method = ProbabilityMethod::kReadOnce);
+
+}  // namespace tpset
+
+#endif  // TPSET_ALGEBRA_AGGREGATE_H_

@@ -1,0 +1,65 @@
+#include "algebra/cursor.h"
+
+#include <cassert>
+
+#include "relation/validate.h"
+
+namespace tpset {
+
+std::vector<TpTuple> SetOpCursor::SortedCopy(const TpRelation& rel,
+                                             SortMode mode) {
+  std::vector<TpTuple> copy = rel.tuples();
+  SortTuples(&copy, mode);
+  return copy;
+}
+
+SetOpCursor::SetOpCursor(SetOpKind op, const TpRelation& r, const TpRelation& s,
+                         SortMode sort_mode)
+    : op_(op),
+      mgr_(&r.context()->lineage()),
+      r_(SortedCopy(r, sort_mode)),
+      s_(SortedCopy(s, sort_mode)),
+      adv_(r_, s_) {
+  assert(ValidateSetOpInputs(r, s).ok());
+}
+
+bool SetOpCursor::CanContinue() const {
+  switch (op_) {
+    case SetOpKind::kIntersect:
+      return (adv_.HasPendingR() || adv_.HasValidR()) &&
+             (adv_.HasPendingS() || adv_.HasValidS());
+    case SetOpKind::kUnion:
+      return adv_.HasPendingR() || adv_.HasPendingS() || adv_.HasValidR() ||
+             adv_.HasValidS();
+    case SetOpKind::kExcept:
+      return adv_.HasPendingR() || adv_.HasValidR();
+  }
+  return false;
+}
+
+bool SetOpCursor::Next(TpTuple* out) {
+  LineageAwareWindow w;
+  while (CanContinue()) {
+    bool produced = adv_.Next(&w);
+    assert(produced);
+    (void)produced;
+    switch (op_) {
+      case SetOpKind::kIntersect:
+        if (w.lr == kNullLineage || w.ls == kNullLineage) continue;
+        *out = {w.fact, w.t, mgr_->ConcatAnd(w.lr, w.ls)};
+        break;
+      case SetOpKind::kUnion:
+        *out = {w.fact, w.t, mgr_->ConcatOr(w.lr, w.ls)};
+        break;
+      case SetOpKind::kExcept:
+        if (w.lr == kNullLineage) continue;
+        *out = {w.fact, w.t, mgr_->ConcatAndNot(w.lr, w.ls)};
+        break;
+    }
+    ++produced_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace tpset

@@ -1,0 +1,52 @@
+// Pipelined (pull-based) execution of TP set operations.
+//
+// LawaSetOp materializes the whole answer. SetOpCursor exposes the same
+// computation as an iterator: each Next() advances LAWA just far enough to
+// produce one output tuple. Beyond the two sorted input copies, the cursor
+// keeps only the advancer's O(1) status — the paper's constant-space claim
+// (§VI-B) as an API: answers can be consumed, aggregated or spooled without
+// ever holding them in memory.
+#ifndef TPSET_ALGEBRA_CURSOR_H_
+#define TPSET_ALGEBRA_CURSOR_H_
+
+#include <vector>
+
+#include "common/setop.h"
+#include "lawa/advancer.h"
+#include "lawa/set_ops.h"
+#include "relation/relation.h"
+
+namespace tpset {
+
+/// Streaming evaluator for r opTp s. Preconditions as for LawaSetOp.
+/// The input relations must outlive the cursor (their context is shared);
+/// their tuples are copied and sorted on construction.
+class SetOpCursor {
+ public:
+  SetOpCursor(SetOpKind op, const TpRelation& r, const TpRelation& s,
+              SortMode sort_mode = SortMode::kComparison);
+
+  /// Produces the next output tuple; false when the answer is exhausted.
+  bool Next(TpTuple* out);
+
+  /// Output tuples produced so far.
+  std::size_t produced() const { return produced_; }
+
+  /// Candidate windows examined so far (Proposition 1 bound applies).
+  std::size_t windows_examined() const { return adv_.windows_produced(); }
+
+ private:
+  static std::vector<TpTuple> SortedCopy(const TpRelation& rel, SortMode mode);
+  bool CanContinue() const;
+
+  SetOpKind op_;
+  LineageManager* mgr_;
+  std::vector<TpTuple> r_;
+  std::vector<TpTuple> s_;
+  LineageAwareWindowAdvancer adv_;
+  std::size_t produced_ = 0;
+};
+
+}  // namespace tpset
+
+#endif  // TPSET_ALGEBRA_CURSOR_H_

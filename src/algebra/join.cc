@@ -1,0 +1,136 @@
+#include "algebra/join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "relation/validate.h"
+
+namespace tpset {
+
+namespace {
+
+// Key of the join: the projected attribute values, hashed as a fact.
+struct KeyHash {
+  std::size_t operator()(const Fact& f) const { return HashFact(f); }
+};
+
+Fact ExtractKey(const Fact& f, const std::vector<std::size_t>& idx) {
+  Fact key;
+  key.reserve(idx.size());
+  for (std::size_t i : idx) key.push_back(f[i]);
+  return key;
+}
+
+}  // namespace
+
+Result<TpRelation> TpEquiJoin(const TpRelation& r, const TpRelation& s,
+                              const std::vector<std::size_t>& r_keys,
+                              const std::vector<std::size_t>& s_keys) {
+  if (r.context() != s.context()) {
+    return Status::InvalidArgument("join inputs belong to different contexts");
+  }
+  if (r_keys.size() != s_keys.size()) {
+    return Status::InvalidArgument("join key lists have different lengths");
+  }
+  const Schema& rs = r.schema();
+  const Schema& ss = s.schema();
+  for (std::size_t k = 0; k < r_keys.size(); ++k) {
+    if (r_keys[k] >= rs.num_attributes() || s_keys[k] >= ss.num_attributes()) {
+      return Status::InvalidArgument("join key index out of range");
+    }
+    if (rs.types()[r_keys[k]] != ss.types()[s_keys[k]]) {
+      return Status::InvalidArgument("join key types do not match");
+    }
+  }
+  TPSET_RETURN_NOT_OK(ValidateDuplicateFree(r));
+  TPSET_RETURN_NOT_OK(ValidateDuplicateFree(s));
+
+  // Output schema: attributes of r followed by attributes of s.
+  std::vector<std::string> names = rs.names();
+  std::vector<ValueType> types = rs.types();
+  for (std::size_t c = 0; c < ss.num_attributes(); ++c) {
+    names.push_back(ss.names()[c]);
+    types.push_back(ss.types()[c]);
+  }
+
+  TpContext& ctx = *r.context();
+  LineageManager& mgr = ctx.lineage();
+  TpRelation out(r.context(), Schema(names, types),
+                 "(" + r.name() + " join " + s.name() + ")");
+
+  // Group both inputs by key.
+  std::unordered_map<Fact, std::pair<std::vector<std::size_t>, std::vector<std::size_t>>,
+                     KeyHash>
+      groups;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    groups[ExtractKey(r.FactOf(i), r_keys)].first.push_back(i);
+  }
+  for (std::size_t j = 0; j < s.size(); ++j) {
+    auto it = groups.find(ExtractKey(s.FactOf(j), s_keys));
+    if (it != groups.end()) it->second.second.push_back(j);
+  }
+
+  // Per key group: event sweep with active sets. Within a key group the
+  // intervals of one side may overlap freely (the key is only part of the
+  // fact), so the sweep — not a merge of disjoint runs — is required.
+  struct Event {
+    TimePoint time;
+    std::uint32_t idx;
+    bool from_r;
+    bool is_start;
+  };
+  std::vector<Event> events;
+  std::vector<std::uint32_t> r_active, s_active;
+  auto emit = [&](std::size_t i, std::size_t j) {
+    Fact combined = r.FactOf(i);
+    const Fact& sf = s.FactOf(j);
+    combined.insert(combined.end(), sf.begin(), sf.end());
+    out.AddDerived(ctx.facts().Intern(combined), Intersect(r[i].t, s[j].t),
+                   mgr.ConcatAnd(r[i].lineage, s[j].lineage));
+  };
+
+  for (const auto& [key, group] : groups) {
+    if (group.first.empty() || group.second.empty()) continue;
+    events.clear();
+    for (std::size_t i : group.first) {
+      events.push_back({r[i].t.start, static_cast<std::uint32_t>(i), true, true});
+      events.push_back({r[i].t.end, static_cast<std::uint32_t>(i), true, false});
+    }
+    for (std::size_t j : group.second) {
+      events.push_back({s[j].t.start, static_cast<std::uint32_t>(j), false, true});
+      events.push_back({s[j].t.end, static_cast<std::uint32_t>(j), false, false});
+    }
+    std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+      if (a.time != b.time) return a.time < b.time;
+      return a.is_start < b.is_start;  // ends first: adjacency is no overlap
+    });
+    r_active.clear();
+    s_active.clear();
+    for (const Event& e : events) {
+      if (!e.is_start) {
+        auto& active = e.from_r ? r_active : s_active;
+        active.erase(std::find(active.begin(), active.end(), e.idx));
+        continue;
+      }
+      if (e.from_r) {
+        for (std::uint32_t j : s_active) emit(e.idx, j);
+        r_active.push_back(e.idx);
+      } else {
+        for (std::uint32_t i : r_active) emit(i, e.idx);
+        s_active.push_back(e.idx);
+      }
+    }
+  }
+  out.SortFactTime();
+  return out;
+}
+
+Result<TpRelation> TpJoinOnFact(const TpRelation& r, const TpRelation& s) {
+  std::vector<std::size_t> r_keys(r.schema().num_attributes());
+  std::vector<std::size_t> s_keys(s.schema().num_attributes());
+  for (std::size_t i = 0; i < r_keys.size(); ++i) r_keys[i] = i;
+  for (std::size_t i = 0; i < s_keys.size(); ++i) s_keys[i] = i;
+  return TpEquiJoin(r, s, r_keys, s_keys);
+}
+
+}  // namespace tpset

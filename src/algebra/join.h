@@ -1,0 +1,39 @@
+// TP equi-join — a further step toward the full relational algebra named as
+// future work in §VIII.
+//
+// r ⋈Tp s pairs tuples whose selected attributes agree and whose intervals
+// overlap; an output tuple carries the concatenated fact (all attributes of
+// r followed by all attributes of s), the overlap interval, and the lineage
+// and(λr, λs). The operation is snapshot reducible: at any time point t the
+// result's snapshot equals the probabilistic equi-join of the input
+// snapshots. For duplicate-free inputs the output is duplicate-free by
+// construction (overlaps of distinct pairs with equal combined facts are
+// disjoint), and change preservation holds because each output tuple's
+// lineage names its unique generating pair.
+//
+// Implementation: hash s by its key attributes, then per matching key group
+// a sort-merge sweep over the intervals — O(n log n + |output|), not the
+// quadratic pair enumeration of the TPDB/NORM baselines.
+#ifndef TPSET_ALGEBRA_JOIN_H_
+#define TPSET_ALGEBRA_JOIN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "relation/relation.h"
+
+namespace tpset {
+
+/// r ⋈Tp s with equality on r_keys vs s_keys (attribute indices, same
+/// length, pairwise equal types). Empty key lists give the TP
+/// Cartesian-style temporal product.
+Result<TpRelation> TpEquiJoin(const TpRelation& r, const TpRelation& s,
+                              const std::vector<std::size_t>& r_keys,
+                              const std::vector<std::size_t>& s_keys);
+
+/// Natural-join convenience for single-attribute schemas: join on the fact.
+Result<TpRelation> TpJoinOnFact(const TpRelation& r, const TpRelation& s);
+
+}  // namespace tpset
+
+#endif  // TPSET_ALGEBRA_JOIN_H_

@@ -1,0 +1,87 @@
+#include "algebra/select_project.h"
+
+#include <algorithm>
+
+#include "relation/dedup.h"
+
+namespace tpset {
+
+TpRelation Select(const TpRelation& rel,
+                  const std::function<bool(const Fact&)>& pred) {
+  TpRelation out(rel.context(), rel.schema(), "select(" + rel.name() + ")");
+  for (std::size_t i = 0; i < rel.size(); ++i) {
+    if (pred(rel.FactOf(i))) {
+      out.AddDerived(rel[i].fact, rel[i].t, rel[i].lineage);
+    }
+  }
+  return out;
+}
+
+Result<TpRelation> SelectEquals(const TpRelation& rel, std::size_t attr,
+                                const Value& value) {
+  if (attr >= rel.schema().num_attributes()) {
+    return Status::InvalidArgument("attribute index " + std::to_string(attr) +
+                                   " out of range for schema of arity " +
+                                   std::to_string(rel.schema().num_attributes()));
+  }
+  if (TypeOf(value) != rel.schema().types()[attr]) {
+    return Status::InvalidArgument("selection value has wrong type for attribute " +
+                                   rel.schema().names()[attr]);
+  }
+  return Select(rel, [attr, &value](const Fact& f) { return f[attr] == value; });
+}
+
+Result<TpRelation> Project(const TpRelation& rel,
+                           const std::vector<std::size_t>& attrs) {
+  const Schema& schema = rel.schema();
+  std::vector<std::string> names;
+  std::vector<ValueType> types;
+  for (std::size_t a : attrs) {
+    if (a >= schema.num_attributes()) {
+      return Status::InvalidArgument("attribute index " + std::to_string(a) +
+                                     " out of range");
+    }
+    names.push_back(schema.names()[a]);
+    types.push_back(schema.types()[a]);
+  }
+
+  TpContext& ctx = *rel.context();
+  TpRelation out(rel.context(), Schema(names, types), "project(" + rel.name() + ")");
+  std::vector<TpTuple> projected;
+  projected.reserve(rel.size());
+  Fact reduced;
+  for (std::size_t i = 0; i < rel.size(); ++i) {
+    const Fact& f = rel.FactOf(i);
+    reduced.clear();
+    for (std::size_t a : attrs) reduced.push_back(f[a]);
+    projected.push_back({ctx.facts().Intern(reduced), rel[i].t, rel[i].lineage});
+  }
+  // Duplicate elimination: collapsed facts may overlap; OR their lineages.
+  MergeDuplicatesByOr(&projected, &ctx.lineage());
+  for (const TpTuple& t : projected) out.AddDerived(t.fact, t.t, t.lineage);
+  return out;
+}
+
+TpRelation CoalesceEquivalent(const TpRelation& rel) {
+  const LineageManager& mgr = rel.context()->lineage();
+  std::vector<TpTuple> sorted = rel.tuples();
+  std::sort(sorted.begin(), sorted.end(), FactTimeOrder());
+  TpRelation out(rel.context(), rel.schema(), "coalesce(" + rel.name() + ")");
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    TpTuple cur = sorted[i];
+    std::size_t j = i + 1;
+    while (j < sorted.size() && sorted[j].fact == cur.fact &&
+           sorted[j].t.start == cur.t.end &&
+           (sorted[j].lineage == cur.lineage ||
+            mgr.CanonicalKey(sorted[j].lineage) == mgr.CanonicalKey(cur.lineage))) {
+      cur.t.end = sorted[j].t.end;
+      ++j;
+    }
+    out.AddDerived(cur.fact, cur.t, cur.lineage);
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace tpset

@@ -1,0 +1,47 @@
+// Selection and projection over TP relations — the first step toward the
+// full relational algebra the paper names as future work (§VIII).
+//
+// Selection filters on the conventional attributes only; intervals, lineage
+// and probabilities pass through unchanged (σ commutes with the timeslice
+// operator, so TP snapshot reducibility is trivially preserved).
+//
+// Projection maps each fact onto a subset of its attributes. Two tuples that
+// disagreed on a projected-away attribute can collapse onto one fact with
+// overlapping intervals; duplicate-freeness is re-established by OR-merging
+// (relation/dedup.h), which mirrors probabilistic projection with duplicate
+// elimination. Note that the merged lineages may repeat variables after
+// further operations — projection is exactly where the hierarchy behind
+// Theorem 1 can break, so the analyzer's read-once check (not the query
+// shape) decides the valuation method for projected relations.
+#ifndef TPSET_ALGEBRA_SELECT_PROJECT_H_
+#define TPSET_ALGEBRA_SELECT_PROJECT_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/relation.h"
+
+namespace tpset {
+
+/// σ_pred(rel): keeps the tuples whose fact satisfies `pred`.
+TpRelation Select(const TpRelation& rel,
+                  const std::function<bool(const Fact&)>& pred);
+
+/// Convenience: σ_{attr = value}(rel). `attr` is an index into the schema.
+Result<TpRelation> SelectEquals(const TpRelation& rel, std::size_t attr,
+                                const Value& value);
+
+/// π_{attrs}(rel): projects every fact onto the given attribute indices
+/// (in the given order), OR-merging tuples that collapse onto one fact.
+Result<TpRelation> Project(const TpRelation& rel,
+                           const std::vector<std::size_t>& attrs);
+
+/// Merges adjacent same-fact tuples whose lineages are equivalent up to
+/// commutativity/associativity — a normalization for hand-built relations
+/// (outputs of the set operations are already change-preserved).
+TpRelation CoalesceEquivalent(const TpRelation& rel);
+
+}  // namespace tpset
+
+#endif  // TPSET_ALGEBRA_SELECT_PROJECT_H_

@@ -1,0 +1,95 @@
+#include "baselines/algorithm.h"
+
+#include <cassert>
+
+#include "baselines/norm.h"
+#include "baselines/oip.h"
+#include "baselines/timeline_index.h"
+#include "baselines/tpdb.h"
+#include "lawa/set_ops.h"
+
+namespace tpset {
+
+namespace {
+
+class LawaAlgorithm final : public SetOpAlgorithm {
+ public:
+  std::string name() const override { return "LAWA"; }
+  bool Supports(SetOpKind) const override { return true; }
+  TpRelation Compute(SetOpKind op, const TpRelation& r,
+                     const TpRelation& s) const override {
+    return LawaSetOp(op, r, s);
+  }
+};
+
+class NormAlgorithm final : public SetOpAlgorithm {
+ public:
+  std::string name() const override { return "NORM"; }
+  bool Supports(SetOpKind) const override { return true; }
+  TpRelation Compute(SetOpKind op, const TpRelation& r,
+                     const TpRelation& s) const override {
+    return NormSetOp(op, r, s);
+  }
+};
+
+class TpdbAlgorithm final : public SetOpAlgorithm {
+ public:
+  std::string name() const override { return "TPDB"; }
+  bool Supports(SetOpKind op) const override { return op != SetOpKind::kExcept; }
+  TpRelation Compute(SetOpKind op, const TpRelation& r,
+                     const TpRelation& s) const override {
+    Result<TpRelation> result = TpdbSetOp(op, r, s);
+    assert(result.ok() && "unsupported op; check Supports() first");
+    return std::move(result).value();
+  }
+};
+
+class OipAlgorithm final : public SetOpAlgorithm {
+ public:
+  std::string name() const override { return "OIP"; }
+  bool Supports(SetOpKind op) const override {
+    return op == SetOpKind::kIntersect;
+  }
+  TpRelation Compute(SetOpKind op, const TpRelation& r,
+                     const TpRelation& s) const override {
+    Result<TpRelation> result = OipSetOp(op, r, s);
+    assert(result.ok() && "unsupported op; check Supports() first");
+    return std::move(result).value();
+  }
+};
+
+class TimelineAlgorithm final : public SetOpAlgorithm {
+ public:
+  std::string name() const override { return "TI"; }
+  bool Supports(SetOpKind op) const override {
+    return op == SetOpKind::kIntersect;
+  }
+  TpRelation Compute(SetOpKind op, const TpRelation& r,
+                     const TpRelation& s) const override {
+    Result<TpRelation> result = TimelineSetOp(op, r, s);
+    assert(result.ok() && "unsupported op; check Supports() first");
+    return std::move(result).value();
+  }
+};
+
+}  // namespace
+
+const std::vector<const SetOpAlgorithm*>& AllAlgorithms() {
+  static const LawaAlgorithm lawa;
+  static const NormAlgorithm norm;
+  static const TpdbAlgorithm tpdb;
+  static const OipAlgorithm oip;
+  static const TimelineAlgorithm ti;
+  static const std::vector<const SetOpAlgorithm*> all = {&lawa, &norm, &tpdb, &oip,
+                                                         &ti};
+  return all;
+}
+
+const SetOpAlgorithm* FindAlgorithm(const std::string& name) {
+  for (const SetOpAlgorithm* algo : AllAlgorithms()) {
+    if (algo->name() == name) return algo;
+  }
+  return nullptr;
+}
+
+}  // namespace tpset

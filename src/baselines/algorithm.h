@@ -1,0 +1,43 @@
+// Common interface for TP set-operation algorithms, plus the registry that
+// backs the paper's Table II (which approach supports which operation).
+#ifndef TPSET_BASELINES_ALGORITHM_H_
+#define TPSET_BASELINES_ALGORITHM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/setop.h"
+#include "relation/relation.h"
+
+namespace tpset {
+
+/// One algorithm capable of computing some subset of the TP set operations.
+/// Implementations: LAWA (the paper's contribution), NORM, TPDB, TI, OIP
+/// (the paper's comparators, re-implemented in-memory; see DESIGN.md for the
+/// substitution notes).
+class SetOpAlgorithm {
+ public:
+  virtual ~SetOpAlgorithm() = default;
+
+  /// Display name as used in the paper's plots ("LAWA", "NORM", ...).
+  virtual std::string name() const = 0;
+
+  /// Table II: can this approach compute `op` at all?
+  virtual bool Supports(SetOpKind op) const = 0;
+
+  /// Computes r opTp s. Preconditions as for LawaSetOp: duplicate-free,
+  /// shared context, compatible schemas; `op` must be supported.
+  virtual TpRelation Compute(SetOpKind op, const TpRelation& r,
+                             const TpRelation& s) const = 0;
+};
+
+/// All registered algorithms, in the paper's Table II order:
+/// LAWA, NORM, TPDB, OIP, TI. Pointers have static storage duration.
+const std::vector<const SetOpAlgorithm*>& AllAlgorithms();
+
+/// Looks up an algorithm by display name; nullptr if unknown.
+const SetOpAlgorithm* FindAlgorithm(const std::string& name);
+
+}  // namespace tpset
+
+#endif  // TPSET_BASELINES_ALGORITHM_H_

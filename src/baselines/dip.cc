@@ -1,0 +1,80 @@
+#include "baselines/dip.h"
+
+#include <algorithm>
+#include <map>
+
+namespace tpset {
+
+std::vector<std::vector<TpTuple>> DipPartition(const std::vector<TpTuple>& tuples) {
+  // Sort by start; greedily place each tuple into the partition whose last
+  // interval ends earliest among those that end at or before the tuple's
+  // start (classic minimum-machines scheduling). A multimap keyed by each
+  // partition's current end point gives O(n log k).
+  std::vector<TpTuple> sorted = tuples;
+  std::sort(sorted.begin(), sorted.end(), [](const TpTuple& a, const TpTuple& b) {
+    if (a.t.start != b.t.start) return a.t.start < b.t.start;
+    return a.t.end < b.t.end;
+  });
+  std::vector<std::vector<TpTuple>> partitions;
+  std::multimap<TimePoint, std::size_t> by_end;  // partition end -> index
+  for (const TpTuple& t : sorted) {
+    auto it = by_end.begin();
+    if (it != by_end.end() && it->first <= t.t.start) {
+      std::size_t p = it->second;
+      by_end.erase(it);
+      partitions[p].push_back(t);
+      by_end.emplace(t.t.end, p);
+    } else {
+      partitions.emplace_back();
+      partitions.back().push_back(t);
+      by_end.emplace(t.t.end, partitions.size() - 1);
+    }
+  }
+  return partitions;
+}
+
+Result<TpRelation> DipSetOp(SetOpKind op, const TpRelation& r, const TpRelation& s,
+                            DipStats* stats) {
+  if (op != SetOpKind::kIntersect) {
+    return Status::NotSupported(
+        "DIP is an overlap join; TP set " + std::string(SetOpName(op)) +
+        " requires windows an overlap join cannot produce");
+  }
+  LineageManager& mgr = r.context()->lineage();
+  TpRelation out(r.context(), r.schema(),
+                 "(" + r.name() + " intersect " + s.name() + ")");
+  DipStats local;
+
+  std::vector<std::vector<TpTuple>> rp = DipPartition(r.tuples());
+  std::vector<std::vector<TpTuple>> sp = DipPartition(s.tuples());
+  local.partitions_r = rp.size();
+  local.partitions_s = sp.size();
+
+  // One forward sort-merge pass per partition pair: within a partition the
+  // intervals are disjoint and start-sorted, so two cursors suffice.
+  for (const auto& pr : rp) {
+    for (const auto& ps : sp) {
+      std::size_t i = 0, j = 0;
+      while (i < pr.size() && j < ps.size()) {
+        ++local.pairs_tested;
+        const TpTuple& x = pr[i];
+        const TpTuple& y = ps[j];
+        if (x.t.Overlaps(y.t) && x.fact == y.fact) {
+          out.AddDerived(x.fact, Intersect(x.t, y.t),
+                         mgr.ConcatAnd(x.lineage, y.lineage));
+        }
+        // Advance the cursor whose interval ends first.
+        if (x.t.end <= y.t.end) {
+          ++i;
+        } else {
+          ++j;
+        }
+      }
+    }
+  }
+  out.SortFactTime();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace tpset

@@ -1,0 +1,49 @@
+// DIP baseline: Disjoint Interval Partitioning join (Cafagna & Böhlen,
+// VLDB J. 2017 — the paper's ref [15], discussed in §II).
+//
+// DIP splits a relation into the minimum number of partitions such that the
+// intervals *within* one partition are pairwise disjoint (greedy assignment
+// to the first partition whose last interval ends before the new one
+// starts). An overlap join then runs one sort-merge pass per partition
+// pair — no backtracking, because within a partition at most one interval
+// can overlap any probe point.
+//
+// The paper's §II observes that such partitioning "is not beneficial for
+// our case, since TP relations are duplicate-free": per *fact* the inputs
+// are already disjoint, so DIP's partition count is driven by the overlap
+// across facts, and the per-partition-pair merge passes scan tuples of all
+// facts — like TI, DIP pays for pairs that the fact filter later rejects.
+// This implementation makes that claim testable (see bench_ablation and
+// tests/baseline_dip_test.cc); DIP is kept out of the Table II registry
+// because the paper does not evaluate it.
+#ifndef TPSET_BASELINES_DIP_H_
+#define TPSET_BASELINES_DIP_H_
+
+#include <vector>
+
+#include "common/setop.h"
+#include "common/status.h"
+#include "relation/relation.h"
+#include "relation/tuple.h"
+
+namespace tpset {
+
+/// Greedy disjoint-interval partitioning of `tuples` (any order): returns
+/// partitions, each a start-sorted vector of tuples with pairwise disjoint
+/// intervals, using the minimal number of partitions.
+std::vector<std::vector<TpTuple>> DipPartition(const std::vector<TpTuple>& tuples);
+
+struct DipStats {
+  std::size_t partitions_r = 0;
+  std::size_t partitions_s = 0;
+  std::size_t pairs_tested = 0;  ///< merge comparisons across partition pairs
+};
+
+/// Computes r ∩Tp s with DIP partitioning + per-partition-pair sort-merge.
+/// Only kIntersect is supported (an overlap join, like OIP/TI).
+Result<TpRelation> DipSetOp(SetOpKind op, const TpRelation& r, const TpRelation& s,
+                            DipStats* stats = nullptr);
+
+}  // namespace tpset
+
+#endif  // TPSET_BASELINES_DIP_H_

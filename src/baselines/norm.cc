@@ -1,0 +1,118 @@
+#include "baselines/norm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace tpset {
+
+namespace {
+
+// Groups tuple indices by fact.
+std::unordered_map<FactId, std::vector<std::size_t>> GroupByFact(
+    const std::vector<TpTuple>& tuples) {
+  std::unordered_map<FactId, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    groups[tuples[i].fact].push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace
+
+std::vector<TpTuple> Normalize(const std::vector<TpTuple>& r,
+                               const std::vector<TpTuple>& s) {
+  std::vector<TpTuple> out;
+  out.reserve(r.size());
+  auto s_groups = GroupByFact(s);
+
+  std::vector<TimePoint> points;
+  for (const TpTuple& x : r) {
+    // The outer join with inequality conditions: scan every same-fact tuple
+    // of s and keep the boundary points strictly inside x.t. This pair scan
+    // is the quadratic heart of NORM.
+    points.clear();
+    auto it = s_groups.find(x.fact);
+    if (it != s_groups.end()) {
+      for (std::size_t j : it->second) {
+        const Interval& st = s[j].t;
+        if (st.start > x.t.start && st.start < x.t.end) points.push_back(st.start);
+        if (st.end > x.t.start && st.end < x.t.end) points.push_back(st.end);
+      }
+    }
+    if (points.empty()) {
+      out.push_back(x);
+      continue;
+    }
+    std::sort(points.begin(), points.end());
+    points.erase(std::unique(points.begin(), points.end()), points.end());
+    TimePoint prev = x.t.start;
+    for (TimePoint p : points) {
+      out.push_back({x.fact, Interval(prev, p), x.lineage});
+      prev = p;
+    }
+    out.push_back({x.fact, Interval(prev, x.t.end), x.lineage});
+  }
+  std::sort(out.begin(), out.end(), FactTimeOrder());
+  return out;
+}
+
+TpRelation NormSetOp(SetOpKind op, const TpRelation& r, const TpRelation& s) {
+  LineageManager& mgr = r.context()->lineage();
+  TpRelation out(r.context(), r.schema(),
+                 "(" + r.name() + " " + SetOpName(op) + " " + s.name() + ")");
+
+  // Adjust both inputs against each other; fragments then match exactly.
+  std::vector<TpTuple> nr = Normalize(r.tuples(), s.tuples());
+  std::vector<TpTuple> ns = Normalize(s.tuples(), r.tuples());
+
+  // Conventional merge-join on (fact, interval). Both sides are sorted by
+  // (fact, start) and duplicate-free, so equal fragments align 1:1.
+  std::size_t i = 0, j = 0;
+  auto key_less = [](const TpTuple& a, const TpTuple& b) {
+    if (a.fact != b.fact) return a.fact < b.fact;
+    if (a.t.start != b.t.start) return a.t.start < b.t.start;
+    return a.t.end < b.t.end;
+  };
+  while (i < nr.size() || j < ns.size()) {
+    bool take_r = j >= ns.size() ||
+                  (i < nr.size() && key_less(nr[i], ns[j]));
+    bool take_s = i >= nr.size() ||
+                  (j < ns.size() && key_less(ns[j], nr[i]));
+    if (take_r) {
+      // Fragment only in r.
+      if (op != SetOpKind::kIntersect) {
+        out.AddDerived(nr[i].fact, nr[i].t, nr[i].lineage);
+      }
+      ++i;
+    } else if (take_s) {
+      // Fragment only in s.
+      if (op == SetOpKind::kUnion) {
+        out.AddDerived(ns[j].fact, ns[j].t, ns[j].lineage);
+      }
+      ++j;
+    } else {
+      // Matching fragments: equal fact and interval.
+      assert(nr[i].fact == ns[j].fact && nr[i].t == ns[j].t);
+      switch (op) {
+        case SetOpKind::kUnion:
+          out.AddDerived(nr[i].fact, nr[i].t, mgr.ConcatOr(nr[i].lineage,
+                                                           ns[j].lineage));
+          break;
+        case SetOpKind::kIntersect:
+          out.AddDerived(nr[i].fact, nr[i].t, mgr.ConcatAnd(nr[i].lineage,
+                                                            ns[j].lineage));
+          break;
+        case SetOpKind::kExcept:
+          out.AddDerived(nr[i].fact, nr[i].t, mgr.ConcatAndNot(nr[i].lineage,
+                                                               ns[j].lineage));
+          break;
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace tpset

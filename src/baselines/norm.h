@@ -1,0 +1,38 @@
+// NORM baseline: set operations via temporal alignment / normalization
+// (Dignös et al. [2],[3]; Toman [11]).
+//
+// The normalization N(r, s) replicates each tuple of r, splitting its
+// interval at the start/end points of same-fact tuples of s that fall inside
+// it. After normalizing each input against the other, the intervals of
+// matching fragments are either equal or disjoint, so the set operation
+// reduces to a conventional (atemporal) merge-join on (fact, interval) plus
+// the Table I lineage concatenation.
+//
+// The split step mirrors the paper's PostgreSQL implementation: an outer
+// join with equality on the fact and *inequality* conditions on the time
+// points. With few distinct facts this degenerates to a quadratic
+// pair-scan — exactly the behaviour Figs. 7 and 9b show for NORM.
+#ifndef TPSET_BASELINES_NORM_H_
+#define TPSET_BASELINES_NORM_H_
+
+#include <vector>
+
+#include "common/setop.h"
+#include "relation/relation.h"
+#include "relation/tuple.h"
+
+namespace tpset {
+
+/// N(r, s): replicates the tuples of `r` with intervals split at the
+/// boundary points of overlapping same-fact tuples of `s`. Inputs need not
+/// be sorted. The result is sorted by (fact, start).
+std::vector<TpTuple> Normalize(const std::vector<TpTuple>& r,
+                               const std::vector<TpTuple>& s);
+
+/// Computes r opTp s with the normalization approach. Supports all three
+/// operations (Table II row NORM).
+TpRelation NormSetOp(SetOpKind op, const TpRelation& r, const TpRelation& s);
+
+}  // namespace tpset
+
+#endif  // TPSET_BASELINES_NORM_H_

@@ -1,0 +1,111 @@
+#include "baselines/oip.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "relation/tuple.h"
+
+namespace tpset {
+
+namespace {
+
+// A partition is identified by its first and last granule.
+struct PartitionKey {
+  std::int64_t first;
+  std::int64_t last;
+  friend bool operator<(const PartitionKey& a, const PartitionKey& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.last < b.last;
+  }
+};
+
+using PartitionMap = std::map<PartitionKey, std::vector<const TpTuple*>>;
+
+// Assigns each tuple to the smallest partition into which it fits.
+PartitionMap BuildPartitions(const std::vector<const TpTuple*>& tuples,
+                             TimePoint t0, TimePoint granule) {
+  PartitionMap partitions;
+  for (const TpTuple* t : tuples) {
+    std::int64_t first = (t->t.start - t0) / granule;
+    std::int64_t last = (t->t.end - 1 - t0) / granule;
+    partitions[{first, last}].push_back(t);
+  }
+  return partitions;
+}
+
+}  // namespace
+
+Result<TpRelation> OipSetOp(SetOpKind op, const TpRelation& r, const TpRelation& s,
+                            const OipOptions& options, OipStats* stats) {
+  if (op != SetOpKind::kIntersect) {
+    return Status::NotSupported(
+        "OIP is an overlap join; TP set " + std::string(SetOpName(op)) +
+        " requires output intervals that overlap joins cannot produce");
+  }
+  LineageManager& mgr = r.context()->lineage();
+  TpRelation out(r.context(), r.schema(),
+                 "(" + r.name() + " intersect " + s.name() + ")");
+  OipStats local;
+
+  // Split both inputs into per-fact groups (the §VII-A extension that
+  // realizes the equality condition on the non-temporal attributes).
+  std::unordered_map<FactId,
+                     std::pair<std::vector<const TpTuple*>, std::vector<const TpTuple*>>>
+      groups;
+  for (const TpTuple& t : r.tuples()) groups[t.fact].first.push_back(&t);
+  for (const TpTuple& t : s.tuples()) groups[t.fact].second.push_back(&t);
+
+  for (auto& [fact, group] : groups) {
+    const auto& rg = group.first;
+    const auto& sg = group.second;
+    if (rg.empty() || sg.empty()) continue;
+
+    // Granule size from the group's joint time range.
+    TimePoint t0 = rg[0]->t.start, t1 = rg[0]->t.end;
+    for (const TpTuple* t : rg) {
+      t0 = std::min(t0, t->t.start);
+      t1 = std::max(t1, t->t.end);
+    }
+    for (const TpTuple* t : sg) {
+      t0 = std::min(t0, t->t.start);
+      t1 = std::max(t1, t->t.end);
+    }
+    std::size_t k = options.num_granules;
+    if (k == 0) {
+      k = static_cast<std::size_t>(
+          std::sqrt(static_cast<double>(rg.size() + sg.size())));
+      k = std::clamp<std::size_t>(k, 1, 4096);
+    }
+    TimePoint granule = std::max<TimePoint>(1, (t1 - t0 + static_cast<TimePoint>(k) - 1) /
+                                                   static_cast<TimePoint>(k));
+
+    PartitionMap rp = BuildPartitions(rg, t0, granule);
+    PartitionMap sp = BuildPartitions(sg, t0, granule);
+    local.partitions += rp.size() + sp.size();
+
+    // Identify overlapping partitions, then nested-loop their tuples.
+    for (const auto& [rkey, rtuples] : rp) {
+      for (const auto& [skey, stuples] : sp) {
+        if (skey.first > rkey.last || rkey.first > skey.last) continue;
+        for (const TpTuple* x : rtuples) {
+          for (const TpTuple* y : stuples) {
+            ++local.pairs_tested;
+            if (x->t.Overlaps(y->t)) {
+              out.AddDerived(fact, Intersect(x->t, y->t),
+                             mgr.ConcatAnd(x->lineage, y->lineage));
+            }
+          }
+        }
+      }
+    }
+  }
+  out.SortFactTime();
+  local.output_tuples = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace tpset

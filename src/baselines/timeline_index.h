@@ -1,0 +1,63 @@
+// TI baseline: Timeline Index + Timeline Join (Kaufmann et al. [12],[16]).
+//
+// A Timeline Index maps every start or end point of a relation to the ids of
+// the tuples starting/ending there (an event list sorted by time). Timeline
+// Join merges the event lists of the two inputs, maintaining the set of
+// active tuples per input; each start event pairs the new tuple with every
+// active tuple of the other input. The joined (rid, sid) pairs then require
+// fetching the original tuples both to apply the fact-equality condition and
+// to build the output tuples — the two lookups the paper identifies as TI's
+// bottleneck: with few distinct facts (or many tuples sharing one time
+// point, as in Webkit), most pairs fail the filter after being materialized.
+//
+// TI supports TP set intersection only (Table II): the join emits exactly
+// the overlapping same-fact pairs; their overlap intervals with and()
+// lineage are the ∩Tp output for duplicate-free inputs.
+#ifndef TPSET_BASELINES_TIMELINE_INDEX_H_
+#define TPSET_BASELINES_TIMELINE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/setop.h"
+#include "common/status.h"
+#include "relation/relation.h"
+#include "relation/tuple.h"
+
+namespace tpset {
+
+/// The Timeline Index of one relation: events sorted by (time, end-first).
+/// End events sort before start events at the same time point so that
+/// adjacent intervals [a,b) and [b,c) never count as overlapping.
+class TimelineIndex {
+ public:
+  struct Event {
+    TimePoint time;
+    std::uint32_t tuple;  ///< index into the indexed relation's tuple vector
+    bool is_start;
+  };
+
+  /// Builds the index over `tuples` (any order).
+  static TimelineIndex Build(const std::vector<TpTuple>& tuples);
+
+  const std::vector<Event>& events() const { return events_; }
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Per-run statistics: `pairs_formed` counts joined (rid, sid) pairs before
+/// the fact filter; `lookups` counts fetches of original tuples.
+struct TimelineJoinStats {
+  std::size_t pairs_formed = 0;
+  std::size_t lookups = 0;
+};
+
+/// Computes r ∩Tp s via Timeline Join. Only kIntersect is supported.
+Result<TpRelation> TimelineSetOp(SetOpKind op, const TpRelation& r,
+                                 const TpRelation& s,
+                                 TimelineJoinStats* stats = nullptr);
+
+}  // namespace tpset
+
+#endif  // TPSET_BASELINES_TIMELINE_INDEX_H_

@@ -1,0 +1,167 @@
+#include "baselines/tpdb.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+#include "relation/tuple.h"
+
+namespace tpset {
+
+namespace {
+
+// One Allen-pattern deduction rule for overlapping intervals: a predicate on
+// the endpoint order. The six patterns are pairwise disjoint and together
+// cover every overlapping configuration, so grounding produces no duplicate
+// (r, s) pair.
+using AllenRule = bool (*)(const Interval&, const Interval&);
+
+bool RuleEqual(const Interval& r, const Interval& s) {
+  return r.start == s.start && r.end == s.end;
+}
+bool RuleStarts(const Interval& r, const Interval& s) {
+  return r.start == s.start && r.end < s.end;
+}
+bool RuleStartedBy(const Interval& r, const Interval& s) {
+  return r.start == s.start && r.end > s.end;
+}
+bool RuleOverlapsOrFinishedBy(const Interval& r, const Interval& s) {
+  return r.start < s.start && s.start < r.end && r.end <= s.end;
+}
+bool RuleContains(const Interval& r, const Interval& s) {
+  return r.start < s.start && s.end < r.end;
+}
+bool RuleDuringOrFinishesOrOverlappedBy(const Interval& r, const Interval& s) {
+  return s.start < r.start && r.start < s.end;
+}
+
+constexpr AllenRule kIntersectionRules[] = {
+    RuleEqual,    RuleStarts,   RuleStartedBy,
+    RuleOverlapsOrFinishedBy, RuleContains, RuleDuringOrFinishesOrOverlappedBy,
+};
+
+std::unordered_map<FactId, std::vector<std::size_t>> GroupByFact(
+    const std::vector<TpTuple>& tuples) {
+  std::unordered_map<FactId, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    groups[tuples[i].fact].push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace
+
+Result<TpRelation> TpdbSetOp(SetOpKind op, const TpRelation& r,
+                             const TpRelation& s, TpdbStats* stats) {
+  if (op == SetOpKind::kExcept) {
+    return Status::NotSupported(
+        "TPDB deduction rules cannot express TP set difference: output "
+        "subintervals may exist in neither input (paper §II)");
+  }
+  LineageManager& mgr = r.context()->lineage();
+  TpRelation out(r.context(), r.schema(),
+                 "(" + r.name() + " " + SetOpName(op) + " " + s.name() + ")");
+  TpdbStats local;
+
+  if (op == SetOpKind::kIntersect) {
+    // Grounding: one inner join per Allen rule. The equality condition on
+    // the fact restricts pairs; within a fact the endpoint (in)equalities
+    // are evaluated pair by pair.
+    const std::vector<TpTuple>& rt = r.tuples();
+    const std::vector<TpTuple>& st = s.tuples();
+    auto s_groups = GroupByFact(st);
+    std::vector<TpTuple> grounded;
+    for (const AllenRule rule : kIntersectionRules) {
+      for (const TpTuple& x : rt) {
+        auto it = s_groups.find(x.fact);
+        if (it == s_groups.end()) continue;
+        for (std::size_t j : it->second) {
+          const TpTuple& y = st[j];
+          ++local.pairs_tested;
+          if (rule(x.t, y.t)) {
+            grounded.push_back({x.fact, Intersect(x.t, y.t),
+                                mgr.ConcatAnd(x.lineage, y.lineage)});
+          }
+        }
+      }
+    }
+    // Deduplication: grounded tuples of one fact are disjoint because the
+    // rules are disjoint and the inputs duplicate-free; the step reduces to
+    // a sort plus a disjointness scan (interval adjustment never fires).
+    std::sort(grounded.begin(), grounded.end(), FactTimeOrder());
+    for (std::size_t i = 0; i < grounded.size(); ++i) {
+      assert(i == 0 || grounded[i - 1].fact != grounded[i].fact ||
+             !grounded[i - 1].t.Overlaps(grounded[i].t));
+      out.AddDerived(grounded[i].fact, grounded[i].t, grounded[i].lineage);
+    }
+    local.grounded_tuples = grounded.size();
+  } else {
+    // Union grounding: the rule is a conventional union — copy both inputs.
+    std::vector<TpTuple> grounded = r.tuples();
+    grounded.insert(grounded.end(), s.tuples().begin(), s.tuples().end());
+    local.grounded_tuples = grounded.size();
+
+    // Deduplication: same-fact tuples from the two sides may overlap; their
+    // intervals are adjusted by splitting at all boundary points and OR-ing
+    // the lineages of the covering tuples, merging adjacent equal results.
+    std::sort(grounded.begin(), grounded.end(), FactTimeOrder());
+    std::size_t i = 0;
+    std::vector<TimePoint> bounds;
+    while (i < grounded.size()) {
+      std::size_t j = i;
+      while (j < grounded.size() && grounded[j].fact == grounded[i].fact) ++j;
+      bounds.clear();
+      for (std::size_t k = i; k < j; ++k) {
+        bounds.push_back(grounded[k].t.start);
+        bounds.push_back(grounded[k].t.end);
+      }
+      std::sort(bounds.begin(), bounds.end());
+      bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+      Interval pending;
+      LineageId pending_lin = kNullLineage;
+      bool have_pending = false;
+      // Active-set sweep over the fact group: tuples are sorted by start,
+      // and each input side is duplicate-free, so at most two tuples cover
+      // any segment.
+      std::size_t next = i;
+      std::vector<std::size_t> active;
+      for (std::size_t b = 0; b + 1 < bounds.size(); ++b) {
+        Interval seg(bounds[b], bounds[b + 1]);
+        while (next < j && grounded[next].t.start == seg.start) {
+          active.push_back(next++);
+        }
+        std::erase_if(active, [&](std::size_t k) {
+          return grounded[k].t.end <= seg.start;
+        });
+        LineageId acc = kNullLineage;
+        for (std::size_t k : active) {
+          ++local.pairs_tested;
+          acc = mgr.ConcatOr(acc, grounded[k].lineage);
+        }
+        if (acc == kNullLineage) {
+          if (have_pending) {
+            out.AddDerived(grounded[i].fact, pending, pending_lin);
+            have_pending = false;
+          }
+          continue;
+        }
+        if (have_pending && pending.end == seg.start && pending_lin == acc) {
+          pending.end = seg.end;
+        } else {
+          if (have_pending) out.AddDerived(grounded[i].fact, pending, pending_lin);
+          pending = seg;
+          pending_lin = acc;
+          have_pending = true;
+        }
+      }
+      if (have_pending) out.AddDerived(grounded[i].fact, pending, pending_lin);
+      i = j;
+    }
+  }
+  out.SortFactTime();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace tpset

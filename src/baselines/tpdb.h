@@ -1,0 +1,39 @@
+// TPDB baseline: grounding + deduplication (Dylla et al. [1]).
+//
+// TPDB evaluates Datalog deduction rules with temporal predicates. For TP
+// set intersection this becomes six rules, one per Allen overlap pattern,
+// each translated to an inner join whose conditions are (in)equalities on
+// the interval endpoints; the joins enumerate same-fact tuple pairs and
+// test the pattern — a quadratic pair scan when facts have low selectivity
+// (Figs. 7a, 9b). Lineage is maintained in an application-layer structure
+// (here: the shared LineageManager). The subsequent deduplication step
+// sorts the grounded tuples and adjusts intervals of duplicates.
+//
+// TP set union grounds with a conventional union rule (cheap) and leaves
+// the interval adjustment to deduplication. TP set difference is NOT
+// expressible (results may contain subintervals present in neither rule
+// head), matching Table II.
+#ifndef TPSET_BASELINES_TPDB_H_
+#define TPSET_BASELINES_TPDB_H_
+
+#include "common/setop.h"
+#include "common/status.h"
+#include "relation/relation.h"
+
+namespace tpset {
+
+/// Statistics of a TPDB run (rule applications are the paper's grounding
+/// cost driver).
+struct TpdbStats {
+  std::size_t pairs_tested = 0;    ///< same-fact pairs enumerated by the rules
+  std::size_t grounded_tuples = 0; ///< tuples produced by grounding
+};
+
+/// Computes r opTp s with grounding + deduplication. kExcept returns
+/// NotSupported (Table II).
+Result<TpRelation> TpdbSetOp(SetOpKind op, const TpRelation& r,
+                             const TpRelation& s, TpdbStats* stats = nullptr);
+
+}  // namespace tpset
+
+#endif  // TPSET_BASELINES_TPDB_H_

@@ -1,0 +1,22 @@
+#include "common/fact_dictionary.h"
+
+namespace tpset {
+
+FactId FactDictionary::Intern(const Fact& fact) {
+  auto it = index_.find(fact);
+  if (it != index_.end()) return it->second;
+  FactId id = static_cast<FactId>(facts_.size());
+  facts_.push_back(fact);
+  index_.emplace(fact, id);
+  return id;
+}
+
+Result<FactId> FactDictionary::Find(const Fact& fact) const {
+  auto it = index_.find(fact);
+  if (it == index_.end()) {
+    return Status::NotFound("fact " + ToString(fact) + " not interned");
+  }
+  return it->second;
+}
+
+}  // namespace tpset

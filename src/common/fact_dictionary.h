@@ -1,0 +1,53 @@
+// Interning dictionary mapping facts to dense FactIds.
+//
+// All relations sharing one TpContext share one dictionary, so fact equality
+// across relations is FactId equality, and LAWA's (F, Ts) sort order is the
+// numeric (FactId, Ts) order.
+#ifndef TPSET_COMMON_FACT_DICTIONARY_H_
+#define TPSET_COMMON_FACT_DICTIONARY_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "common/value.h"
+
+namespace tpset {
+
+/// Bidirectional fact <-> FactId mapping with O(1) amortized interning.
+class FactDictionary {
+ public:
+  FactDictionary() = default;
+
+  // The index maps into facts_, so the dictionary must not be copied (the
+  // context that owns it is heap-allocated and shared).
+  FactDictionary(const FactDictionary&) = delete;
+  FactDictionary& operator=(const FactDictionary&) = delete;
+
+  /// Interns a fact, returning its id (existing id if already present).
+  FactId Intern(const Fact& fact);
+
+  /// Looks up an existing fact without interning.
+  Result<FactId> Find(const Fact& fact) const;
+
+  /// Returns the fact for an id; id must be valid.
+  const Fact& Get(FactId id) const { return facts_[id]; }
+
+  bool Contains(FactId id) const { return id < facts_.size(); }
+
+  std::size_t size() const { return facts_.size(); }
+
+ private:
+  struct FactHash {
+    std::size_t operator()(const Fact& f) const { return HashFact(f); }
+  };
+
+  std::vector<Fact> facts_;
+  std::unordered_map<Fact, FactId, FactHash> index_;
+};
+
+}  // namespace tpset
+
+#endif  // TPSET_COMMON_FACT_DICTIONARY_H_

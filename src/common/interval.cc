@@ -1,0 +1,18 @@
+#include "common/interval.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace tpset {
+
+std::string ToString(const Interval& iv) {
+  std::ostringstream os;
+  os << iv;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << '[' << iv.start << ',' << iv.end << ')';
+}
+
+}  // namespace tpset

@@ -1,0 +1,79 @@
+// Half-open time intervals [start, end) as used for the temporal attribute T.
+#ifndef TPSET_COMMON_INTERVAL_H_
+#define TPSET_COMMON_INTERVAL_H_
+
+#include <algorithm>
+#include <iosfwd>
+#include <string>
+
+#include "common/types.h"
+
+namespace tpset {
+
+/// A half-open interval [start, end) over the discrete time domain.
+///
+/// The paper writes intervals as [Ts, Te); a tuple is valid at every time
+/// point t with start <= t < end. An interval is well formed iff start < end
+/// (TP relations never carry empty intervals).
+struct Interval {
+  TimePoint start = 0;
+  TimePoint end = 0;
+
+  constexpr Interval() = default;
+  constexpr Interval(TimePoint s, TimePoint e) : start(s), end(e) {}
+
+  /// True iff the interval contains at least one time point.
+  constexpr bool IsValid() const { return start < end; }
+
+  /// Number of time points covered.
+  constexpr TimePoint Duration() const { return end - start; }
+
+  /// True iff time point t lies inside [start, end).
+  constexpr bool Contains(TimePoint t) const { return start <= t && t < end; }
+
+  /// True iff this interval fully contains `other`.
+  constexpr bool Contains(const Interval& other) const {
+    return start <= other.start && other.end <= end;
+  }
+
+  /// True iff the two intervals share at least one time point.
+  constexpr bool Overlaps(const Interval& other) const {
+    return start < other.end && other.start < end;
+  }
+
+  /// True iff this interval ends exactly where `other` starts or vice versa.
+  constexpr bool Adjacent(const Interval& other) const {
+    return end == other.start || other.end == start;
+  }
+
+  friend constexpr bool operator==(const Interval& a, const Interval& b) {
+    return a.start == b.start && a.end == b.end;
+  }
+  friend constexpr bool operator!=(const Interval& a, const Interval& b) {
+    return !(a == b);
+  }
+  /// Lexicographic (start, end) order.
+  friend constexpr bool operator<(const Interval& a, const Interval& b) {
+    return a.start != b.start ? a.start < b.start : a.end < b.end;
+  }
+};
+
+/// Intersection of two intervals; returns an invalid interval (start >= end)
+/// when they do not overlap.
+constexpr Interval Intersect(const Interval& a, const Interval& b) {
+  return Interval(std::max(a.start, b.start), std::min(a.end, b.end));
+}
+
+/// Smallest interval covering both inputs.
+constexpr Interval Hull(const Interval& a, const Interval& b) {
+  return Interval(std::min(a.start, b.start), std::max(a.end, b.end));
+}
+
+/// Renders "[start,end)".
+std::string ToString(const Interval& iv);
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv);
+
+}  // namespace tpset
+
+#endif  // TPSET_COMMON_INTERVAL_H_

@@ -1,0 +1,65 @@
+// Small deterministic PRNG used by generators, Monte-Carlo evaluation and
+// property tests. splitmix64 core: fast, well distributed, trivially seedable.
+#ifndef TPSET_COMMON_RANDOM_H_
+#define TPSET_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace tpset {
+
+/// Deterministic 64-bit PRNG (splitmix64). Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t Uniform(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    Below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal draw (Box-Muller).
+  double NextGaussian() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    // Guard against log(0).
+    if (u1 <= 1e-300) u1 = 1e-300;
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(6.283185307179586 * u2);
+    have_spare_ = true;
+    return mag * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  std::uint64_t state_;
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace tpset
+
+#endif  // TPSET_COMMON_RANDOM_H_

@@ -1,0 +1,35 @@
+// The three TP set operations of Definition 3.
+#ifndef TPSET_COMMON_SETOP_H_
+#define TPSET_COMMON_SETOP_H_
+
+namespace tpset {
+
+/// Which TP set operation to compute.
+enum class SetOpKind { kUnion = 0, kIntersect = 1, kExcept = 2 };
+
+/// Human-readable operator name ("union" / "intersect" / "except").
+inline const char* SetOpName(SetOpKind op) {
+  switch (op) {
+    case SetOpKind::kUnion: return "union";
+    case SetOpKind::kIntersect: return "intersect";
+    case SetOpKind::kExcept: return "except";
+  }
+  return "?";
+}
+
+/// The paper's operator symbol ("∪Tp" / "∩Tp" / "−Tp").
+inline const char* SetOpSymbol(SetOpKind op) {
+  switch (op) {
+    case SetOpKind::kUnion: return "∪Tp";
+    case SetOpKind::kIntersect: return "∩Tp";
+    case SetOpKind::kExcept: return "−Tp";
+  }
+  return "?";
+}
+
+inline constexpr SetOpKind kAllSetOps[] = {SetOpKind::kUnion, SetOpKind::kIntersect,
+                                           SetOpKind::kExcept};
+
+}  // namespace tpset
+
+#endif  // TPSET_COMMON_SETOP_H_

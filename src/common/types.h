@@ -1,0 +1,39 @@
+// Core identifier and scalar types shared by every tpset module.
+#ifndef TPSET_COMMON_TYPES_H_
+#define TPSET_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace tpset {
+
+/// A discrete time point. The paper's time domain ΩT is a finite, ordered set
+/// of time points; we use signed 64-bit integers so that real-world domains
+/// (e.g. millisecond timestamps, Webkit's 7M-wide range) fit without scaling.
+using TimePoint = std::int64_t;
+
+/// Identifier of an interned fact (the conventional-attribute part F of a
+/// tuple). Facts are interned by FactDictionary; the numeric order of FactId
+/// is the sort order used by LAWA (any total order over facts works).
+using FactId = std::uint32_t;
+
+/// Identifier of a Boolean random variable (a base-tuple identifier such as
+/// a1, b2, c3 in the paper). Probabilities live in VarTable.
+using VarId = std::uint32_t;
+
+/// Identifier of a hash-consed lineage node (see lineage/lineage.h).
+using LineageId = std::uint32_t;
+
+/// The paper writes λ = null when no tuple with the given fact is valid at a
+/// time point. kNullLineage is that null.
+inline constexpr LineageId kNullLineage = std::numeric_limits<LineageId>::max();
+
+/// Sentinel for "no fact".
+inline constexpr FactId kInvalidFact = std::numeric_limits<FactId>::max();
+
+/// Sentinel for "no variable".
+inline constexpr VarId kInvalidVar = std::numeric_limits<VarId>::max();
+
+}  // namespace tpset
+
+#endif  // TPSET_COMMON_TYPES_H_

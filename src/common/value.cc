@@ -1,0 +1,98 @@
+#include "common/value.h"
+
+#include <functional>
+#include <ostream>
+#include <sstream>
+
+namespace tpset {
+
+ValueType TypeOf(const Value& v) {
+  return static_cast<ValueType>(v.index());
+}
+
+std::string ToString(const Value& v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::string ToString(const Fact& f) {
+  if (f.size() == 1) return ToString(f[0]);
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << f[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  switch (TypeOf(v)) {
+    case ValueType::kInt64:
+      return os << std::get<std::int64_t>(v);
+    case ValueType::kDouble:
+      return os << std::get<double>(v);
+    case ValueType::kString:
+      return os << '\'' << std::get<std::string>(v) << '\'';
+  }
+  return os;
+}
+
+void HashCombine(std::size_t& seed, std::size_t h) {
+  seed ^= h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+std::size_t HashValue(const Value& v) {
+  std::size_t seed = v.index();
+  switch (TypeOf(v)) {
+    case ValueType::kInt64:
+      HashCombine(seed, std::hash<std::int64_t>()(std::get<std::int64_t>(v)));
+      break;
+    case ValueType::kDouble:
+      HashCombine(seed, std::hash<double>()(std::get<double>(v)));
+      break;
+    case ValueType::kString:
+      HashCombine(seed, std::hash<std::string>()(std::get<std::string>(v)));
+      break;
+  }
+  return seed;
+}
+
+std::size_t HashFact(const Fact& f) {
+  std::size_t seed = f.size();
+  for (const Value& v : f) HashCombine(seed, HashValue(v));
+  return seed;
+}
+
+Schema::Schema(std::vector<std::string> names, std::vector<ValueType> types)
+    : names_(std::move(names)), types_(std::move(types)) {}
+
+Schema Schema::SingleString(const std::string& name) {
+  return Schema({name}, {ValueType::kString});
+}
+
+Schema Schema::SingleInt(const std::string& name) {
+  return Schema({name}, {ValueType::kInt64});
+}
+
+Status Schema::Validate(const Fact& f) const {
+  if (f.size() != types_.size()) {
+    return Status::InvalidArgument(
+        "fact arity " + std::to_string(f.size()) + " does not match schema arity " +
+        std::to_string(types_.size()));
+  }
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    if (TypeOf(f[i]) != types_[i]) {
+      return Status::InvalidArgument("attribute " + names_[i] + " has wrong type");
+    }
+  }
+  return Status::OK();
+}
+
+bool Schema::CompatibleWith(const Schema& other) const {
+  return types_ == other.types_;
+}
+
+}  // namespace tpset

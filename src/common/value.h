@@ -1,0 +1,88 @@
+// Typed attribute values, facts (ordered attribute tuples) and schemas.
+//
+// The conventional attributes F = (A1 ... Am) of a TP tuple form a fact
+// (paper §III). We keep facts fully generic (any mix of int64 / double /
+// string attributes); the hot path never touches them because facts are
+// interned to dense FactIds by FactDictionary.
+#ifndef TPSET_COMMON_VALUE_H_
+#define TPSET_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tpset {
+
+/// One attribute value.
+using Value = std::variant<std::int64_t, double, std::string>;
+
+/// A fact: the ordered conventional-attribute values of a tuple.
+using Fact = std::vector<Value>;
+
+/// Attribute type tags for Schema.
+enum class ValueType { kInt64 = 0, kDouble = 1, kString = 2 };
+
+/// Runtime type of a value.
+ValueType TypeOf(const Value& v);
+
+/// Renders a value: strings quoted ('milk'), numbers plain.
+std::string ToString(const Value& v);
+
+/// Renders a fact: single attribute without parentheses, otherwise
+/// "(v1, v2, ...)".
+std::string ToString(const Fact& f);
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+/// Combines a hash into a running seed (boost::hash_combine recipe).
+void HashCombine(std::size_t& seed, std::size_t h);
+
+/// Hash of a single value (type-tagged).
+std::size_t HashValue(const Value& v);
+
+/// Hash of a fact.
+std::size_t HashFact(const Fact& f);
+
+/// Relation schema: named, typed conventional attributes. The temporal,
+/// lineage and probability columns are implicit (every TP relation has them).
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema from (name, type) pairs.
+  Schema(std::vector<std::string> names, std::vector<ValueType> types);
+
+  /// Convenience: single string-typed attribute (the common case in the
+  /// paper's examples: Product).
+  static Schema SingleString(const std::string& name);
+
+  /// Convenience: single int64-typed attribute (synthetic workloads).
+  static Schema SingleInt(const std::string& name);
+
+  std::size_t num_attributes() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+  const std::vector<ValueType>& types() const { return types_; }
+
+  /// Checks that a fact matches this schema (arity and types).
+  Status Validate(const Fact& f) const;
+
+  /// True iff both schemas have the same attribute types (names may differ);
+  /// this is the compatibility requirement for set operations.
+  bool CompatibleWith(const Schema& other) const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.names_ == b.names_ && a.types_ == b.types_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<ValueType> types_;
+};
+
+}  // namespace tpset
+
+#endif  // TPSET_COMMON_VALUE_H_

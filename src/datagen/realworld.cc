@@ -1,0 +1,159 @@
+#include "datagen/realworld.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace tpset {
+
+TpRelation GenerateMeteoLike(std::shared_ptr<TpContext> ctx, const MeteoSpec& spec,
+                             const std::string& name, Rng* rng) {
+  assert(spec.num_stations > 0);
+  TpRelation rel(ctx, Schema::SingleInt("station"), name);
+  std::vector<FactId> stations;
+  stations.reserve(spec.num_stations);
+  for (std::size_t i = 0; i < spec.num_stations; ++i) {
+    stations.push_back(ctx->facts().Intern({Value(static_cast<std::int64_t>(i))}));
+  }
+  // Abutting "stable temperature" runs per station: a new run begins
+  // whenever the prediction changes by more than the merge threshold, so
+  // runs of one station never overlap and mostly abut.
+  std::vector<TimePoint> cursor(spec.num_stations, 0);
+  for (std::size_t i = 0; i < spec.num_tuples; ++i) {
+    std::size_t st = i % spec.num_stations;
+    // Log-normal-ish duration with a hard floor at the measurement period,
+    // quantized to the 10-minute measurement grid: real runs start/end at
+    // measurement instants, so endpoints collide across stations (545K
+    // distinct points for 10.2M tuples in Table IV).
+    double mag = std::exp(spec.duration_log_sigma * std::abs(rng->NextGaussian()));
+    TimePoint dur = static_cast<TimePoint>(
+        std::clamp<double>(static_cast<double>(spec.min_duration) * mag,
+                           static_cast<double>(spec.min_duration),
+                           static_cast<double>(spec.max_duration)));
+    dur = (dur / spec.min_duration) * spec.min_duration;
+    // Occasional measurement gaps (station offline), also grid-aligned.
+    TimePoint gap =
+        rng->Bernoulli(0.02) ? rng->Uniform(1, 60) * spec.min_duration : 0;
+    TimePoint start = cursor[st] + gap;
+    cursor[st] = start + dur;
+    rel.AddBaseFast(stations[st], Interval(start, start + dur),
+                    0.05 + 0.9 * rng->NextDouble());
+  }
+  rel.SortFactTime();
+  return rel;
+}
+
+TpRelation GenerateWebkitLike(std::shared_ptr<TpContext> ctx,
+                              const WebkitSpec& spec, const std::string& name,
+                              Rng* rng) {
+  assert(spec.num_commits >= 2);
+  TpRelation rel(ctx, Schema::SingleInt("file"), name);
+
+  // The global pool of commit timestamps: intervals of all files start and
+  // end at these points (a file is valid-unchanged between two commits that
+  // touch it). Sorted, distinct.
+  std::vector<TimePoint> commits;
+  commits.reserve(spec.num_commits);
+  for (std::size_t i = 0; i < spec.num_commits; ++i) {
+    commits.push_back(rng->Uniform(0, spec.time_range));
+  }
+  std::sort(commits.begin(), commits.end());
+  commits.erase(std::unique(commits.begin(), commits.end()), commits.end());
+
+  // A handful of mass commits (repo-wide reformat, branch merge, ...) touch
+  // a large share of all files at one timestamp.
+  std::size_t num_mass = std::max<std::size_t>(
+      1, static_cast<std::size_t>(spec.mass_commit_fraction *
+                                  static_cast<double>(commits.size())));
+  std::vector<std::size_t> mass_commits;
+  for (std::size_t i = 0; i < num_mass; ++i) {
+    mass_commits.push_back(rng->Below(commits.size()));
+  }
+  std::sort(mass_commits.begin(), mass_commits.end());
+  mass_commits.erase(std::unique(mass_commits.begin(), mass_commits.end()),
+                     mass_commits.end());
+
+  const double avg_per_file = std::max(
+      1.0, static_cast<double>(spec.num_tuples) / static_cast<double>(spec.num_files));
+  std::size_t produced = 0;
+  std::vector<std::size_t> touches;
+  for (std::size_t f = 0; f < spec.num_files && produced < spec.num_tuples; ++f) {
+    FactId fact = ctx->facts().Intern({Value(static_cast<std::int64_t>(f))});
+    // Number of unchanged-intervals for this file.
+    std::size_t k = 1 + rng->Below(static_cast<std::uint64_t>(2.0 * avg_per_file));
+    k = std::min(k, spec.num_tuples - produced);
+    // k intervals need k+1 touch events; ~40% of touches come from the mass
+    // commit pool, concentrating endpoints on few timestamps.
+    touches.clear();
+    for (std::size_t i = 0; i < k + 1; ++i) {
+      if (!mass_commits.empty() && rng->Bernoulli(0.4)) {
+        touches.push_back(mass_commits[rng->Below(mass_commits.size())]);
+      } else {
+        touches.push_back(rng->Below(commits.size()));
+      }
+    }
+    std::sort(touches.begin(), touches.end());
+    touches.erase(std::unique(touches.begin(), touches.end()), touches.end());
+    for (std::size_t i = 0; i + 1 < touches.size() && produced < spec.num_tuples;
+         ++i) {
+      Interval iv(commits[touches[i]], commits[touches[i + 1]]);
+      assert(iv.IsValid());
+      rel.AddBaseFast(fact, iv, 0.05 + 0.9 * rng->NextDouble());
+      ++produced;
+    }
+  }
+  rel.SortFactTime();
+  return rel;
+}
+
+TpRelation ShiftedCopy(const TpRelation& rel, const std::string& name, Rng* rng) {
+  TpRelation out(rel.context(), rel.schema(), name);
+  if (rel.empty()) return out;
+
+  TimePoint t0 = rel[0].t.start, t1 = rel[0].t.end;
+  for (const TpTuple& t : rel.tuples()) {
+    t0 = std::min(t0, t.t.start);
+    t1 = std::max(t1, t.t.end);
+  }
+
+  // Draw a random start for each copy, keeping the length.
+  struct Shifted {
+    FactId fact;
+    Interval t;
+    double p;
+  };
+  std::vector<Shifted> shifted;
+  shifted.reserve(rel.size());
+  const VarTable& vars = rel.context()->vars();
+  const LineageManager& mgr = rel.context()->lineage();
+  for (const TpTuple& t : rel.tuples()) {
+    TimePoint len = t.t.Duration();
+    TimePoint max_start = std::max(t0, t1 - len);
+    TimePoint start = rng->Uniform(t0, max_start);
+    const LineageNode& node = mgr.node(t.lineage);
+    double p = node.kind == LineageKind::kVar ? vars.probability(node.var) : 0.5;
+    shifted.push_back({t.fact, Interval(start, start + len), p});
+  }
+
+  // Resolve same-fact overlaps by pushing intervals forward; lengths and
+  // the start distribution are preserved up to these minimal corrections.
+  std::sort(shifted.begin(), shifted.end(), [](const Shifted& a, const Shifted& b) {
+    if (a.fact != b.fact) return a.fact < b.fact;
+    return a.t.start < b.t.start;
+  });
+  for (std::size_t i = 1; i < shifted.size(); ++i) {
+    if (shifted[i].fact == shifted[i - 1].fact &&
+        shifted[i].t.start < shifted[i - 1].t.end) {
+      TimePoint len = shifted[i].t.Duration();
+      shifted[i].t.start = shifted[i - 1].t.end;
+      shifted[i].t.end = shifted[i].t.start + len;
+    }
+  }
+  for (const Shifted& sh : shifted) {
+    out.AddBaseFast(sh.fact, sh.t, sh.p);
+  }
+  return out;
+}
+
+}  // namespace tpset

@@ -1,0 +1,73 @@
+#include "datagen/stats.h"
+
+#include <algorithm>
+#include <ostream>
+#include <unordered_set>
+#include <vector>
+
+namespace tpset {
+
+DatasetStats ComputeStats(const TpRelation& rel) {
+  DatasetStats s;
+  s.cardinality = rel.size();
+  if (rel.empty()) return s;
+
+  TimePoint min_start = rel[0].t.start;
+  TimePoint max_end = rel[0].t.end;
+  s.min_duration = rel[0].t.Duration();
+  s.max_duration = rel[0].t.Duration();
+  double total_duration = 0.0;
+  std::unordered_set<FactId> facts;
+
+  // All endpoints; runs of equal values give the per-point counts.
+  std::vector<TimePoint> points;
+  points.reserve(rel.size() * 2);
+  for (const TpTuple& t : rel.tuples()) {
+    min_start = std::min(min_start, t.t.start);
+    max_end = std::max(max_end, t.t.end);
+    TimePoint d = t.t.Duration();
+    s.min_duration = std::min(s.min_duration, d);
+    s.max_duration = std::max(s.max_duration, d);
+    total_duration += static_cast<double>(d);
+    facts.insert(t.fact);
+    points.push_back(t.t.start);
+    points.push_back(t.t.end);
+  }
+  std::sort(points.begin(), points.end());
+
+  std::size_t distinct_points = 0;
+  std::size_t i = 0;
+  while (i < points.size()) {
+    TimePoint t = points[i];
+    std::size_t events_here = 0;
+    while (i < points.size() && points[i] == t) {
+      ++events_here;
+      ++i;
+    }
+    ++distinct_points;
+    s.max_tuples_per_point = std::max(s.max_tuples_per_point, events_here);
+  }
+
+  s.time_range = max_end - min_start;
+  s.avg_duration = total_duration / static_cast<double>(rel.size());
+  s.num_facts = facts.size();
+  s.distinct_points = distinct_points;
+  s.avg_tuples_per_point = static_cast<double>(2 * rel.size()) /
+                           static_cast<double>(distinct_points);
+  return s;
+}
+
+void PrintStats(std::ostream& os, const std::string& name, const DatasetStats& s) {
+  os << name << ":\n"
+     << "  cardinality            " << s.cardinality << '\n'
+     << "  time range             " << s.time_range << '\n'
+     << "  min duration           " << s.min_duration << '\n'
+     << "  max duration           " << s.max_duration << '\n'
+     << "  avg duration           " << s.avg_duration << '\n'
+     << "  num facts              " << s.num_facts << '\n'
+     << "  distinct points        " << s.distinct_points << '\n'
+     << "  max tuples per point   " << s.max_tuples_per_point << '\n'
+     << "  avg tuples per point   " << s.avg_tuples_per_point << '\n';
+}
+
+}  // namespace tpset

@@ -1,0 +1,122 @@
+#include "datagen/synthetic.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace tpset {
+
+TpRelation GenerateSynthetic(std::shared_ptr<TpContext> ctx,
+                             const SyntheticSpec& spec, const std::string& name,
+                             Rng* rng,
+                             const std::vector<TimePoint>* fact_offsets) {
+  assert(spec.num_facts > 0);
+  assert(spec.max_interval_length >= 1);
+  assert(spec.max_time_distance >= 0);
+  assert(fact_offsets == nullptr || fact_offsets->size() >= spec.num_facts);
+  TpRelation rel(ctx, Schema::SingleInt("fact"), name);
+
+  // Intern the fact domain once.
+  std::vector<FactId> facts;
+  facts.reserve(spec.num_facts);
+  for (std::size_t f = 0; f < spec.num_facts; ++f) {
+    facts.push_back(ctx->facts().Intern({Value(static_cast<std::int64_t>(f))}));
+  }
+
+  // Per-fact cursor: the end of the previously generated interval.
+  std::vector<TimePoint> cursor(spec.num_facts, 0);
+  if (fact_offsets != nullptr) {
+    for (std::size_t f = 0; f < spec.num_facts; ++f) cursor[f] = (*fact_offsets)[f];
+  }
+  const double p_span = spec.max_probability - spec.min_probability;
+  for (std::size_t i = 0; i < spec.num_tuples; ++i) {
+    std::size_t f = i % spec.num_facts;
+    TimePoint gap = rng->Uniform(0, spec.max_time_distance);
+    TimePoint len = rng->Uniform(1, spec.max_interval_length);
+    TimePoint start = cursor[f] + gap;
+    cursor[f] = start + len;
+    double p = spec.min_probability + p_span * rng->NextDouble();
+    rel.AddBaseFast(facts[f], Interval(start, start + len), p);
+  }
+  rel.SortFactTime();
+  return rel;
+}
+
+std::pair<TpRelation, TpRelation> GenerateSyntheticPair(
+    std::shared_ptr<TpContext> ctx, const SyntheticPairSpec& spec, Rng* rng) {
+  SyntheticSpec r_spec;
+  r_spec.num_tuples = spec.num_tuples;
+  r_spec.num_facts = spec.num_facts;
+  r_spec.max_interval_length = spec.max_interval_length_r;
+  r_spec.max_time_distance = spec.max_time_distance;
+  SyntheticSpec s_spec = r_spec;
+  s_spec.max_interval_length = spec.max_interval_length_s;
+  if (spec.align_spans) {
+    // Expected per-tuple pitch = E[len] + E[gap] = (maxLen+1)/2 + maxGap/2.
+    // Stretch the sparser side's gap bound so expected spans match:
+    // maxGap' = 2·(pitch_other − E[len_own]).
+    auto pitch = [&](TimePoint max_len, TimePoint max_gap) {
+      return (static_cast<double>(max_len) + 1.0) / 2.0 +
+             static_cast<double>(max_gap) / 2.0;
+    };
+    double pr = pitch(r_spec.max_interval_length, r_spec.max_time_distance);
+    double ps = pitch(s_spec.max_interval_length, s_spec.max_time_distance);
+    if (ps < pr) {
+      s_spec.max_time_distance = static_cast<TimePoint>(
+          2.0 * (pr - (static_cast<double>(s_spec.max_interval_length) + 1.0) / 2.0));
+    } else if (pr < ps) {
+      r_spec.max_time_distance = static_cast<TimePoint>(
+          2.0 * (ps - (static_cast<double>(r_spec.max_interval_length) + 1.0) / 2.0));
+    }
+  }
+  // Stagger the fact chains over the 1-fact-equivalent time range so that
+  // the tuple density per time point is independent of the fact count
+  // (paper §VII-B varies the fact count at fixed cardinality without
+  // changing the timeline). Offsets are shared between r and s so their
+  // same-fact chains still overlap.
+  std::vector<TimePoint> offsets(spec.num_facts, 0);
+  if (spec.num_facts > 1) {
+    double pitch_r =
+        (static_cast<double>(r_spec.max_interval_length) + 1.0) / 2.0 +
+        static_cast<double>(r_spec.max_time_distance) / 2.0;
+    TimePoint range = static_cast<TimePoint>(
+        pitch_r * static_cast<double>(spec.num_tuples));
+    double chain = pitch_r * (static_cast<double>(spec.num_tuples) /
+                              static_cast<double>(spec.num_facts));
+    TimePoint max_offset =
+        std::max<TimePoint>(0, range - static_cast<TimePoint>(chain));
+    for (std::size_t f = 0; f < spec.num_facts; ++f) {
+      offsets[f] = rng->Uniform(0, max_offset);
+    }
+  }
+  TpRelation r = GenerateSynthetic(ctx, r_spec, "r", rng, &offsets);
+  TpRelation s = GenerateSynthetic(ctx, s_spec, "s", rng, &offsets);
+  return {std::move(r), std::move(s)};
+}
+
+SyntheticPairSpec TableIIIPreset(double nominal_overlapping_factor) {
+  // Table III: overlapping factor -> (max len R, max len S); the time
+  // distance is 3 for all presets.
+  struct Preset {
+    double factor;
+    TimePoint len_r;
+    TimePoint len_s;
+  };
+  static constexpr Preset kPresets[] = {
+      {0.03, 100, 3}, {0.1, 100, 10}, {0.4, 50, 10}, {0.6, 3, 3}, {0.8, 10, 10},
+  };
+  const Preset* best = &kPresets[0];
+  for (const Preset& p : kPresets) {
+    if (std::abs(p.factor - nominal_overlapping_factor) <
+        std::abs(best->factor - nominal_overlapping_factor)) {
+      best = &p;
+    }
+  }
+  SyntheticPairSpec spec;
+  spec.max_interval_length_r = best->len_r;
+  spec.max_interval_length_s = best->len_s;
+  spec.max_time_distance = 3;
+  return spec;
+}
+
+}  // namespace tpset

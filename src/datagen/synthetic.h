@@ -1,0 +1,70 @@
+// Synthetic workload generator (paper §VII-B).
+//
+// A relation is populated per fact as a sequence of non-overlapping
+// intervals: lengths uniform in [1, max_interval_length], distances between
+// consecutive same-fact intervals uniform in [0, max_time_distance]. The
+// paper's robustness datasets (Table III) vary the two relations' maximum
+// interval lengths to obtain different overlapping factors.
+#ifndef TPSET_DATAGEN_SYNTHETIC_H_
+#define TPSET_DATAGEN_SYNTHETIC_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/random.h"
+#include "relation/relation.h"
+
+namespace tpset {
+
+/// Parameters of one synthetic relation.
+struct SyntheticSpec {
+  std::size_t num_tuples = 1000;
+  std::size_t num_facts = 1;          ///< tuples are spread round-robin
+  TimePoint max_interval_length = 3;  ///< lengths uniform in [1, this]
+  TimePoint max_time_distance = 3;    ///< gaps uniform in [0, this]
+  double min_probability = 0.1;
+  double max_probability = 0.9;
+};
+
+/// Generates one relation (single int64 attribute "fact", values
+/// 0..num_facts-1). Deterministic given the rng state. The result is
+/// duplicate-free by construction and sorted by (fact, start).
+///
+/// `fact_offsets` (optional, size >= num_facts) staggers each fact's tuple
+/// chain: fact f's first interval starts at fact_offsets[f] (plus its first
+/// gap). Without offsets every chain starts near 0, which clusters all
+/// facts at the beginning of the timeline; the pair generator uses shared
+/// offsets so r and s chains of one fact still overlap.
+TpRelation GenerateSynthetic(std::shared_ptr<TpContext> ctx,
+                             const SyntheticSpec& spec, const std::string& name,
+                             Rng* rng,
+                             const std::vector<TimePoint>* fact_offsets = nullptr);
+
+/// Parameters of an (r, s) pair for the robustness experiments; both
+/// relations use the same fact set and time-distance bound but different
+/// interval-length bounds (Table III).
+struct SyntheticPairSpec {
+  std::size_t num_tuples = 1000;  ///< per relation
+  std::size_t num_facts = 1;
+  TimePoint max_interval_length_r = 3;
+  TimePoint max_interval_length_s = 3;
+  TimePoint max_time_distance = 3;
+  /// Stretch the gap bound of the shorter-pitched relation so both span a
+  /// common horizon (otherwise a (100,3) preset crams all of s into the
+  /// prefix of r's timeline and every preset measures the same overlap).
+  bool align_spans = true;
+};
+
+/// Generates the pair in one shared context.
+std::pair<TpRelation, TpRelation> GenerateSyntheticPair(
+    std::shared_ptr<TpContext> ctx, const SyntheticPairSpec& spec, Rng* rng);
+
+/// The paper's Table III parameter presets, keyed by the nominal
+/// overlapping factor. Valid inputs: 0.03, 0.1, 0.4, 0.6, 0.8 (nearest
+/// preset is chosen). num_tuples/num_facts are left at their defaults.
+SyntheticPairSpec TableIIIPreset(double nominal_overlapping_factor);
+
+}  // namespace tpset
+
+#endif  // TPSET_DATAGEN_SYNTHETIC_H_

@@ -1,0 +1,93 @@
+#include "lawa/advancer.h"
+
+#include <cassert>
+#include <limits>
+
+namespace tpset {
+
+LineageAwareWindowAdvancer::LineageAwareWindowAdvancer(
+    const std::vector<TpTuple>& r, const std::vector<TpTuple>& s)
+    : r_(&r), s_(&s) {}
+
+bool LineageAwareWindowAdvancer::Next(LineageAwareWindow* w) {
+  const bool pend_r = HasPendingR();
+  const bool pend_s = HasPendingS();
+
+  TimePoint win_ts;
+  if (!r_valid_ && !s_valid_) {
+    // No tuple carries over: the next window group starts at a new tuple
+    // (possibly of a new fact), or the sweep is done (Alg. 1 lines 2-15).
+    if (!pend_r && !pend_s) return false;
+    const TpTuple* next_r = pend_r ? &(*r_)[ri_] : nullptr;
+    const TpTuple* next_s = pend_s ? &(*s_)[si_] : nullptr;
+    const bool r_match = next_r && have_fact_ && next_r->fact == curr_fact_;
+    const bool s_match = next_s && have_fact_ && next_s->fact == curr_fact_;
+    if (r_match && !s_match) {
+      win_ts = next_r->t.start;
+    } else if (s_match && !r_match) {
+      win_ts = next_s->t.start;
+    } else {
+      // Neither (or both) continue(s) the current fact: advance to the
+      // lexicographically smallest pending (fact, start).
+      const TpTuple* pick;
+      if (!next_s) {
+        pick = next_r;
+      } else if (!next_r) {
+        pick = next_s;
+      } else if (next_r->fact != next_s->fact) {
+        pick = next_r->fact < next_s->fact ? next_r : next_s;
+      } else {
+        pick = next_r->t.start <= next_s->t.start ? next_r : next_s;
+      }
+      win_ts = pick->t.start;
+      curr_fact_ = pick->fact;
+      have_fact_ = true;
+    }
+  } else {
+    // A tuple is still valid: the new window is adjacent to the previous one
+    // (Alg. 1 line 16).
+    win_ts = prev_win_te_;
+  }
+
+  // Load tuples of the current fact that start exactly at winTs
+  // (Alg. 1 lines 17-20). Duplicate-freeness guarantees at most one per side.
+  if (HasPendingR() && (*r_)[ri_].fact == curr_fact_ &&
+      (*r_)[ri_].t.start == win_ts) {
+    r_valid_tuple_ = (*r_)[ri_++];
+    r_valid_ = true;
+  }
+  if (HasPendingS() && (*s_)[si_].fact == curr_fact_ &&
+      (*s_)[si_].t.start == win_ts) {
+    s_valid_tuple_ = (*s_)[si_++];
+    s_valid_ = true;
+  }
+
+  // Right boundary: smallest among the end points of the valid tuples and
+  // the start points of the next tuples of the current fact (Alg. 1 line 21).
+  TimePoint win_te = std::numeric_limits<TimePoint>::max();
+  if (HasPendingR() && (*r_)[ri_].fact == curr_fact_) {
+    win_te = std::min(win_te, (*r_)[ri_].t.start);
+  }
+  if (HasPendingS() && (*s_)[si_].fact == curr_fact_) {
+    win_te = std::min(win_te, (*s_)[si_].t.start);
+  }
+  if (r_valid_) win_te = std::min(win_te, r_valid_tuple_.t.end);
+  if (s_valid_) win_te = std::min(win_te, s_valid_tuple_.t.end);
+  assert(win_te != std::numeric_limits<TimePoint>::max() &&
+         "window must be bounded by a valid tuple");
+  assert(win_te > win_ts && "windows advance strictly");
+
+  w->fact = curr_fact_;
+  w->t = Interval(win_ts, win_te);
+  w->lr = r_valid_ ? r_valid_tuple_.lineage : kNullLineage;
+  w->ls = s_valid_ ? s_valid_tuple_.lineage : kNullLineage;
+
+  // Expire tuples that end exactly at the right boundary (lines 26-27).
+  if (r_valid_ && r_valid_tuple_.t.end == win_te) r_valid_ = false;
+  if (s_valid_ && s_valid_tuple_.t.end == win_te) s_valid_ = false;
+  prev_win_te_ = win_te;
+  ++windows_produced_;
+  return true;
+}
+
+}  // namespace tpset

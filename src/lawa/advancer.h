@@ -1,0 +1,72 @@
+// LAWA — the lineage-aware window advancer (paper Algorithm 1).
+#ifndef TPSET_LAWA_ADVANCER_H_
+#define TPSET_LAWA_ADVANCER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "lawa/window.h"
+#include "relation/tuple.h"
+
+namespace tpset {
+
+/// Produces the stream of lineage-aware temporal windows for two
+/// duplicate-free inputs sorted by (fact, start).
+///
+/// The advancer keeps the paper's status: the right boundary of the previous
+/// window (prevWinTe), the fact currently being processed (currFact), the
+/// tuple of each input valid over the current window (rValid / sValid), and
+/// the next unprocessed tuple of each input (r / s, here cursor indices).
+/// Each Next() call performs one LAWA invocation: it determines the left
+/// boundary, loads newly-starting tuples into rValid/sValid, sets the right
+/// boundary to the smallest relevant start/end point, and emits the window.
+///
+/// Deviations from the paper's pseudocode (defects repaired; see DESIGN.md):
+///  * when neither pending tuple matches currFact, the next window group is
+///    chosen by lexicographic (fact, start) order, not by start alone;
+///  * minTs only considers pending tuples whose fact equals currFact (a
+///    pending tuple of a different fact must not split the current window).
+///
+/// Complexity: each call is O(1); the total number of windows is bounded by
+/// nr + ns − fd (Proposition 1), so a full sweep is O(|r| + |s|).
+class LineageAwareWindowAdvancer {
+ public:
+  /// Both inputs must outlive the advancer, be duplicate-free and sorted by
+  /// (fact, start) — see FactTimeOrder.
+  LineageAwareWindowAdvancer(const std::vector<TpTuple>& r,
+                             const std::vector<TpTuple>& s);
+
+  /// One LAWA call. Returns true and fills *w if a window was produced;
+  /// returns false when both inputs are exhausted and no tuple is valid.
+  bool Next(LineageAwareWindow* w);
+
+  /// status.r ≠ null: an unprocessed tuple of the left input remains.
+  bool HasPendingR() const { return ri_ < r_->size(); }
+  /// status.s ≠ null: an unprocessed tuple of the right input remains.
+  bool HasPendingS() const { return si_ < s_->size(); }
+  /// status.rValid ≠ null: a left tuple is valid past the previous window.
+  bool HasValidR() const { return r_valid_; }
+  /// status.sValid ≠ null: a right tuple is valid past the previous window.
+  bool HasValidS() const { return s_valid_; }
+
+  /// Windows emitted so far (for Proposition 1 checks and benchmarks).
+  std::size_t windows_produced() const { return windows_produced_; }
+
+ private:
+  const std::vector<TpTuple>* r_;
+  const std::vector<TpTuple>* s_;
+  std::size_t ri_ = 0;
+  std::size_t si_ = 0;
+  bool r_valid_ = false;
+  bool s_valid_ = false;
+  TpTuple r_valid_tuple_{};
+  TpTuple s_valid_tuple_{};
+  bool have_fact_ = false;
+  FactId curr_fact_ = kInvalidFact;
+  TimePoint prev_win_te_ = -1;
+  std::size_t windows_produced_ = 0;
+};
+
+}  // namespace tpset
+
+#endif  // TPSET_LAWA_ADVANCER_H_

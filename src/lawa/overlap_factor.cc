@@ -1,0 +1,53 @@
+#include "lawa/overlap_factor.h"
+
+#include <vector>
+
+#include "lawa/advancer.h"
+#include "lawa/set_ops.h"
+
+namespace tpset {
+
+namespace {
+
+struct OverlapCounts {
+  std::size_t windows = 0;
+  std::size_t overlap_windows = 0;
+  double duration = 0.0;
+  double overlap_duration = 0.0;
+};
+
+OverlapCounts SweepOverlap(const TpRelation& r, const TpRelation& s) {
+  std::vector<TpTuple> rs = r.tuples();
+  std::vector<TpTuple> ss = s.tuples();
+  SortTuples(&rs, SortMode::kComparison);
+  SortTuples(&ss, SortMode::kComparison);
+
+  OverlapCounts c;
+  LineageAwareWindowAdvancer adv(rs, ss);
+  LineageAwareWindow w;
+  while (adv.Next(&w)) {
+    ++c.windows;
+    c.duration += static_cast<double>(w.t.Duration());
+    if (w.lr != kNullLineage && w.ls != kNullLineage) {
+      ++c.overlap_windows;
+      c.overlap_duration += static_cast<double>(w.t.Duration());
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+double OverlappingFactor(const TpRelation& r, const TpRelation& s) {
+  OverlapCounts c = SweepOverlap(r, s);
+  if (c.windows == 0) return 0.0;
+  return static_cast<double>(c.overlap_windows) / static_cast<double>(c.windows);
+}
+
+double TimeWeightedOverlappingFactor(const TpRelation& r, const TpRelation& s) {
+  OverlapCounts c = SweepOverlap(r, s);
+  if (c.duration == 0.0) return 0.0;
+  return c.overlap_duration / c.duration;
+}
+
+}  // namespace tpset

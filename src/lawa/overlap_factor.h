@@ -1,0 +1,25 @@
+// The overlapping factor of two TP relations (paper §VII-B).
+#ifndef TPSET_LAWA_OVERLAP_FACTOR_H_
+#define TPSET_LAWA_OVERLAP_FACTOR_H_
+
+#include "relation/relation.h"
+
+namespace tpset {
+
+/// Paper definition: "the number of maximal subintervals during which a
+/// tuple from r and s overlap, divided by the total number of maximal
+/// subintervals"; value in [0, 1]. The maximal subintervals are exactly the
+/// lineage-aware temporal windows, so one LAWA sweep measures the factor:
+/// (#windows with λr ≠ null ∧ λs ≠ null) / (#windows). Returns 0 when the
+/// inputs produce no windows.
+double OverlappingFactor(const TpRelation& r, const TpRelation& s);
+
+/// Duration-weighted variant: the fraction of covered *time* (summed over
+/// all windows) during which tuples of both inputs are valid. This is the
+/// measure that reproduces the paper's Table III factors on span-aligned
+/// synthetic pairs (see DESIGN.md / EXPERIMENTS.md).
+double TimeWeightedOverlappingFactor(const TpRelation& r, const TpRelation& s);
+
+}  // namespace tpset
+
+#endif  // TPSET_LAWA_OVERLAP_FACTOR_H_

@@ -1,0 +1,128 @@
+#include "lawa/set_ops.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "lawa/advancer.h"
+#include "relation/validate.h"
+
+namespace tpset {
+
+namespace {
+
+// Stable LSD radix sort by the (fact, start, end) key using 16-bit counting
+// passes — the §VI-B "counting-based sorting" variant, linear in input size.
+// Start/end points are biased into unsigned space so negative time points
+// sort correctly.
+void RadixSortTuples(std::vector<TpTuple>* tuples) {
+  const std::size_t n = tuples->size();
+  if (n < 2) return;
+  std::vector<TpTuple> scratch(n);
+
+  auto pass = [&](auto key_of, int shift, int bits) {
+    const std::size_t buckets = std::size_t{1} << bits;
+    const std::size_t mask = buckets - 1;
+    std::vector<std::size_t> count(buckets + 1, 0);
+    for (const TpTuple& t : *tuples) {
+      ++count[((key_of(t) >> shift) & mask) + 1];
+    }
+    for (std::size_t b = 1; b <= buckets; ++b) count[b] += count[b - 1];
+    for (const TpTuple& t : *tuples) {
+      scratch[count[(key_of(t) >> shift) & mask]++] = t;
+    }
+    tuples->swap(scratch);
+  };
+
+  auto end_key = [](const TpTuple& t) {
+    return static_cast<std::uint64_t>(t.t.end) + (std::uint64_t{1} << 63);
+  };
+  auto start_key = [](const TpTuple& t) {
+    return static_cast<std::uint64_t>(t.t.start) + (std::uint64_t{1} << 63);
+  };
+  auto fact_key = [](const TpTuple& t) { return std::uint64_t{t.fact}; };
+
+  for (int shift = 0; shift < 64; shift += 16) pass(end_key, shift, 16);
+  for (int shift = 0; shift < 64; shift += 16) pass(start_key, shift, 16);
+  for (int shift = 0; shift < 32; shift += 16) pass(fact_key, shift, 16);
+}
+
+}  // namespace
+
+void SortTuples(std::vector<TpTuple>* tuples, SortMode mode) {
+  switch (mode) {
+    case SortMode::kComparison:
+      std::sort(tuples->begin(), tuples->end(), FactTimeOrder());
+      break;
+    case SortMode::kCounting:
+      RadixSortTuples(tuples);
+      break;
+  }
+}
+
+TpRelation LawaSetOp(SetOpKind op, const TpRelation& r, const TpRelation& s,
+                     SortMode sort_mode, LawaStats* stats) {
+  assert(ValidateSetOpInputs(r, s).ok());
+  LineageManager& mgr = r.context()->lineage();
+  TpRelation out(r.context(), r.schema(),
+                 "(" + r.name() + " " + SetOpName(op) + " " + s.name() + ")");
+
+  // Step 1 of Fig. 5: sort both inputs by (F, Ts).
+  std::vector<TpTuple> rs = r.tuples();
+  std::vector<TpTuple> ss = s.tuples();
+  SortTuples(&rs, sort_mode);
+  SortTuples(&ss, sort_mode);
+
+  // Steps 2-4: advance windows; filter on (λr, λs); concatenate lineages.
+  // The loop conditions extend the paper's Algorithms 2-4 to also drain
+  // still-valid tuples (see DESIGN.md, faithfulness note 3): windows keep
+  // coming while the operation can still produce output.
+  LineageAwareWindowAdvancer adv(rs, ss);
+  LineageAwareWindow w;
+  switch (op) {
+    case SetOpKind::kIntersect:
+      while ((adv.HasPendingR() || adv.HasValidR()) &&
+             (adv.HasPendingS() || adv.HasValidS())) {
+        bool produced = adv.Next(&w);
+        assert(produced);
+        (void)produced;
+        if (w.lr != kNullLineage && w.ls != kNullLineage) {
+          out.AddDerived(w.fact, w.t, mgr.ConcatAnd(w.lr, w.ls));
+        }
+      }
+      break;
+    case SetOpKind::kUnion:
+      while (adv.HasPendingR() || adv.HasPendingS() || adv.HasValidR() ||
+             adv.HasValidS()) {
+        bool produced = adv.Next(&w);
+        assert(produced);
+        (void)produced;
+        // Every window overlaps at least one valid tuple, so the ∪Tp filter
+        // (λr ≠ null ∨ λs ≠ null) always passes.
+        out.AddDerived(w.fact, w.t, mgr.ConcatOr(w.lr, w.ls));
+      }
+      break;
+    case SetOpKind::kExcept:
+      while (adv.HasPendingR() || adv.HasValidR()) {
+        bool produced = adv.Next(&w);
+        assert(produced);
+        (void)produced;
+        if (w.lr != kNullLineage) {
+          out.AddDerived(w.fact, w.t, mgr.ConcatAndNot(w.lr, w.ls));
+        }
+      }
+      break;
+  }
+  if (stats != nullptr) {
+    stats->windows_produced = adv.windows_produced();
+    stats->output_tuples = out.size();
+  }
+  return out;
+}
+
+Result<TpRelation> LawaSetOpChecked(SetOpKind op, const TpRelation& r,
+                                    const TpRelation& s, SortMode sort_mode) {
+  TPSET_RETURN_NOT_OK(ValidateSetOpInputs(r, s));
+  return LawaSetOp(op, r, s, sort_mode);
+}
+
+}  // namespace tpset

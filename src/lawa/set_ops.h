@@ -1,0 +1,62 @@
+// TP set operations via LAWA (paper Algorithms 2-4, process of Fig. 5:
+// sort → LAWA → λ-filter → λ-concatenation).
+#ifndef TPSET_LAWA_SET_OPS_H_
+#define TPSET_LAWA_SET_OPS_H_
+
+#include "common/setop.h"
+#include "common/status.h"
+#include "relation/relation.h"
+
+namespace tpset {
+
+/// How the inputs are brought into (fact, start) order before the sweep.
+/// §VI-B: comparison sorting gives O(n log n) overall; a counting-based
+/// (radix) sort makes the whole operation linear when applicable.
+enum class SortMode { kComparison = 0, kCounting = 1 };
+
+/// Per-run statistics for complexity checks and benchmarks.
+struct LawaStats {
+  std::size_t windows_produced = 0;  ///< candidate windows (Prop. 1 bound)
+  std::size_t output_tuples = 0;     ///< windows that passed the λ-filter
+};
+
+/// Computes r opTp s with LAWA. Inputs must satisfy ValidateSetOpInputs
+/// (asserted in debug builds, unchecked in release — use the Checked variant
+/// for untrusted input). The result is duplicate-free, change-preserved and
+/// sorted by (fact, start).
+///
+/// Change preservation additionally assumes that no input relation carries
+/// two *adjacent* same-fact tuples with equivalent lineage — true for every
+/// base relation (distinct tuples are distinct variables) and for every
+/// output of these operations, but violable by hand-built derived
+/// relations; normalize those with CoalesceEquivalent (algebra/) first.
+TpRelation LawaSetOp(SetOpKind op, const TpRelation& r, const TpRelation& s,
+                     SortMode sort_mode = SortMode::kComparison,
+                     LawaStats* stats = nullptr);
+
+/// Validating wrapper around LawaSetOp.
+Result<TpRelation> LawaSetOpChecked(SetOpKind op, const TpRelation& r,
+                                    const TpRelation& s,
+                                    SortMode sort_mode = SortMode::kComparison);
+
+/// r ∪Tp s (Algorithm 3).
+inline TpRelation LawaUnion(const TpRelation& r, const TpRelation& s) {
+  return LawaSetOp(SetOpKind::kUnion, r, s);
+}
+/// r ∩Tp s (Algorithm 2).
+inline TpRelation LawaIntersect(const TpRelation& r, const TpRelation& s) {
+  return LawaSetOp(SetOpKind::kIntersect, r, s);
+}
+/// r −Tp s (Algorithm 4).
+inline TpRelation LawaExcept(const TpRelation& r, const TpRelation& s) {
+  return LawaSetOp(SetOpKind::kExcept, r, s);
+}
+
+/// Sorts tuples by (fact, start, end). kComparison uses std::sort;
+/// kCounting uses an LSD radix sort on (fact, start) — linear in the input,
+/// the §VI-B counting-based alternative. Exposed for the ablation bench.
+void SortTuples(std::vector<TpTuple>* tuples, SortMode mode);
+
+}  // namespace tpset
+
+#endif  // TPSET_LAWA_SET_OPS_H_

@@ -1,0 +1,28 @@
+// The lineage-aware temporal window (paper §VI-A).
+#ifndef TPSET_LAWA_WINDOW_H_
+#define TPSET_LAWA_WINDOW_H_
+
+#include "common/interval.h"
+#include "common/types.h"
+
+namespace tpset {
+
+/// A candidate output interval bound to the lineages of the input tuples
+/// valid during it. Schema (F, winTs, winTe, λr, λs): `fact` is the fact all
+/// covered tuples share, `t` = [winTs, winTe), and `lr` / `ls` are the
+/// lineages of the (unique, by duplicate-freeness) valid tuples of the left
+/// and right input relation — kNullLineage when no such tuple exists.
+///
+/// Keeping the two lineages separate is what lets one window stream serve
+/// all three set operations: the per-operation λ-filter inspects lr/ls and
+/// the Table I concatenation combines them (Fig. 5).
+struct LineageAwareWindow {
+  FactId fact = kInvalidFact;
+  Interval t;
+  LineageId lr = kNullLineage;
+  LineageId ls = kNullLineage;
+};
+
+}  // namespace tpset
+
+#endif  // TPSET_LAWA_WINDOW_H_

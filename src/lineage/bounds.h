@@ -1,0 +1,35 @@
+// Anytime probability bounds (paper refs [25],[26],[29]).
+//
+// Repeating TP set queries are #P-hard in general (§V-B), so exact Shannon
+// expansion can blow up. ProbabilityAnytime performs a budgeted expansion:
+// whenever the budget is exhausted on a residual subformula, that subformula
+// contributes the trivial interval [0,1], weighted by the probability mass
+// of the branch. The result is a guaranteed enclosure of the exact
+// probability whose width shrinks monotonically to 0 as the budget grows.
+#ifndef TPSET_LINEAGE_BOUNDS_H_
+#define TPSET_LINEAGE_BOUNDS_H_
+
+#include <cstddef>
+
+#include "lineage/lineage.h"
+
+namespace tpset {
+
+/// A closed interval guaranteed to contain the exact probability.
+struct ProbabilityInterval {
+  double lower = 0.0;
+  double upper = 1.0;
+  double width() const { return upper - lower; }
+};
+
+/// Budgeted Shannon expansion: at most `max_expansions` variable branchings
+/// are performed in total. With a sufficient budget the interval collapses
+/// to the exact value. May allocate cofactor nodes in `mgr` (hash-consing
+/// required).
+ProbabilityInterval ProbabilityAnytime(LineageManager& mgr, LineageId id,
+                                       const VarTable& vars,
+                                       std::size_t max_expansions);
+
+}  // namespace tpset
+
+#endif  // TPSET_LINEAGE_BOUNDS_H_

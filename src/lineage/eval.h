@@ -1,0 +1,49 @@
+// Probability computation over lineage formulas.
+//
+// The marginal probability of a result tuple is the probability that its
+// lineage formula is true under independent Boolean variables (paper §III).
+// Three evaluators are provided, mirroring the paper's references:
+//  * ProbabilityReadOnce — linear time, exact for read-once (1OF) formulas,
+//    i.e. for every non-repeating TP set query (Theorem 1 / Corollary 1).
+//  * ProbabilityExact — Shannon expansion with hash-consed cofactors and
+//    memoization (OBDD-style, refs [22]-[24]); exact for any formula,
+//    exponential in the worst case (#P-hard in general).
+//  * ProbabilityMonteCarlo — sampling approximation (refs [25]-[29]).
+#ifndef TPSET_LINEAGE_EVAL_H_
+#define TPSET_LINEAGE_EVAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "lineage/lineage.h"
+
+namespace tpset {
+
+/// Truth value of the formula under a complete assignment; `assignment[v]`
+/// is the value of variable v. Variables beyond the vector are false.
+bool EvaluateAssignment(const LineageManager& mgr, LineageId id,
+                        const std::vector<bool>& assignment);
+
+/// Exact probability for read-once formulas: independence of subformulas
+/// holds because no variable is shared, so P(a∧b) = P(a)·P(b) and
+/// P(a∨b) = 1−(1−P(a))(1−P(b)). For non-read-once formulas the result is
+/// only an approximation (callers should check LineageManager::IsReadOnce).
+double ProbabilityReadOnce(const LineageManager& mgr, LineageId id,
+                           const VarTable& vars);
+
+/// Exact probability for arbitrary formulas via Shannon expansion
+/// P(f) = p_v·P(f|v=1) + (1−p_v)·P(f|v=0), always branching on the smallest
+/// variable so cofactors hash-cons into an ROBDD-like DAG whose node
+/// probabilities are memoized. May allocate new nodes in `mgr`.
+double ProbabilityExact(LineageManager& mgr, LineageId id, const VarTable& vars);
+
+/// Monte-Carlo estimate with `samples` independent draws of all variables
+/// occurring in the formula.
+double ProbabilityMonteCarlo(const LineageManager& mgr, LineageId id,
+                             const VarTable& vars, std::size_t samples, Rng* rng);
+
+}  // namespace tpset
+
+#endif  // TPSET_LINEAGE_EVAL_H_

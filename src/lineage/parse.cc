@@ -1,0 +1,125 @@
+#include "lineage/parse.h"
+
+#include <cctype>
+
+namespace tpset {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, LineageManager* mgr, const VarTable& vars)
+      : text_(text), mgr_(mgr), vars_(vars) {}
+
+  Result<LineageId> Parse() {
+    SkipSpace();
+    if (Peek() == 'n' && text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      SkipSpace();
+      if (pos_ != text_.size()) {
+        return Status::InvalidArgument("'null' must be the entire expression");
+      }
+      return kNullLineage;
+    }
+    Result<LineageId> e = ParseExpr();
+    if (!e.ok()) return e;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing input at offset " +
+                                     std::to_string(pos_) + " in '" + text_ + "'");
+    }
+    return e;
+  }
+
+ private:
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<LineageId> ParseExpr() {
+    Result<LineageId> left = ParseTerm();
+    if (!left.ok()) return left;
+    LineageId acc = *left;
+    while (Consume('|')) {
+      Result<LineageId> right = ParseTerm();
+      if (!right.ok()) return right;
+      acc = mgr_->MakeOr(acc, *right);
+    }
+    return acc;
+  }
+
+  Result<LineageId> ParseTerm() {
+    Result<LineageId> left = ParseFactor();
+    if (!left.ok()) return left;
+    LineageId acc = *left;
+    while (Consume('&')) {
+      Result<LineageId> right = ParseFactor();
+      if (!right.ok()) return right;
+      acc = mgr_->MakeAnd(acc, *right);
+    }
+    return acc;
+  }
+
+  Result<LineageId> ParseFactor() {
+    SkipSpace();
+    if (Consume('!')) {
+      Result<LineageId> inner = ParseFactor();
+      if (!inner.ok()) return inner;
+      return mgr_->MakeNot(*inner);
+    }
+    if (Consume('(')) {
+      Result<LineageId> inner = ParseExpr();
+      if (!inner.ok()) return inner;
+      if (!Consume(')')) {
+        return Status::InvalidArgument("expected ')' at offset " +
+                                       std::to_string(pos_));
+      }
+      return inner;
+    }
+    return ParseIdent();
+  }
+
+  Result<LineageId> ParseIdent() {
+    SkipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected identifier at offset " +
+                                     std::to_string(start) + " in '" + text_ + "'");
+    }
+    std::string name = text_.substr(start, pos_ - start);
+    if (name == "true") return mgr_->True();
+    if (name == "false") return mgr_->False();
+    Result<VarId> v = vars_.Find(name);
+    if (!v.ok()) return v.status();
+    return mgr_->MakeVar(*v);
+  }
+
+  const std::string& text_;
+  LineageManager* mgr_;
+  const VarTable& vars_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<LineageId> ParseLineage(const std::string& text, LineageManager* mgr,
+                               const VarTable& vars) {
+  return Parser(text, mgr, vars).Parse();
+}
+
+}  // namespace tpset

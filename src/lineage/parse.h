@@ -1,0 +1,27 @@
+// Parser for ASCII lineage expressions, e.g. "c1 & !(a1 | b1)".
+//
+// Grammar (standard precedence: ! > & > |):
+//   expr   := term ('|' term)*
+//   term   := factor ('&' factor)*
+//   factor := '!' factor | '(' expr ')' | identifier | 'true' | 'false'
+//
+// Identifiers resolve against a VarTable; unknown names are an error.
+// "null" parses to kNullLineage only when it is the entire input.
+#ifndef TPSET_LINEAGE_PARSE_H_
+#define TPSET_LINEAGE_PARSE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "lineage/lineage.h"
+
+namespace tpset {
+
+/// Parses `text` into a formula owned by `mgr`.
+Result<LineageId> ParseLineage(const std::string& text, LineageManager* mgr,
+                               const VarTable& vars);
+
+}  // namespace tpset
+
+#endif  // TPSET_LINEAGE_PARSE_H_

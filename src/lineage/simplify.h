@@ -1,0 +1,23 @@
+// Lineage simplification: equivalence-preserving local rewrites.
+//
+// Repeating queries build formulas like (x∨y)∧¬(x∧z) whose repeated
+// variables slow down exact valuation. Simplify applies bottom-up local
+// rules — idempotence and constant folding (already enforced by the
+// constructors), complement (x∧¬x → ⊥, x∨¬x → ⊤) and absorption
+// (x∧(x∨y) → x, x∨(x∧y) → x) — producing an equivalent, never-larger
+// formula. It is a cheap pre-pass, not a canonicalizer: equivalent formulas
+// may still differ syntactically.
+#ifndef TPSET_LINEAGE_SIMPLIFY_H_
+#define TPSET_LINEAGE_SIMPLIFY_H_
+
+#include "lineage/lineage.h"
+
+namespace tpset {
+
+/// Returns an equivalent (possibly identical) formula id. Requires a
+/// hash-consing manager. kNullLineage passes through.
+LineageId Simplify(LineageManager& mgr, LineageId id);
+
+}  // namespace tpset
+
+#endif  // TPSET_LINEAGE_SIMPLIFY_H_

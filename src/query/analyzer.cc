@@ -1,0 +1,42 @@
+#include "query/analyzer.h"
+
+#include <algorithm>
+
+namespace tpset {
+
+namespace {
+
+void Collect(const QueryNode& q, std::vector<std::string>* out) {
+  if (q.kind == QueryNode::Kind::kRelation) {
+    out->push_back(q.relation_name);
+    return;
+  }
+  Collect(*q.left, out);
+  Collect(*q.right, out);
+}
+
+}  // namespace
+
+std::vector<std::string> ReferencedRelations(const QueryNode& q) {
+  std::vector<std::string> out;
+  Collect(q, &out);
+  return out;
+}
+
+bool IsNonRepeating(const QueryNode& q) {
+  std::vector<std::string> names = ReferencedRelations(q);
+  std::sort(names.begin(), names.end());
+  return std::adjacent_find(names.begin(), names.end()) == names.end();
+}
+
+ProbabilityMethod RecommendedMethod(const QueryNode& q) {
+  return IsNonRepeating(q) ? ProbabilityMethod::kReadOnce
+                           : ProbabilityMethod::kExact;
+}
+
+std::size_t OperatorCount(const QueryNode& q) {
+  if (q.kind == QueryNode::Kind::kRelation) return 0;
+  return 1 + OperatorCount(*q.left) + OperatorCount(*q.right);
+}
+
+}  // namespace tpset

@@ -1,0 +1,33 @@
+// Static analysis of TP set queries: the tractability results of §V-B.
+#ifndef TPSET_QUERY_ANALYZER_H_
+#define TPSET_QUERY_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "query/ast.h"
+#include "relation/relation.h"
+
+namespace tpset {
+
+/// All base relation names referenced by the query, with multiplicity, in
+/// left-to-right order.
+std::vector<std::string> ReferencedRelations(const QueryNode& q);
+
+/// True iff every input relation occurs at most once (the paper's
+/// "non-repeating" condition). By Theorem 1 such a query over
+/// duplicate-free relations yields read-once (1OF) lineages, and by
+/// Corollary 1 its probabilities are computable in PTIME.
+bool IsNonRepeating(const QueryNode& q);
+
+/// The probability method the analyzer recommends: kReadOnce for
+/// non-repeating queries (exact by Theorem 1), kExact (Shannon) otherwise —
+/// repeating queries are #P-hard in general (Khanna et al. [30]).
+ProbabilityMethod RecommendedMethod(const QueryNode& q);
+
+/// Number of set operators in the query tree.
+std::size_t OperatorCount(const QueryNode& q);
+
+}  // namespace tpset
+
+#endif  // TPSET_QUERY_ANALYZER_H_

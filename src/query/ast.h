@@ -1,0 +1,54 @@
+// Abstract syntax of TP set queries (paper Def. 4):
+//   Q ::= ri | Q ∪Tp Q | Q ∩Tp Q | Q −Tp Q | (Q)
+#ifndef TPSET_QUERY_AST_H_
+#define TPSET_QUERY_AST_H_
+
+#include <memory>
+#include <string>
+
+#include "common/setop.h"
+
+namespace tpset {
+
+/// One node of a TP set query tree.
+struct QueryNode {
+  enum class Kind { kRelation, kSetOp };
+
+  Kind kind = Kind::kRelation;
+
+  /// kRelation: name of a base relation in the executor's catalog.
+  std::string relation_name;
+
+  /// kSetOp: the operator and its operands.
+  SetOpKind op = SetOpKind::kUnion;
+  std::unique_ptr<QueryNode> left;
+  std::unique_ptr<QueryNode> right;
+
+  static std::unique_ptr<QueryNode> Relation(std::string name) {
+    auto n = std::make_unique<QueryNode>();
+    n->kind = Kind::kRelation;
+    n->relation_name = std::move(name);
+    return n;
+  }
+
+  static std::unique_ptr<QueryNode> SetOp(SetOpKind op,
+                                          std::unique_ptr<QueryNode> left,
+                                          std::unique_ptr<QueryNode> right) {
+    auto n = std::make_unique<QueryNode>();
+    n->kind = Kind::kSetOp;
+    n->op = op;
+    n->left = std::move(left);
+    n->right = std::move(right);
+    return n;
+  }
+};
+
+using QueryPtr = std::unique_ptr<QueryNode>;
+
+/// Renders the query with ASCII operators: union '|', intersect '&',
+/// except '-'; parentheses where needed.
+std::string QueryToString(const QueryNode& q);
+
+}  // namespace tpset
+
+#endif  // TPSET_QUERY_AST_H_

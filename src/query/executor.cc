@@ -1,0 +1,61 @@
+#include "query/executor.h"
+
+#include "query/parser.h"
+#include "relation/validate.h"
+
+namespace tpset {
+
+Status QueryExecutor::Register(const TpRelation& rel) {
+  if (rel.name().empty()) {
+    return Status::InvalidArgument("relations must be named to be registered");
+  }
+  if (rel.context() != ctx_) {
+    return Status::InvalidArgument("relation '" + rel.name() +
+                                   "' belongs to a different context");
+  }
+  TPSET_RETURN_NOT_OK(ValidateWellFormed(rel));
+  TPSET_RETURN_NOT_OK(ValidateDuplicateFree(rel));
+  if (catalog_.count(rel.name()) > 0) {
+    return Status::InvalidArgument("relation '" + rel.name() +
+                                   "' is already registered");
+  }
+  catalog_.emplace(rel.name(), rel);
+  return Status::OK();
+}
+
+Result<const TpRelation*> QueryExecutor::Find(const std::string& name) const {
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no relation named '" + name + "' is registered");
+  }
+  return &it->second;
+}
+
+Result<TpRelation> QueryExecutor::Execute(const std::string& query,
+                                          const SetOpAlgorithm* algorithm) const {
+  Result<QueryPtr> parsed = ParseQuery(query);
+  if (!parsed.ok()) return parsed.status();
+  return Execute(**parsed, algorithm);
+}
+
+Result<TpRelation> QueryExecutor::Execute(const QueryNode& query,
+                                          const SetOpAlgorithm* algorithm) const {
+  if (algorithm == nullptr) algorithm = FindAlgorithm("LAWA");
+  if (query.kind == QueryNode::Kind::kRelation) {
+    Result<const TpRelation*> rel = Find(query.relation_name);
+    if (!rel.ok()) return rel.status();
+    return **rel;
+  }
+  if (!algorithm->Supports(query.op)) {
+    return Status::NotSupported("algorithm " + algorithm->name() +
+                                " does not support TP set " +
+                                SetOpName(query.op) + " (Table II)");
+  }
+  Result<TpRelation> left = Execute(*query.left, algorithm);
+  if (!left.ok()) return left;
+  Result<TpRelation> right = Execute(*query.right, algorithm);
+  if (!right.ok()) return right;
+  return algorithm->Compute(query.op, *left, *right);
+}
+
+}  // namespace tpset

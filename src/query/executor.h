@@ -1,0 +1,48 @@
+// Execution of TP set queries over a named catalog of relations.
+#ifndef TPSET_QUERY_EXECUTOR_H_
+#define TPSET_QUERY_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/algorithm.h"
+#include "common/status.h"
+#include "query/ast.h"
+#include "relation/relation.h"
+
+namespace tpset {
+
+/// Evaluates TP set queries bottom-up with a pluggable set-operation
+/// algorithm (LAWA by default; any Table II approach that supports every
+/// operator in the query can be chosen for comparison).
+class QueryExecutor {
+ public:
+  /// All registered relations must share this context.
+  explicit QueryExecutor(std::shared_ptr<TpContext> ctx) : ctx_(std::move(ctx)) {}
+
+  /// Registers a relation under `rel.name()` (must be non-empty, unique,
+  /// same context, duplicate-free).
+  Status Register(const TpRelation& rel);
+
+  /// Parses and executes a textual query ("c - (a | b)").
+  Result<TpRelation> Execute(const std::string& query,
+                             const SetOpAlgorithm* algorithm = nullptr) const;
+
+  /// Executes a query tree.
+  Result<TpRelation> Execute(const QueryNode& query,
+                             const SetOpAlgorithm* algorithm = nullptr) const;
+
+  /// Looks up a registered relation.
+  Result<const TpRelation*> Find(const std::string& name) const;
+
+  const std::shared_ptr<TpContext>& context() const { return ctx_; }
+
+ private:
+  std::shared_ptr<TpContext> ctx_;
+  std::map<std::string, TpRelation> catalog_;
+};
+
+}  // namespace tpset
+
+#endif  // TPSET_QUERY_EXECUTOR_H_

@@ -1,0 +1,72 @@
+#include "query/explain.h"
+
+#include <set>
+#include <sstream>
+
+#include "lawa/set_ops.h"
+#include "query/analyzer.h"
+#include "query/parser.h"
+
+namespace tpset {
+
+namespace {
+
+std::size_t DistinctFacts(const TpRelation& r, const TpRelation& s) {
+  std::set<FactId> facts;
+  for (const TpTuple& t : r.tuples()) facts.insert(t.fact);
+  for (const TpTuple& t : s.tuples()) facts.insert(t.fact);
+  return facts.size();
+}
+
+Result<TpRelation> Explain(const QueryExecutor& exec, const QueryNode& q,
+                           int depth, std::ostringstream* out) {
+  std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  if (q.kind == QueryNode::Kind::kRelation) {
+    Result<const TpRelation*> rel = exec.Find(q.relation_name);
+    if (!rel.ok()) return rel.status();
+    *out << indent << "relation " << q.relation_name << "  [" << (*rel)->size()
+         << " tuples]\n";
+    return **rel;
+  }
+  // Reserve the line for this node, fill in after the children are known.
+  Result<TpRelation> left = Explain(exec, *q.left, depth + 1, out);
+  if (!left.ok()) return left;
+  Result<TpRelation> right = Explain(exec, *q.right, depth + 1, out);
+  if (!right.ok()) return right;
+
+  LawaStats stats;
+  TpRelation result = LawaSetOp(q.op, *left, *right, SortMode::kComparison, &stats);
+  std::size_t bound =
+      2 * left->size() + 2 * right->size() - DistinctFacts(*left, *right);
+  // Children were streamed into `out` first; emit this node after them with
+  // the depth marker so the tree still reads top-down per level.
+  *out << indent << SetOpName(q.op) << "  [out=" << result.size()
+       << ", windows=" << stats.windows_produced << "/" << bound << "(bound)]\n";
+  return result;
+}
+
+}  // namespace
+
+Result<std::string> ExplainQuery(const QueryExecutor& exec,
+                                 const QueryNode& query) {
+  std::ostringstream out;
+  out << "query: " << QueryToString(query) << "\n";
+  Result<TpRelation> result = Explain(exec, query, 0, &out);
+  if (!result.ok()) return result.status();
+  bool non_repeating = IsNonRepeating(query);
+  out << "non-repeating: " << (non_repeating ? "yes" : "no")
+      << " -> valuation: "
+      << (non_repeating ? "read-once (linear, exact by Theorem 1)"
+                        : "Shannon expansion (exact; #P-hard in general)")
+      << "\n";
+  return out.str();
+}
+
+Result<std::string> ExplainQuery(const QueryExecutor& exec,
+                                 const std::string& query) {
+  Result<QueryPtr> parsed = ParseQuery(query);
+  if (!parsed.ok()) return parsed.status();
+  return ExplainQuery(exec, **parsed);
+}
+
+}  // namespace tpset

@@ -1,0 +1,33 @@
+// EXPLAIN for TP set queries: executes the plan bottom-up and annotates
+// every node with its cardinalities, LAWA window counts (against the
+// Proposition 1 bound) and the recommended probability-valuation method.
+#ifndef TPSET_QUERY_EXPLAIN_H_
+#define TPSET_QUERY_EXPLAIN_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/ast.h"
+#include "query/executor.h"
+
+namespace tpset {
+
+/// Renders an indented plan tree like:
+///
+///   except  [out=5, windows=8/9(bound)]
+///     relation c  [4 tuples]
+///     union  [out=6, windows=8/11(bound)]
+///       relation a  [3 tuples]
+///       relation b  [2 tuples]
+///   non-repeating: yes -> valuation: read-once (linear, exact)
+///
+/// The query is actually executed (with LAWA), so the numbers are exact.
+Result<std::string> ExplainQuery(const QueryExecutor& exec, const QueryNode& query);
+
+/// Parses, then explains.
+Result<std::string> ExplainQuery(const QueryExecutor& exec,
+                                 const std::string& query);
+
+}  // namespace tpset
+
+#endif  // TPSET_QUERY_EXPLAIN_H_

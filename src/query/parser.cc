@@ -1,0 +1,122 @@
+#include "query/parser.h"
+
+#include <cctype>
+
+namespace tpset {
+
+std::string QueryToString(const QueryNode& q) {
+  if (q.kind == QueryNode::Kind::kRelation) return q.relation_name;
+  auto wrap = [](const QueryNode& child, bool need_parens) {
+    std::string s = QueryToString(child);
+    return need_parens ? "(" + s + ")" : s;
+  };
+  const char* sym = q.op == SetOpKind::kUnion      ? " | "
+                    : q.op == SetOpKind::kIntersect ? " & "
+                                                     : " - ";
+  // Parenthesize children of lower precedence, and right-hand children at
+  // equal precedence (the operators associate left).
+  auto prec = [](SetOpKind op) { return op == SetOpKind::kIntersect ? 2 : 1; };
+  bool left_parens = q.left->kind == QueryNode::Kind::kSetOp &&
+                     prec(q.left->op) < prec(q.op);
+  bool right_parens = q.right->kind == QueryNode::Kind::kSetOp &&
+                      prec(q.right->op) <= prec(q.op);
+  return wrap(*q.left, left_parens) + sym + wrap(*q.right, right_parens);
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<QueryPtr> Parse() {
+    Result<QueryPtr> q = ParseUnionExcept();
+    if (!q.ok()) return q;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing input at offset " +
+                                     std::to_string(pos_) + " in '" + text_ + "'");
+    }
+    return q;
+  }
+
+ private:
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Result<QueryPtr> ParseUnionExcept() {
+    Result<QueryPtr> left = ParseIntersect();
+    if (!left.ok()) return left;
+    QueryPtr acc = std::move(*left);
+    while (true) {
+      char c = Peek();
+      if (c != '|' && c != '-') break;
+      ++pos_;
+      Result<QueryPtr> right = ParseIntersect();
+      if (!right.ok()) return right;
+      acc = QueryNode::SetOp(c == '|' ? SetOpKind::kUnion : SetOpKind::kExcept,
+                             std::move(acc), std::move(*right));
+    }
+    return acc;
+  }
+
+  Result<QueryPtr> ParseIntersect() {
+    Result<QueryPtr> left = ParseFactor();
+    if (!left.ok()) return left;
+    QueryPtr acc = std::move(*left);
+    while (Peek() == '&') {
+      ++pos_;
+      Result<QueryPtr> right = ParseFactor();
+      if (!right.ok()) return right;
+      acc = QueryNode::SetOp(SetOpKind::kIntersect, std::move(acc),
+                             std::move(*right));
+    }
+    return acc;
+  }
+
+  Result<QueryPtr> ParseFactor() {
+    char c = Peek();
+    if (c == '(') {
+      ++pos_;
+      Result<QueryPtr> inner = ParseUnionExcept();
+      if (!inner.ok()) return inner;
+      if (Peek() != ')') {
+        return Status::InvalidArgument("expected ')' at offset " +
+                                       std::to_string(pos_) + " in '" + text_ + "'");
+      }
+      ++pos_;
+      return inner;
+    }
+    SkipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected relation name at offset " +
+                                     std::to_string(start) + " in '" + text_ + "'");
+    }
+    return QueryNode::Relation(text_.substr(start, pos_ - start));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<QueryPtr> ParseQuery(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace tpset

@@ -1,0 +1,24 @@
+// Parser for TP set queries in ASCII syntax.
+//
+//   query  := term (('|' | '-') term)*      union / except, left-assoc
+//   term   := factor ('&' factor)*          intersect binds tighter
+//   factor := identifier | '(' query ')'
+//
+// This follows SQL's convention (INTERSECT binds tighter than UNION/EXCEPT,
+// which associate left at equal precedence).
+#ifndef TPSET_QUERY_PARSER_H_
+#define TPSET_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/ast.h"
+
+namespace tpset {
+
+/// Parses `text` into a query tree.
+Result<QueryPtr> ParseQuery(const std::string& text);
+
+}  // namespace tpset
+
+#endif  // TPSET_QUERY_PARSER_H_

@@ -1,0 +1,79 @@
+#include "relation/dedup.h"
+
+#include <algorithm>
+
+namespace tpset {
+
+void MergeDuplicatesByOr(std::vector<TpTuple>* tuples, LineageManager* mgr) {
+  std::sort(tuples->begin(), tuples->end(), FactTimeOrder());
+  std::vector<TpTuple> out;
+  out.reserve(tuples->size());
+  std::vector<TimePoint> bounds;
+  std::vector<std::size_t> active;
+
+  std::size_t i = 0;
+  while (i < tuples->size()) {
+    // One fact group [i, j).
+    std::size_t j = i;
+    while (j < tuples->size() && (*tuples)[j].fact == (*tuples)[i].fact) ++j;
+
+    // Fast path: already disjoint (the common case).
+    bool disjoint = true;
+    for (std::size_t k = i + 1; k < j; ++k) {
+      if ((*tuples)[k - 1].t.Overlaps((*tuples)[k].t)) {
+        disjoint = false;
+        break;
+      }
+    }
+    if (disjoint) {
+      for (std::size_t k = i; k < j; ++k) out.push_back((*tuples)[k]);
+      i = j;
+      continue;
+    }
+
+    bounds.clear();
+    for (std::size_t k = i; k < j; ++k) {
+      bounds.push_back((*tuples)[k].t.start);
+      bounds.push_back((*tuples)[k].t.end);
+    }
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+    active.clear();
+    std::size_t next = i;
+    Interval pending;
+    LineageId pending_lin = kNullLineage;
+    bool have_pending = false;
+    for (std::size_t b = 0; b + 1 < bounds.size(); ++b) {
+      Interval seg(bounds[b], bounds[b + 1]);
+      while (next < j && (*tuples)[next].t.start == seg.start) {
+        active.push_back(next++);
+      }
+      std::erase_if(active, [&](std::size_t k) {
+        return (*tuples)[k].t.end <= seg.start;
+      });
+      LineageId acc = kNullLineage;
+      for (std::size_t k : active) acc = mgr->ConcatOr(acc, (*tuples)[k].lineage);
+      if (acc == kNullLineage) {
+        if (have_pending) {
+          out.push_back({(*tuples)[i].fact, pending, pending_lin});
+          have_pending = false;
+        }
+        continue;
+      }
+      if (have_pending && pending.end == seg.start && pending_lin == acc) {
+        pending.end = seg.end;
+      } else {
+        if (have_pending) out.push_back({(*tuples)[i].fact, pending, pending_lin});
+        pending = seg;
+        pending_lin = acc;
+        have_pending = true;
+      }
+    }
+    if (have_pending) out.push_back({(*tuples)[i].fact, pending, pending_lin});
+    i = j;
+  }
+  tuples->swap(out);
+}
+
+}  // namespace tpset

@@ -1,0 +1,27 @@
+// Re-establishing duplicate-freeness by lineage disjunction.
+//
+// Operations such as projection (and TPDB-style union grounding) can produce
+// several tuples with the same fact and overlapping intervals. Under the
+// possible-worlds semantics the fact then holds at a time point iff *any* of
+// the covering tuples' lineages is true, so the duplicates are resolved by
+// splitting at all boundary points, OR-ing the lineages of the covering
+// tuples, and merging adjacent segments with equivalent lineage (change
+// preservation).
+#ifndef TPSET_RELATION_DEDUP_H_
+#define TPSET_RELATION_DEDUP_H_
+
+#include <vector>
+
+#include "lineage/lineage.h"
+#include "relation/tuple.h"
+
+namespace tpset {
+
+/// Rewrites `tuples` (any order) into a duplicate-free, change-preserved,
+/// (fact, start)-sorted tuple set; same-fact overlaps are OR-merged.
+/// O(n log n) via a per-fact active-set sweep.
+void MergeDuplicatesByOr(std::vector<TpTuple>* tuples, LineageManager* mgr);
+
+}  // namespace tpset
+
+#endif  // TPSET_RELATION_DEDUP_H_

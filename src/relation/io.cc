@@ -1,0 +1,343 @@
+#include "relation/io.h"
+
+#include <fstream>
+
+#include "lineage/parse.h"
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace tpset {
+
+namespace {
+
+std::string FormatProbability(double p) {
+  std::ostringstream os;
+  os << std::setprecision(6) << std::noshowpoint << p;
+  return os.str();
+}
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+}  // namespace
+
+void PrintRelation(std::ostream& os, const TpRelation& rel,
+                   const PrintOptions& opts) {
+  const Schema& schema = rel.schema();
+  std::size_t rows = rel.size();
+  if (opts.max_rows > 0 && rows > opts.max_rows) rows = opts.max_rows;
+
+  std::vector<std::vector<std::string>> cells;
+  std::vector<std::string> header;
+  for (const std::string& n : schema.names()) header.push_back(n);
+  header.push_back("λ");
+  header.push_back("T");
+  if (opts.show_probability) header.push_back("p");
+  cells.push_back(header);
+
+  Rng rng(42);
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<std::string> row;
+    const Fact& f = rel.FactOf(i);
+    for (const Value& v : f) row.push_back(ToString(v));
+    row.push_back(rel.LineageString(i, opts.ascii_lineage));
+    row.push_back(ToString(rel[i].t));
+    if (opts.show_probability) {
+      row.push_back(
+          FormatProbability(rel.TupleProbability(i, opts.method, 10000, &rng)));
+    }
+    cells.push_back(std::move(row));
+  }
+
+  std::vector<std::size_t> widths(cells[0].size(), 0);
+  for (const auto& row : cells) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  if (!rel.name().empty()) os << rel.name() << ":\n";
+  for (std::size_t r = 0; r < cells.size(); ++r) {
+    os << "  ";
+    for (std::size_t c = 0; c < cells[r].size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cells[r][c];
+    }
+    os << '\n';
+    if (r == 0) {
+      os << "  ";
+      std::size_t total = 0;
+      for (std::size_t w : widths) total += w + 2;
+      for (std::size_t i = 0; i < total; ++i) os << '-';
+      os << '\n';
+    }
+  }
+  if (rows < rel.size()) {
+    os << "  ... (" << rel.size() - rows << " more rows)\n";
+  }
+}
+
+std::string RelationToString(const TpRelation& rel, const PrintOptions& opts) {
+  std::ostringstream os;
+  PrintRelation(os, rel, opts);
+  return os.str();
+}
+
+Status WriteCsv(const TpRelation& rel, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  const Schema& schema = rel.schema();
+  const LineageManager& mgr = rel.context()->lineage();
+  for (std::size_t c = 0; c < schema.num_attributes(); ++c) {
+    const char* type = "str";
+    switch (schema.types()[c]) {
+      case ValueType::kInt64: type = "int"; break;
+      case ValueType::kDouble: type = "float"; break;
+      case ValueType::kString: type = "str"; break;
+    }
+    out << schema.names()[c] << ':' << type << ',';
+  }
+  out << "ts,te,p,var\n";
+  for (std::size_t i = 0; i < rel.size(); ++i) {
+    const TpTuple& t = rel[i];
+    const LineageNode& node = mgr.node(t.lineage);
+    if (node.kind != LineageKind::kVar) {
+      return Status::NotSupported(
+          "WriteCsv requires base tuples with atomic lineage (tuple " +
+          std::to_string(i) + " is derived)");
+    }
+    const Fact& f = rel.FactOf(i);
+    for (const Value& v : f) {
+      switch (TypeOf(v)) {
+        case ValueType::kInt64: out << std::get<std::int64_t>(v); break;
+        case ValueType::kDouble: out << std::get<double>(v); break;
+        case ValueType::kString: out << std::get<std::string>(v); break;
+      }
+      out << ',';
+    }
+    out << t.t.start << ',' << t.t.end << ','
+        << FormatProbability(rel.context()->vars().probability(node.var)) << ','
+        << rel.context()->vars().name(node.var) << '\n';
+  }
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Status WriteDerivedCsv(const TpRelation& rel, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  const Schema& schema = rel.schema();
+  for (std::size_t c = 0; c < schema.num_attributes(); ++c) {
+    const char* type = "str";
+    switch (schema.types()[c]) {
+      case ValueType::kInt64: type = "int"; break;
+      case ValueType::kDouble: type = "float"; break;
+      case ValueType::kString: type = "str"; break;
+    }
+    out << schema.names()[c] << ':' << type << ',';
+  }
+  out << "ts,te,lineage\n";
+  for (std::size_t i = 0; i < rel.size(); ++i) {
+    const Fact& f = rel.FactOf(i);
+    for (const Value& v : f) {
+      switch (TypeOf(v)) {
+        case ValueType::kInt64: out << std::get<std::int64_t>(v); break;
+        case ValueType::kDouble: out << std::get<double>(v); break;
+        case ValueType::kString: out << std::get<std::string>(v); break;
+      }
+      out << ',';
+    }
+    out << rel[i].t.start << ',' << rel[i].t.end << ','
+        << rel.LineageString(i, /*ascii=*/true) << '\n';
+  }
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<TpRelation> ReadDerivedCsv(const std::string& path,
+                                  std::shared_ptr<TpContext> ctx,
+                                  const std::string& relation_name) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::string line;
+  if (!std::getline(in, line)) return Status::IoError("'" + path + "' is empty");
+
+  std::vector<std::string> header = SplitCsvLine(line);
+  if (header.size() < 4 || header[header.size() - 1] != "lineage") {
+    return Status::Corruption("'" + path + "': header must end in ts,te,lineage");
+  }
+  std::size_t num_attrs = header.size() - 3;
+  std::vector<std::string> names;
+  std::vector<ValueType> types;
+  for (std::size_t c = 0; c < num_attrs; ++c) {
+    std::size_t colon = header[c].find(':');
+    if (colon == std::string::npos) {
+      return Status::Corruption("'" + path + "': attribute '" + header[c] +
+                                "' lacks a :type suffix");
+    }
+    names.push_back(header[c].substr(0, colon));
+    std::string type = header[c].substr(colon + 1);
+    if (type == "int") {
+      types.push_back(ValueType::kInt64);
+    } else if (type == "float") {
+      types.push_back(ValueType::kDouble);
+    } else if (type == "str") {
+      types.push_back(ValueType::kString);
+    } else {
+      return Status::Corruption("'" + path + "': unknown type '" + type + "'");
+    }
+  }
+
+  TpRelation rel(ctx, Schema(names, types), relation_name);
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != num_attrs + 3) {
+      return Status::Corruption("'" + path + "' line " + std::to_string(line_no) +
+                                ": expected " + std::to_string(num_attrs + 3) +
+                                " fields, got " + std::to_string(fields.size()));
+    }
+    Fact fact;
+    for (std::size_t c = 0; c < num_attrs; ++c) {
+      try {
+        switch (types[c]) {
+          case ValueType::kInt64:
+            fact.emplace_back(static_cast<std::int64_t>(std::stoll(fields[c])));
+            break;
+          case ValueType::kDouble:
+            fact.emplace_back(std::stod(fields[c]));
+            break;
+          case ValueType::kString:
+            fact.emplace_back(fields[c]);
+            break;
+        }
+      } catch (const std::exception&) {
+        return Status::Corruption("'" + path + "' line " + std::to_string(line_no) +
+                                  ": cannot parse value '" + fields[c] + "'");
+      }
+    }
+    TimePoint ts, te;
+    try {
+      ts = std::stoll(fields[num_attrs]);
+      te = std::stoll(fields[num_attrs + 1]);
+    } catch (const std::exception&) {
+      return Status::Corruption("'" + path + "' line " + std::to_string(line_no) +
+                                ": cannot parse ts/te");
+    }
+    if (ts >= te) {
+      return Status::Corruption("'" + path + "' line " + std::to_string(line_no) +
+                                ": empty interval");
+    }
+    Result<LineageId> lineage =
+        ParseLineage(fields[num_attrs + 2], &ctx->lineage(), ctx->vars());
+    if (!lineage.ok()) {
+      return Status::Corruption("'" + path + "' line " + std::to_string(line_no) +
+                                ": " + lineage.status().message());
+    }
+    if (*lineage == kNullLineage) {
+      return Status::Corruption("'" + path + "' line " + std::to_string(line_no) +
+                                ": tuples cannot carry null lineage");
+    }
+    rel.AddDerived(ctx->facts().Intern(fact), Interval(ts, te), *lineage);
+  }
+  return rel;
+}
+
+Result<TpRelation> ReadCsv(const std::string& path, std::shared_ptr<TpContext> ctx,
+                           const std::string& relation_name) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::string line;
+  if (!std::getline(in, line)) return Status::IoError("'" + path + "' is empty");
+
+  std::vector<std::string> header = SplitCsvLine(line);
+  if (header.size() < 4) {
+    return Status::Corruption("'" + path + "': header must end in ts,te,p,var");
+  }
+  std::size_t num_attrs = header.size() - 4;
+  std::vector<std::string> names;
+  std::vector<ValueType> types;
+  for (std::size_t c = 0; c < num_attrs; ++c) {
+    std::size_t colon = header[c].find(':');
+    if (colon == std::string::npos) {
+      return Status::Corruption("'" + path + "': attribute '" + header[c] +
+                                "' lacks a :type suffix");
+    }
+    names.push_back(header[c].substr(0, colon));
+    std::string type = header[c].substr(colon + 1);
+    if (type == "int") {
+      types.push_back(ValueType::kInt64);
+    } else if (type == "float") {
+      types.push_back(ValueType::kDouble);
+    } else if (type == "str") {
+      types.push_back(ValueType::kString);
+    } else {
+      return Status::Corruption("'" + path + "': unknown type '" + type + "'");
+    }
+  }
+
+  TpRelation rel(std::move(ctx), Schema(names, types), relation_name);
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != num_attrs + 4) {
+      return Status::Corruption("'" + path + "' line " + std::to_string(line_no) +
+                                ": expected " + std::to_string(num_attrs + 4) +
+                                " fields, got " + std::to_string(fields.size()));
+    }
+    Fact fact;
+    for (std::size_t c = 0; c < num_attrs; ++c) {
+      try {
+        switch (types[c]) {
+          case ValueType::kInt64:
+            fact.emplace_back(static_cast<std::int64_t>(std::stoll(fields[c])));
+            break;
+          case ValueType::kDouble:
+            fact.emplace_back(std::stod(fields[c]));
+            break;
+          case ValueType::kString:
+            fact.emplace_back(fields[c]);
+            break;
+        }
+      } catch (const std::exception&) {
+        return Status::Corruption("'" + path + "' line " + std::to_string(line_no) +
+                                  ": cannot parse value '" + fields[c] + "'");
+      }
+    }
+    TimePoint ts, te;
+    double p;
+    try {
+      ts = std::stoll(fields[num_attrs]);
+      te = std::stoll(fields[num_attrs + 1]);
+      p = std::stod(fields[num_attrs + 2]);
+    } catch (const std::exception&) {
+      return Status::Corruption("'" + path + "' line " + std::to_string(line_no) +
+                                ": cannot parse ts/te/p");
+    }
+    Result<VarId> added =
+        rel.AddBase(fact, Interval(ts, te), p, fields[num_attrs + 3]);
+    if (!added.ok()) {
+      return Status::Corruption("'" + path + "' line " + std::to_string(line_no) +
+                                ": " + added.status().message());
+    }
+  }
+  return rel;
+}
+
+}  // namespace tpset

@@ -1,0 +1,58 @@
+// Pretty-printing (paper-style tables) and CSV persistence for TP relations.
+#ifndef TPSET_RELATION_IO_H_
+#define TPSET_RELATION_IO_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "relation/relation.h"
+
+namespace tpset {
+
+/// Options for PrintRelation.
+struct PrintOptions {
+  bool show_probability = true;     ///< add the p column (read-once valuation)
+  bool ascii_lineage = false;       ///< use &,|,! instead of ∧,∨,¬
+  ProbabilityMethod method = ProbabilityMethod::kReadOnce;
+  std::size_t max_rows = 0;         ///< 0 = unlimited
+};
+
+/// Renders the relation as a fixed-width table in the style of the paper's
+/// Fig. 1: one row per tuple with columns F..., λ, T, p.
+void PrintRelation(std::ostream& os, const TpRelation& rel,
+                   const PrintOptions& opts = {});
+
+/// Convenience: PrintRelation into a string.
+std::string RelationToString(const TpRelation& rel, const PrintOptions& opts = {});
+
+/// Writes a relation as CSV. First line is a header naming the conventional
+/// attributes with their types plus the fixed columns:
+///   attr1:str,attr2:int,...,ts,te,p,var
+/// Base-tuple rows store the variable's probability and (optional) name.
+/// Only relations of base tuples (atomic lineages) can round-trip.
+Status WriteCsv(const TpRelation& rel, const std::string& path);
+
+/// Reads a CSV written by WriteCsv (or hand-authored in the same format)
+/// into a new relation in `ctx`, registering one variable per row.
+Result<TpRelation> ReadCsv(const std::string& path, std::shared_ptr<TpContext> ctx,
+                           const std::string& relation_name);
+
+/// Writes a derived relation (arbitrary lineage) as CSV with an ASCII
+/// lineage column:
+///   attr1:str,...,ts,te,lineage
+/// Variable names must be stable to round-trip (anonymous variables print
+/// as x<id>). String values must not contain commas.
+Status WriteDerivedCsv(const TpRelation& rel, const std::string& path);
+
+/// Reads a derived-relation CSV. Lineage expressions are parsed against the
+/// variables already registered in `ctx` (load the base relations first);
+/// unknown variable names are an error.
+Result<TpRelation> ReadDerivedCsv(const std::string& path,
+                                  std::shared_ptr<TpContext> ctx,
+                                  const std::string& relation_name);
+
+}  // namespace tpset
+
+#endif  // TPSET_RELATION_IO_H_

@@ -1,0 +1,121 @@
+// TpContext (shared database state) and TpRelation (a set of TP tuples).
+#ifndef TPSET_RELATION_RELATION_H_
+#define TPSET_RELATION_RELATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fact_dictionary.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "common/value.h"
+#include "lineage/lineage.h"
+#include "relation/tuple.h"
+
+namespace tpset {
+
+/// Shared state of one TP database: the fact dictionary, the Boolean
+/// variables of all base tuples, and the lineage arena. Every relation that
+/// participates in one query must share one context (facts and lineages are
+/// only comparable within a context).
+class TpContext {
+ public:
+  /// `hash_consing` is forwarded to the LineageManager; see lineage.h.
+  explicit TpContext(bool hash_consing = true) : lineage_(hash_consing) {}
+
+  TpContext(const TpContext&) = delete;
+  TpContext& operator=(const TpContext&) = delete;
+
+  FactDictionary& facts() { return facts_; }
+  const FactDictionary& facts() const { return facts_; }
+  VarTable& vars() { return vars_; }
+  const VarTable& vars() const { return vars_; }
+  LineageManager& lineage() { return lineage_; }
+  const LineageManager& lineage() const { return lineage_; }
+
+ private:
+  FactDictionary facts_;
+  VarTable vars_;
+  LineageManager lineage_;
+};
+
+/// How to valuate a lineage into a probability (see lineage/eval.h).
+enum class ProbabilityMethod {
+  kReadOnce,    ///< linear; exact for 1OF lineages (non-repeating queries)
+  kExact,       ///< Shannon expansion; exact for all lineages
+  kMonteCarlo,  ///< sampling approximation
+};
+
+/// A temporal-probabilistic relation: a finite set of TP tuples plus the
+/// schema of its conventional attributes. Tuples reference state in the
+/// shared TpContext.
+class TpRelation {
+ public:
+  TpRelation() = default;
+  TpRelation(std::shared_ptr<TpContext> ctx, Schema schema, std::string name = "")
+      : ctx_(std::move(ctx)), schema_(std::move(schema)), name_(std::move(name)) {}
+
+  const std::shared_ptr<TpContext>& context() const { return ctx_; }
+  const Schema& schema() const { return schema_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  std::size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const std::vector<TpTuple>& tuples() const { return tuples_; }
+  std::vector<TpTuple>& mutable_tuples() { return tuples_; }
+  const TpTuple& operator[](std::size_t i) const { return tuples_[i]; }
+
+  /// Adds a base tuple: interns the fact, registers a fresh Boolean variable
+  /// with probability p (named `var_name` if non-empty), and stores the tuple
+  /// with an atomic lineage. Returns the variable id.
+  Result<VarId> AddBase(const Fact& fact, Interval iv, double p,
+                        const std::string& var_name = "");
+
+  /// Adds a base tuple for an already-interned fact (bulk/generator path;
+  /// skips schema validation). Returns the fresh variable id.
+  VarId AddBaseFast(FactId fact, Interval iv, double p);
+
+  /// Adds a derived tuple with an existing lineage (algorithm output path).
+  void AddDerived(FactId fact, Interval iv, LineageId lineage);
+
+  /// Sorts tuples into the (fact, start) order required by LAWA.
+  void SortFactTime();
+
+  /// True iff tuples are in (fact, start) order.
+  bool IsSortedFactTime() const;
+
+  /// Probability of tuple i under the chosen method. Monte-Carlo uses
+  /// `samples` draws from `rng` (required for kMonteCarlo only).
+  double TupleProbability(std::size_t i,
+                          ProbabilityMethod method = ProbabilityMethod::kReadOnce,
+                          std::size_t samples = 10000, Rng* rng = nullptr) const;
+
+  /// The fact values of tuple i.
+  const Fact& FactOf(std::size_t i) const {
+    return ctx_->facts().Get(tuples_[i].fact);
+  }
+
+  /// Lineage of tuple i rendered with variable names.
+  std::string LineageString(std::size_t i, bool ascii = false) const {
+    return ctx_->lineage().ToString(tuples_[i].lineage, ctx_->vars(), ascii);
+  }
+
+ private:
+  std::shared_ptr<TpContext> ctx_;
+  Schema schema_;
+  std::string name_;
+  std::vector<TpTuple> tuples_;
+};
+
+/// Order-insensitive equivalence of two relations sharing one context:
+/// same tuple multiset where lineages are compared up to commutativity /
+/// associativity (LineageManager::CanonicalKey). Used by tests to compare
+/// outputs of different algorithms.
+bool RelationsEquivalent(const TpRelation& a, const TpRelation& b);
+
+}  // namespace tpset
+
+#endif  // TPSET_RELATION_RELATION_H_

@@ -1,0 +1,149 @@
+#include "relation/snapshot.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace tpset {
+
+namespace {
+
+// Applies the Def. 3 filter and Table I concatenation for one fact at one
+// segment. Returns kNullLineage when the segment yields no output.
+LineageId CombineOrReject(SetOpKind op, LineageManager& mgr, LineageId lr,
+                          LineageId ls) {
+  switch (op) {
+    case SetOpKind::kUnion:
+      if (lr == kNullLineage && ls == kNullLineage) return kNullLineage;
+      return mgr.ConcatOr(lr, ls);
+    case SetOpKind::kIntersect:
+      if (lr == kNullLineage || ls == kNullLineage) return kNullLineage;
+      return mgr.ConcatAnd(lr, ls);
+    case SetOpKind::kExcept:
+      if (lr == kNullLineage) return kNullLineage;
+      return mgr.ConcatAndNot(lr, ls);
+  }
+  return kNullLineage;
+}
+
+// Per-fact inputs: the (interval, lineage) pairs of each side.
+struct FactInputs {
+  std::vector<std::pair<Interval, LineageId>> from_r;
+  std::vector<std::pair<Interval, LineageId>> from_s;
+};
+
+// λ^{rel,f}_t: lineage of the unique tuple covering t, or null.
+LineageId LineageAt(const std::vector<std::pair<Interval, LineageId>>& side,
+                    TimePoint t) {
+  for (const auto& [iv, lin] : side) {
+    if (iv.Contains(t)) return lin;
+  }
+  return kNullLineage;
+}
+
+}  // namespace
+
+TpRelation TimesliceRelation(const TpRelation& rel, TimePoint t) {
+  TpRelation out(rel.context(), rel.schema(), rel.name() + "@" + std::to_string(t));
+  for (const TpTuple& tup : rel.tuples()) {
+    if (tup.t.Contains(t)) out.AddDerived(tup.fact, Interval(t, t + 1), tup.lineage);
+  }
+  return out;
+}
+
+std::vector<std::pair<FactId, LineageId>> SnapshotSetOp(SetOpKind op,
+                                                        const TpRelation& r,
+                                                        const TpRelation& s,
+                                                        TimePoint t) {
+  assert(r.context() == s.context());
+  LineageManager& mgr = r.context()->lineage();
+  // λ^{r,f}_t and λ^{s,f}_t per fact (duplicate-free inputs guarantee at
+  // most one valid tuple per fact and side).
+  std::vector<std::pair<FactId, LineageId>> out;
+  std::map<FactId, LineageId> r_at, s_at;
+  for (const TpTuple& tup : r.tuples()) {
+    if (tup.t.Contains(t)) r_at[tup.fact] = tup.lineage;
+  }
+  for (const TpTuple& tup : s.tuples()) {
+    if (tup.t.Contains(t)) s_at[tup.fact] = tup.lineage;
+  }
+  std::map<FactId, std::pair<LineageId, LineageId>> merged;
+  for (const auto& [f, l] : r_at) merged[f] = {l, kNullLineage};
+  for (const auto& [f, l] : s_at) {
+    auto it = merged.find(f);
+    if (it == merged.end()) {
+      merged[f] = {kNullLineage, l};
+    } else {
+      it->second.second = l;
+    }
+  }
+  for (const auto& [f, pair] : merged) {
+    LineageId combined = CombineOrReject(op, mgr, pair.first, pair.second);
+    if (combined != kNullLineage) out.emplace_back(f, combined);
+  }
+  return out;
+}
+
+TpRelation ReferenceSetOp(SetOpKind op, const TpRelation& r, const TpRelation& s) {
+  assert(r.context() == s.context());
+  LineageManager& mgr = r.context()->lineage();
+  TpRelation out(r.context(), r.schema(),
+                 "(" + r.name() + " " + SetOpName(op) + " " + s.name() + ")");
+
+  // Group both inputs by fact.
+  std::map<FactId, FactInputs> by_fact;
+  for (const TpTuple& tup : r.tuples()) {
+    by_fact[tup.fact].from_r.emplace_back(tup.t, tup.lineage);
+  }
+  for (const TpTuple& tup : s.tuples()) {
+    by_fact[tup.fact].from_s.emplace_back(tup.t, tup.lineage);
+  }
+
+  for (const auto& [fact, inputs] : by_fact) {
+    // All boundary points of this fact, ascending and distinct.
+    std::vector<TimePoint> bounds;
+    for (const auto& [iv, lin] : inputs.from_r) {
+      bounds.push_back(iv.start);
+      bounds.push_back(iv.end);
+    }
+    for (const auto& [iv, lin] : inputs.from_s) {
+      bounds.push_back(iv.start);
+      bounds.push_back(iv.end);
+    }
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+    // Evaluate each elementary segment; merge adjacent segments whose output
+    // lineage is syntactically equal (change preservation). Hash-consing
+    // makes syntactic equality an id comparison.
+    Interval pending;
+    LineageId pending_lin = kNullLineage;
+    bool have_pending = false;
+    for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+      Interval seg(bounds[i], bounds[i + 1]);
+      LineageId lr = LineageAt(inputs.from_r, seg.start);
+      LineageId ls = LineageAt(inputs.from_s, seg.start);
+      LineageId combined = CombineOrReject(op, mgr, lr, ls);
+      if (combined == kNullLineage) {
+        if (have_pending) {
+          out.AddDerived(fact, pending, pending_lin);
+          have_pending = false;
+        }
+        continue;
+      }
+      if (have_pending && pending.end == seg.start && pending_lin == combined) {
+        pending.end = seg.end;  // merge (Def. 2)
+      } else {
+        if (have_pending) out.AddDerived(fact, pending, pending_lin);
+        pending = seg;
+        pending_lin = combined;
+        have_pending = true;
+      }
+    }
+    if (have_pending) out.AddDerived(fact, pending, pending_lin);
+  }
+  out.SortFactTime();
+  return out;
+}
+
+}  // namespace tpset

@@ -1,0 +1,40 @@
+// Snapshot semantics: the timeslice operator τpt and a literal, per-time-point
+// reference implementation of the TP set operations (Defs. 1-3).
+//
+// The reference evaluator executes the definitions directly: it enumerates
+// the lineage λ^{r,f}_t of each fact at each relevant time point, applies the
+// per-operation filter and lineage-concatenation function (Table I), and then
+// merges consecutive time points with syntactically equal lineage into
+// maximal intervals (change preservation, Def. 2). It is the oracle against
+// which LAWA and all baselines are property-tested; it is O(n^2)-ish and only
+// suitable for tests.
+#ifndef TPSET_RELATION_SNAPSHOT_H_
+#define TPSET_RELATION_SNAPSHOT_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/setop.h"
+#include "relation/relation.h"
+
+namespace tpset {
+
+/// The timeslice operator τpt: all tuples valid at t, with interval [t, t+1)
+/// (paper §IV). The result shares the input's context.
+TpRelation TimesliceRelation(const TpRelation& rel, TimePoint t);
+
+/// The probabilistic snapshot set operation opp applied to the timeslices of
+/// r and s at time t: returns the (fact, lineage) pairs that Def. 3 admits at
+/// t. Requires duplicate-free inputs.
+std::vector<std::pair<FactId, LineageId>> SnapshotSetOp(SetOpKind op,
+                                                        const TpRelation& r,
+                                                        const TpRelation& s,
+                                                        TimePoint t);
+
+/// Literal implementation of Def. 3 + Def. 2 over all time points.
+/// Result tuples are sorted by (fact, start). Test oracle only.
+TpRelation ReferenceSetOp(SetOpKind op, const TpRelation& r, const TpRelation& s);
+
+}  // namespace tpset
+
+#endif  // TPSET_RELATION_SNAPSHOT_H_

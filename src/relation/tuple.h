@@ -1,0 +1,39 @@
+// The TP tuple: (F, λ, T) with the probability attribute factored out.
+//
+// Paper schema: RTp(F, λ, T, p). In this implementation the probability p of
+// a *base* tuple is stored once in the VarTable (it is the marginal of the
+// tuple's Boolean variable), and the probability of a *derived* tuple is a
+// valuation of its lineage — so the in-memory tuple needs only the interned
+// fact, the interval, and the lineage id (24 bytes, trivially copyable).
+#ifndef TPSET_RELATION_TUPLE_H_
+#define TPSET_RELATION_TUPLE_H_
+
+#include "common/interval.h"
+#include "common/types.h"
+
+namespace tpset {
+
+/// One tuple of a TP relation.
+struct TpTuple {
+  FactId fact = kInvalidFact;
+  Interval t;
+  LineageId lineage = kNullLineage;
+
+  friend constexpr bool operator==(const TpTuple& a, const TpTuple& b) {
+    return a.fact == b.fact && a.t == b.t && a.lineage == b.lineage;
+  }
+};
+
+/// The sort order required by LAWA: by fact, then by interval start.
+/// (End point breaks ties deterministically.)
+struct FactTimeOrder {
+  constexpr bool operator()(const TpTuple& a, const TpTuple& b) const {
+    if (a.fact != b.fact) return a.fact < b.fact;
+    if (a.t.start != b.t.start) return a.t.start < b.t.start;
+    return a.t.end < b.t.end;
+  }
+};
+
+}  // namespace tpset
+
+#endif  // TPSET_RELATION_TUPLE_H_

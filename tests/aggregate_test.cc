@@ -1,0 +1,126 @@
+// Expected-value temporal aggregation.
+#include <gtest/gtest.h>
+
+#include "algebra/aggregate.h"
+#include "datagen/synthetic.h"
+#include "tests/test_util.h"
+
+namespace tpset {
+namespace {
+
+using testing::MakeRelation;
+using testing::SupermarketDb;
+
+// Brute-force expectation at a single time point.
+double ExpectedAt(const TpRelation& rel, TimePoint t) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < rel.size(); ++i) {
+    if (rel[i].t.Contains(t)) sum += rel.TupleProbability(i);
+  }
+  return sum;
+}
+
+TEST(AggregateTest, SingleTuple) {
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r = MakeRelation(ctx, "r", {{"f", "r1", 2, 6, 0.25}});
+  auto series = ExpectedCountSeries(r);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].t, Interval(2, 6));
+  EXPECT_NEAR(series[0].expected_count, 0.25, 1e-12);
+}
+
+TEST(AggregateTest, OverlapAddsExpectations) {
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r = MakeRelation(ctx, "r",
+                              {{"f", "r1", 0, 10, 0.5}, {"g", "r2", 5, 15, 0.25}});
+  auto series = ExpectedCountSeries(r);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0].t, Interval(0, 5));
+  EXPECT_NEAR(series[0].expected_count, 0.5, 1e-12);
+  EXPECT_EQ(series[1].t, Interval(5, 10));
+  EXPECT_NEAR(series[1].expected_count, 0.75, 1e-12);
+  EXPECT_EQ(series[2].t, Interval(10, 15));
+  EXPECT_NEAR(series[2].expected_count, 0.25, 1e-12);
+}
+
+TEST(AggregateTest, GapsAreOmitted) {
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r = MakeRelation(ctx, "r",
+                              {{"f", "r1", 0, 2, 0.5}, {"f", "r2", 8, 10, 0.5}});
+  auto series = ExpectedCountSeries(r);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].t, Interval(0, 2));
+  EXPECT_EQ(series[1].t, Interval(8, 10));
+}
+
+TEST(AggregateTest, EqualExpectationsMergeAcrossBoundaries) {
+  // Two abutting tuples with the same probability: one step.
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r = MakeRelation(ctx, "r",
+                              {{"f", "r1", 0, 5, 0.5}, {"f", "r2", 5, 10, 0.5}});
+  auto series = ExpectedCountSeries(r);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].t, Interval(0, 10));
+  EXPECT_NEAR(series[0].expected_count, 0.5, 1e-12);
+}
+
+TEST(AggregateTest, MatchesBruteForceOnRandomData) {
+  auto ctx = std::make_shared<TpContext>();
+  Rng rng(2718);
+  SyntheticSpec spec;
+  spec.num_tuples = 300;
+  spec.num_facts = 6;
+  spec.max_interval_length = 9;
+  spec.max_time_distance = 2;
+  TpRelation rel = GenerateSynthetic(ctx, spec, "r", &rng);
+  auto series = ExpectedCountSeries(rel);
+  // Series steps are disjoint, sorted, non-zero, and agree with the
+  // per-time-point brute force at sampled points.
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LE(series[i - 1].t.end, series[i].t.start);
+  }
+  for (const ExpectedCountStep& step : series) {
+    EXPECT_GT(step.expected_count, 0.0);
+    EXPECT_NEAR(step.expected_count, ExpectedAt(rel, step.t.start), 1e-9);
+    EXPECT_NEAR(step.expected_count, ExpectedAt(rel, step.t.end - 1), 1e-9);
+  }
+  // Points in gaps have expectation ~0.
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    if (series[i - 1].t.end < series[i].t.start) {
+      EXPECT_NEAR(ExpectedAt(rel, series[i - 1].t.end), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(AggregateTest, SupermarketSeries) {
+  SupermarketDb db;
+  auto series = ExpectedCountSeries(db.c);
+  // c: milk .6 [1,4), milk .7 [6,8), chips .7 [4,5), chips .8 [7,9).
+  ASSERT_EQ(series.size(), 5u);
+  EXPECT_EQ(series[0].t, Interval(1, 4));
+  EXPECT_NEAR(series[0].expected_count, 0.6, 1e-12);
+  EXPECT_EQ(series[1].t, Interval(4, 5));
+  EXPECT_NEAR(series[1].expected_count, 0.7, 1e-12);
+  EXPECT_EQ(series[3].t, Interval(7, 8));
+  EXPECT_NEAR(series[3].expected_count, 1.5, 1e-12) << "milk c2 + chips c4";
+}
+
+TEST(AggregateTest, ExpectedDurationPerFact) {
+  SupermarketDb db;
+  auto durations = ExpectedDurationPerFact(db.a);
+  // a: milk .3 [2,10) -> 2.4; chips .8 [4,7) -> 2.4; dates .6 [1,3) -> 1.2.
+  ASSERT_EQ(durations.size(), 3u);
+  EXPECT_NEAR(durations[0].second, 0.3 * 8, 1e-12);
+  EXPECT_NEAR(durations[1].second, 0.8 * 3, 1e-12);
+  EXPECT_NEAR(durations[2].second, 0.6 * 2, 1e-12);
+}
+
+TEST(AggregateTest, EmptyRelation) {
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation rel(ctx, Schema::SingleString("Product"), "r");
+  EXPECT_TRUE(ExpectedCountSeries(rel).empty());
+  EXPECT_TRUE(ExpectedDurationPerFact(rel).empty());
+}
+
+}  // namespace
+}  // namespace tpset

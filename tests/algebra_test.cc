@@ -1,0 +1,241 @@
+// Algebra extensions: selection, projection with OR-merging duplicate
+// elimination, coalescing, and the streaming set-operation cursor.
+#include <gtest/gtest.h>
+
+#include "algebra/cursor.h"
+#include "algebra/select_project.h"
+#include "datagen/synthetic.h"
+#include "lawa/set_ops.h"
+#include "lineage/eval.h"
+#include "relation/dedup.h"
+#include "relation/validate.h"
+#include "tests/test_util.h"
+
+namespace tpset {
+namespace {
+
+using testing::MakeRelation;
+using testing::SupermarketDb;
+
+// ---- selection ----
+
+TEST(SelectTest, FiltersByPredicate) {
+  SupermarketDb db;
+  TpRelation milk = Select(db.c, [](const Fact& f) {
+    return std::get<std::string>(f[0]) == "milk";
+  });
+  EXPECT_EQ(milk.size(), 2u);
+  for (std::size_t i = 0; i < milk.size(); ++i) {
+    EXPECT_EQ(ToString(milk.FactOf(i)), "'milk'");
+  }
+}
+
+TEST(SelectTest, SelectEqualsValidatesSchema) {
+  SupermarketDb db;
+  Result<TpRelation> ok = SelectEquals(db.c, 0, Value(std::string("chips")));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 2u);
+  EXPECT_FALSE(SelectEquals(db.c, 1, Value(std::string("x"))).ok())
+      << "attribute out of range";
+  EXPECT_FALSE(SelectEquals(db.c, 0, Value(std::int64_t{1})).ok())
+      << "type mismatch";
+}
+
+TEST(SelectTest, PaperFig6ViaSelection) {
+  SupermarketDb db;
+  Value milk{std::string("milk")};
+  TpRelation d = LawaExcept(*SelectEquals(db.c, 0, milk),
+                            *SelectEquals(db.a, 0, milk));
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.LineageString(0), "c1");
+  EXPECT_EQ(d.LineageString(1), "c1∧¬a1");
+  EXPECT_EQ(d.LineageString(2), "c2∧¬a1");
+}
+
+// ---- dedup / projection ----
+
+TEST(DedupTest, MergesOverlapsByOr) {
+  auto ctx = std::make_shared<TpContext>();
+  LineageManager& mgr = ctx->lineage();
+  VarId x = ctx->vars().Add(0.5);
+  VarId y = ctx->vars().Add(0.5);
+  FactId f = ctx->facts().Intern({Value(std::string("f"))});
+  std::vector<TpTuple> tuples = {
+      {f, Interval(0, 10), mgr.MakeVar(x)},
+      {f, Interval(5, 15), mgr.MakeVar(y)},
+  };
+  MergeDuplicatesByOr(&tuples, &mgr);
+  ASSERT_EQ(tuples.size(), 3u);
+  EXPECT_EQ(tuples[0].t, Interval(0, 5));
+  EXPECT_EQ(tuples[0].lineage, mgr.MakeVar(x));
+  EXPECT_EQ(tuples[1].t, Interval(5, 10));
+  EXPECT_EQ(tuples[1].lineage, mgr.MakeOr(mgr.MakeVar(x), mgr.MakeVar(y)));
+  EXPECT_EQ(tuples[2].t, Interval(10, 15));
+  EXPECT_EQ(tuples[2].lineage, mgr.MakeVar(y));
+}
+
+TEST(DedupTest, DisjointFastPathKeepsTuples) {
+  auto ctx = std::make_shared<TpContext>();
+  LineageManager& mgr = ctx->lineage();
+  FactId f = ctx->facts().Intern({Value(std::string("f"))});
+  VarId x = ctx->vars().Add(0.5);
+  VarId y = ctx->vars().Add(0.5);
+  std::vector<TpTuple> tuples = {
+      {f, Interval(5, 8), mgr.MakeVar(y)},
+      {f, Interval(0, 5), mgr.MakeVar(x)},
+  };
+  MergeDuplicatesByOr(&tuples, &mgr);
+  ASSERT_EQ(tuples.size(), 2u);
+  EXPECT_EQ(tuples[0].t, Interval(0, 5)) << "sorted";
+  EXPECT_EQ(tuples[1].t, Interval(5, 8));
+}
+
+TEST(ProjectTest, CollapsingFactsOrTheirLineages) {
+  // Two-attribute relation: (product, store). Projecting onto product makes
+  // the two store-tuples collapse; where they overlap the lineage is OR-ed.
+  auto ctx = std::make_shared<TpContext>();
+  Schema schema({"product", "store"}, {ValueType::kString, ValueType::kString});
+  TpRelation rel(ctx, schema, "sales");
+  ASSERT_TRUE(rel.AddBase({Value(std::string("milk")), Value(std::string("s1"))},
+                          Interval(0, 10), 0.5, "m1")
+                  .ok());
+  ASSERT_TRUE(rel.AddBase({Value(std::string("milk")), Value(std::string("s2"))},
+                          Interval(5, 15), 0.5, "m2")
+                  .ok());
+  ASSERT_TRUE(rel.AddBase({Value(std::string("tea")), Value(std::string("s1"))},
+                          Interval(0, 4), 0.5, "t1")
+                  .ok());
+  Result<TpRelation> projected = Project(rel, {0});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->schema().num_attributes(), 1u);
+  EXPECT_TRUE(ValidateDuplicateFree(*projected).ok());
+  ASSERT_EQ(projected->size(), 4u);  // milk [0,5),[5,10),[10,15); tea [0,4)
+  bool found_or = false;
+  for (std::size_t i = 0; i < projected->size(); ++i) {
+    if (projected->LineageString(i) == "m1∨m2") {
+      found_or = true;
+      EXPECT_EQ((*projected)[i].t, Interval(5, 10));
+    }
+  }
+  EXPECT_TRUE(found_or);
+}
+
+TEST(ProjectTest, ReordersAndValidates) {
+  auto ctx = std::make_shared<TpContext>();
+  Schema schema({"a", "b"}, {ValueType::kInt64, ValueType::kString});
+  TpRelation rel(ctx, schema, "r");
+  ASSERT_TRUE(rel.AddBase({Value(std::int64_t{1}), Value(std::string("x"))},
+                          Interval(0, 5), 0.5)
+                  .ok());
+  Result<TpRelation> swapped = Project(rel, {1, 0});
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_EQ(swapped->schema().names(), (std::vector<std::string>{"b", "a"}));
+  EXPECT_EQ(ToString(swapped->FactOf(0)), "('x', 1)");
+  EXPECT_FALSE(Project(rel, {2}).ok()) << "index out of range";
+}
+
+TEST(CoalesceTest, MergesAdjacentEquivalentLineages) {
+  auto ctx = std::make_shared<TpContext>();
+  LineageManager& mgr = ctx->lineage();
+  VarId x = ctx->vars().Add(0.5);
+  VarId y = ctx->vars().Add(0.5);
+  FactId f = ctx->facts().Intern({Value(std::string("f"))});
+  TpRelation rel(ctx, Schema::SingleString("Product"), "r");
+  // Same formula written with commuted operands: still merged (canonical
+  // key comparison).
+  rel.AddDerived(f, Interval(0, 5), mgr.MakeAnd(mgr.MakeVar(x), mgr.MakeVar(y)));
+  rel.AddDerived(f, Interval(5, 9), mgr.MakeAnd(mgr.MakeVar(y), mgr.MakeVar(x)));
+  rel.AddDerived(f, Interval(12, 20), mgr.MakeVar(x));  // gap: not merged
+  TpRelation merged = CoalesceEquivalent(rel);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].t, Interval(0, 9));
+  EXPECT_EQ(merged[1].t, Interval(12, 20));
+}
+
+// ---- streaming cursor ----
+
+TEST(CursorTest, MatchesEagerEvaluationOnPaperExample) {
+  SupermarketDb db;
+  for (SetOpKind op : kAllSetOps) {
+    TpRelation eager = LawaSetOp(op, db.a, db.c);
+    SetOpCursor cursor(op, db.a, db.c);
+    std::vector<TpTuple> streamed;
+    TpTuple t;
+    while (cursor.Next(&t)) streamed.push_back(t);
+    ASSERT_EQ(streamed.size(), eager.size()) << SetOpName(op);
+    for (std::size_t i = 0; i < streamed.size(); ++i) {
+      EXPECT_EQ(streamed[i], eager[i]) << SetOpName(op) << " tuple " << i;
+    }
+    EXPECT_EQ(cursor.produced(), eager.size());
+  }
+}
+
+TEST(CursorTest, MatchesEagerOnRandomData) {
+  auto ctx = std::make_shared<TpContext>();
+  Rng rng(31415);
+  SyntheticPairSpec spec;
+  spec.num_tuples = 300;
+  spec.num_facts = 7;
+  auto [r, s] = GenerateSyntheticPair(ctx, spec, &rng);
+  for (SetOpKind op : kAllSetOps) {
+    TpRelation eager = LawaSetOp(op, r, s);
+    SetOpCursor cursor(op, r, s);
+    std::size_t i = 0;
+    TpTuple t;
+    while (cursor.Next(&t)) {
+      ASSERT_LT(i, eager.size()) << SetOpName(op);
+      EXPECT_EQ(t, eager[i]) << SetOpName(op) << " tuple " << i;
+      ++i;
+    }
+    EXPECT_EQ(i, eager.size()) << SetOpName(op);
+  }
+}
+
+TEST(CursorTest, ExhaustedCursorStaysExhausted) {
+  SupermarketDb db;
+  SetOpCursor cursor(SetOpKind::kIntersect, db.a, db.c);
+  TpTuple t;
+  while (cursor.Next(&t)) {
+  }
+  EXPECT_FALSE(cursor.Next(&t));
+  EXPECT_FALSE(cursor.Next(&t));
+}
+
+TEST(CursorTest, WindowCountRespectsProposition1) {
+  SupermarketDb db;
+  SetOpCursor cursor(SetOpKind::kUnion, db.a, db.c);
+  TpTuple t;
+  while (cursor.Next(&t)) {
+  }
+  EXPECT_LE(cursor.windows_examined(),
+            2 * db.a.size() + 2 * db.c.size() - 3 /* distinct facts */);
+}
+
+// ---- interplay: projection output through set operations ----
+
+TEST(ProjectTest, ProjectedRelationFeedsSetOps) {
+  auto ctx = std::make_shared<TpContext>();
+  Schema schema({"product", "store"}, {ValueType::kString, ValueType::kString});
+  TpRelation sales(ctx, schema, "sales");
+  ASSERT_TRUE(sales.AddBase({Value(std::string("milk")), Value(std::string("s1"))},
+                            Interval(0, 10), 0.4, "m1")
+                  .ok());
+  ASSERT_TRUE(sales.AddBase({Value(std::string("milk")), Value(std::string("s2"))},
+                            Interval(5, 15), 0.6, "m2")
+                  .ok());
+  TpRelation stock(ctx, Schema::SingleString("product"), "stock");
+  ASSERT_TRUE(stock.AddBase({Value(std::string("milk"))}, Interval(0, 20), 0.9,
+                            "k1")
+                  .ok());
+  Result<TpRelation> sold = Project(sales, {0});
+  ASSERT_TRUE(sold.ok());
+  TpRelation unsold = LawaExcept(stock, *sold);
+  ASSERT_TRUE(ValidateDuplicateFree(unsold).ok());
+  // [0,5): k1∧¬m1, [5,10): k1∧¬(m1∨m2), [10,15): k1∧¬m2, [15,20): k1.
+  ASSERT_EQ(unsold.size(), 4u);
+  EXPECT_EQ(unsold.LineageString(1), "k1∧¬(m1∨m2)");
+  EXPECT_NEAR(unsold.TupleProbability(1), 0.9 * (1 - (0.4 + 0.6 - 0.24)), 1e-9);
+}
+
+}  // namespace
+}  // namespace tpset

@@ -1,0 +1,119 @@
+// DIP baseline: partitioning invariants and equivalence with LAWA,
+// plus the §II claim that DIP's partitioning does not pay off for
+// duplicate-free TP relations.
+#include <gtest/gtest.h>
+
+#include "baselines/dip.h"
+#include "datagen/synthetic.h"
+#include "lawa/set_ops.h"
+#include "relation/validate.h"
+#include "tests/test_util.h"
+
+namespace tpset {
+namespace {
+
+using testing::MakeRelation;
+using testing::SupermarketDb;
+
+TEST(DipTest, PartitionsAreDisjointAndMinimal) {
+  auto ctx = std::make_shared<TpContext>();
+  Rng rng(17);
+  SyntheticSpec spec;
+  spec.num_tuples = 400;
+  spec.num_facts = 4;
+  spec.max_interval_length = 20;
+  spec.max_time_distance = 2;
+  TpRelation rel = GenerateSynthetic(ctx, spec, "r", &rng);
+  auto partitions = DipPartition(rel.tuples());
+  ASSERT_FALSE(partitions.empty());
+  std::size_t total = 0;
+  for (const auto& p : partitions) {
+    total += p.size();
+    for (std::size_t i = 1; i < p.size(); ++i) {
+      EXPECT_LE(p[i - 1].t.end, p[i].t.start)
+          << "intervals within a partition must be disjoint and sorted";
+    }
+  }
+  EXPECT_EQ(total, rel.size());
+  // Minimality: the partition count equals the maximum number of intervals
+  // alive at one instant (interval-graph coloring lower bound).
+  std::size_t max_alive = 0;
+  for (const TpTuple& t : rel.tuples()) {
+    std::size_t alive = 0;
+    for (const TpTuple& u : rel.tuples()) {
+      if (u.t.Contains(t.t.start)) ++alive;
+    }
+    max_alive = std::max(max_alive, alive);
+  }
+  EXPECT_EQ(partitions.size(), max_alive);
+}
+
+TEST(DipTest, SinglePartitionForDisjointInput) {
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r = MakeRelation(ctx, "r",
+                              {{"f", "r1", 0, 5, 0.5},
+                               {"f", "r2", 5, 9, 0.5},
+                               {"f", "r3", 20, 30, 0.5}});
+  EXPECT_EQ(DipPartition(r.tuples()).size(), 1u);
+}
+
+TEST(DipTest, MatchesLawaOnPaperExample) {
+  SupermarketDb db;
+  Result<TpRelation> dip = DipSetOp(SetOpKind::kIntersect, db.a, db.c);
+  ASSERT_TRUE(dip.ok());
+  EXPECT_TRUE(RelationsEquivalent(LawaIntersect(db.a, db.c), *dip));
+}
+
+TEST(DipTest, UnsupportedOps) {
+  SupermarketDb db;
+  EXPECT_EQ(DipSetOp(SetOpKind::kUnion, db.a, db.c).status().code(),
+            StatusCode::kNotSupported);
+  EXPECT_EQ(DipSetOp(SetOpKind::kExcept, db.a, db.c).status().code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(DipTest, RandomEquivalenceSweep) {
+  for (std::uint64_t seed : {41, 42, 43, 44}) {
+    auto ctx = std::make_shared<TpContext>();
+    Rng rng(seed);
+    SyntheticPairSpec spec;
+    spec.num_tuples = 120;
+    spec.num_facts = 1 + static_cast<std::size_t>(seed % 7);
+    spec.max_interval_length_r = 8;
+    spec.max_interval_length_s = 4;
+    auto [r, s] = GenerateSyntheticPair(ctx, spec, &rng);
+    Result<TpRelation> dip = DipSetOp(SetOpKind::kIntersect, r, s);
+    ASSERT_TRUE(dip.ok()) << seed;
+    EXPECT_TRUE(RelationsEquivalent(LawaIntersect(r, s), *dip)) << seed;
+    EXPECT_TRUE(ValidateDuplicateFree(*dip).ok()) << seed;
+  }
+}
+
+TEST(DipTest, PartitionCountGrowsWithCrossFactOverlap) {
+  // The §II claim, made concrete: per fact the input is disjoint (1
+  // partition), but stacking k mutually-overlapping facts forces k
+  // partitions, and the k×k merge passes scan pairs the fact filter
+  // rejects.
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r(ctx, Schema::SingleString("Product"), "r");
+  TpRelation s(ctx, Schema::SingleString("Product"), "s");
+  const std::size_t k = 16;
+  for (std::size_t i = 0; i < k; ++i) {
+    FactId f = ctx->facts().Intern({Value("f" + std::to_string(i))});
+    for (TimePoint t = 0; t < 100; t += 10) {
+      r.AddBaseFast(f, Interval(t, t + 9), 0.5);
+      s.AddBaseFast(f, Interval(t + 3, t + 8), 0.5);
+    }
+  }
+  DipStats stats;
+  Result<TpRelation> out = DipSetOp(SetOpKind::kIntersect, r, s, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(stats.partitions_r, k) << "one partition per overlapping fact layer";
+  EXPECT_EQ(out->size(), k * 10);
+  // Work is quadratic in the partition count even though each fact's data
+  // is trivially disjoint.
+  EXPECT_GE(stats.pairs_tested, k * k * 10);
+}
+
+}  // namespace
+}  // namespace tpset

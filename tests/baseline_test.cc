@@ -1,0 +1,230 @@
+// Baselines (NORM, TPDB, TI, OIP): Table II capabilities, paper-example
+// correctness, and randomized equivalence against LAWA.
+#include <gtest/gtest.h>
+
+#include "baselines/algorithm.h"
+#include "baselines/norm.h"
+#include "baselines/oip.h"
+#include "baselines/timeline_index.h"
+#include "baselines/tpdb.h"
+#include "datagen/synthetic.h"
+#include "lawa/set_ops.h"
+#include "relation/validate.h"
+#include "tests/test_util.h"
+
+namespace tpset {
+namespace {
+
+using testing::MakeRelation;
+using testing::SupermarketDb;
+
+// ---- Table II: the support matrix ----
+
+TEST(BaselineTest, TableIISupportMatrix) {
+  struct Row {
+    const char* name;
+    bool u, d, x;  // union, difference, intersection
+  };
+  // Table II of the paper.
+  const Row expected[] = {
+      {"LAWA", true, true, true}, {"NORM", true, true, true},
+      {"TPDB", true, false, true}, {"OIP", false, false, true},
+      {"TI", false, false, true},
+  };
+  for (const Row& row : expected) {
+    const SetOpAlgorithm* algo = FindAlgorithm(row.name);
+    ASSERT_NE(algo, nullptr) << row.name;
+    EXPECT_EQ(algo->Supports(SetOpKind::kUnion), row.u) << row.name;
+    EXPECT_EQ(algo->Supports(SetOpKind::kExcept), row.d) << row.name;
+    EXPECT_EQ(algo->Supports(SetOpKind::kIntersect), row.x) << row.name;
+  }
+  EXPECT_EQ(AllAlgorithms().size(), 5u);
+  EXPECT_EQ(FindAlgorithm("nope"), nullptr);
+}
+
+TEST(BaselineTest, UnsupportedOpsReturnNotSupported) {
+  SupermarketDb db;
+  EXPECT_EQ(TpdbSetOp(SetOpKind::kExcept, db.a, db.c).status().code(),
+            StatusCode::kNotSupported);
+  EXPECT_EQ(OipSetOp(SetOpKind::kUnion, db.a, db.c).status().code(),
+            StatusCode::kNotSupported);
+  EXPECT_EQ(OipSetOp(SetOpKind::kExcept, db.a, db.c).status().code(),
+            StatusCode::kNotSupported);
+  EXPECT_EQ(TimelineSetOp(SetOpKind::kUnion, db.a, db.c).status().code(),
+            StatusCode::kNotSupported);
+  EXPECT_EQ(TimelineSetOp(SetOpKind::kExcept, db.a, db.c).status().code(),
+            StatusCode::kNotSupported);
+}
+
+// ---- paper example, every algorithm on every supported op ----
+
+TEST(BaselineTest, PaperExampleAllAlgorithms) {
+  SupermarketDb db;
+  for (const SetOpAlgorithm* algo : AllAlgorithms()) {
+    for (SetOpKind op : kAllSetOps) {
+      if (!algo->Supports(op)) continue;
+      TpRelation expected = LawaSetOp(op, db.a, db.c);
+      TpRelation actual = algo->Compute(op, db.a, db.c);
+      EXPECT_TRUE(RelationsEquivalent(expected, actual))
+          << algo->name() << " " << SetOpName(op);
+    }
+  }
+}
+
+// ---- NORM specifics ----
+
+TEST(BaselineTest, NormalizeSplitsAtOverlappingBoundaries) {
+  SupermarketDb db;
+  // Normalize a by c: milk a1 [2,10) splits at c1.end=4, c2.start=6,
+  // c2.end=8 -> [2,4),[4,6),[6,8),[8,10).
+  std::vector<TpTuple> na = Normalize(db.a.tuples(), db.c.tuples());
+  int milk_fragments = 0;
+  for (const TpTuple& t : na) {
+    if (t.fact == db.a[0].fact) ++milk_fragments;
+  }
+  EXPECT_EQ(milk_fragments, 4);
+  // dates a3 has no same-fact counterpart in c: stays whole.
+  int dates_fragments = 0;
+  for (const TpTuple& t : na) {
+    if (t.fact == db.a[2].fact) ++dates_fragments;
+  }
+  EXPECT_EQ(dates_fragments, 1);
+}
+
+TEST(BaselineTest, NormalizeIsNotSymmetric) {
+  SupermarketDb db;
+  EXPECT_NE(Normalize(db.a.tuples(), db.c.tuples()).size(),
+            Normalize(db.c.tuples(), db.a.tuples()).size());
+}
+
+// ---- TPDB specifics ----
+
+TEST(BaselineTest, TpdbStatsCountRuleApplications) {
+  SupermarketDb db;
+  TpdbStats stats;
+  Result<TpRelation> out = TpdbSetOp(SetOpKind::kIntersect, db.a, db.c, &stats);
+  ASSERT_TRUE(out.ok());
+  // Six rules, each scanning all same-fact pairs: milk 1x2, chips 1x2 -> 4
+  // pairs per rule, 24 total.
+  EXPECT_EQ(stats.pairs_tested, 24u);
+  EXPECT_EQ(stats.grounded_tuples, 3u);
+}
+
+// ---- TI specifics ----
+
+TEST(BaselineTest, TimelineIndexOrdersEndsBeforeStarts) {
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r = MakeRelation(ctx, "r",
+                              {{"f", "r1", 0, 5, 0.5}, {"f", "r2", 5, 9, 0.5}});
+  TimelineIndex idx = TimelineIndex::Build(r.tuples());
+  ASSERT_EQ(idx.events().size(), 4u);
+  // At t=5 the end of r1 precedes the start of r2.
+  EXPECT_EQ(idx.events()[1].time, 5);
+  EXPECT_FALSE(idx.events()[1].is_start);
+  EXPECT_EQ(idx.events()[2].time, 5);
+  EXPECT_TRUE(idx.events()[2].is_start);
+}
+
+TEST(BaselineTest, TimelineJoinCountsPairsAcrossFacts) {
+  // One fact in r and a different fact in s, overlapping in time: TI forms
+  // the pair and then rejects it on the fact filter (its known weakness).
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r = MakeRelation(ctx, "r", {{"f", "r1", 0, 10, 0.5}});
+  TpRelation s = MakeRelation(ctx, "s", {{"g", "s1", 2, 8, 0.5}});
+  TimelineJoinStats stats;
+  Result<TpRelation> out = TimelineSetOp(SetOpKind::kIntersect, r, s, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 0u);
+  EXPECT_EQ(stats.pairs_formed, 1u) << "pair formed before filtering";
+  EXPECT_EQ(stats.lookups, 2u);
+}
+
+TEST(BaselineTest, AdjacentIntervalsDoNotJoin) {
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r = MakeRelation(ctx, "r", {{"f", "r1", 0, 5, 0.5}});
+  TpRelation s = MakeRelation(ctx, "s", {{"f", "s1", 5, 9, 0.5}});
+  Result<TpRelation> ti = TimelineSetOp(SetOpKind::kIntersect, r, s);
+  ASSERT_TRUE(ti.ok());
+  EXPECT_EQ(ti->size(), 0u);
+  Result<TpRelation> oip = OipSetOp(SetOpKind::kIntersect, r, s);
+  ASSERT_TRUE(oip.ok());
+  EXPECT_EQ(oip->size(), 0u);
+}
+
+// ---- OIP specifics ----
+
+TEST(BaselineTest, OipPartitioningAssignsSmallestFit) {
+  SupermarketDb db;
+  OipStats stats;
+  OipOptions options;
+  options.num_granules = 4;
+  Result<TpRelation> out =
+      OipSetOp(SetOpKind::kIntersect, db.a, db.c, options, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 3u);
+  EXPECT_GT(stats.partitions, 0u);
+  EXPECT_GE(stats.pairs_tested, 3u);
+}
+
+TEST(BaselineTest, OipGranuleSweep) {
+  // Correct output for any granule count.
+  SupermarketDb db;
+  TpRelation expected = LawaIntersect(db.a, db.c);
+  for (std::size_t k : {1, 2, 3, 5, 8, 64, 1024}) {
+    OipOptions options;
+    options.num_granules = k;
+    Result<TpRelation> out = OipSetOp(SetOpKind::kIntersect, db.a, db.c, options);
+    ASSERT_TRUE(out.ok()) << k;
+    EXPECT_TRUE(RelationsEquivalent(expected, *out)) << "k=" << k;
+  }
+}
+
+// ---- randomized equivalence sweep ----
+
+struct EquivCase {
+  std::uint64_t seed;
+  std::size_t tuples;
+  std::size_t facts;
+  TimePoint len_r, len_s, gap;
+};
+
+class BaselineEquivalenceTest : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(BaselineEquivalenceTest, AllAlgorithmsAgreeWithReference) {
+  const EquivCase& c = GetParam();
+  auto ctx = std::make_shared<TpContext>();
+  Rng rng(c.seed);
+  SyntheticPairSpec spec;
+  spec.num_tuples = c.tuples;
+  spec.num_facts = c.facts;
+  spec.max_interval_length_r = c.len_r;
+  spec.max_interval_length_s = c.len_s;
+  spec.max_time_distance = c.gap;
+  auto [r, s] = GenerateSyntheticPair(ctx, spec, &rng);
+  ASSERT_TRUE(ValidateSetOpInputs(r, s).ok());
+  for (const SetOpAlgorithm* algo : AllAlgorithms()) {
+    for (SetOpKind op : kAllSetOps) {
+      if (!algo->Supports(op)) continue;
+      TpRelation expected = LawaSetOp(op, r, s);
+      TpRelation actual = algo->Compute(op, r, s);
+      EXPECT_TRUE(RelationsEquivalent(expected, actual))
+          << algo->name() << " " << SetOpName(op) << " seed=" << c.seed;
+      EXPECT_TRUE(ValidateDuplicateFree(actual).ok())
+          << algo->name() << " " << SetOpName(op);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BaselineEquivalenceTest,
+    ::testing::Values(EquivCase{21, 50, 1, 3, 3, 3}, EquivCase{22, 50, 1, 10, 10, 3},
+                      EquivCase{23, 70, 1, 100, 3, 3}, EquivCase{24, 60, 4, 5, 5, 2},
+                      EquivCase{25, 90, 9, 3, 3, 3}, EquivCase{26, 80, 2, 20, 1, 1},
+                      EquivCase{27, 120, 40, 4, 4, 4}, EquivCase{28, 64, 64, 6, 6, 0},
+                      EquivCase{29, 100, 1, 1, 1, 0}, EquivCase{30, 150, 5, 13, 7, 5}),
+    [](const ::testing::TestParamInfo<EquivCase>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace tpset

@@ -1,0 +1,209 @@
+// Generators: structural guarantees, Table III presets, Table IV-style
+// statistics, real-world simulators and the shifted-copy construction.
+#include <gtest/gtest.h>
+
+#include "datagen/realworld.h"
+#include "datagen/stats.h"
+#include "datagen/synthetic.h"
+#include "lawa/overlap_factor.h"
+#include "relation/validate.h"
+
+namespace tpset {
+namespace {
+
+TEST(SyntheticTest, GeneratesRequestedShape) {
+  auto ctx = std::make_shared<TpContext>();
+  Rng rng(1);
+  SyntheticSpec spec;
+  spec.num_tuples = 500;
+  spec.num_facts = 10;
+  spec.max_interval_length = 5;
+  spec.max_time_distance = 2;
+  TpRelation rel = GenerateSynthetic(ctx, spec, "r", &rng);
+  EXPECT_EQ(rel.size(), 500u);
+  EXPECT_TRUE(rel.IsSortedFactTime());
+  EXPECT_TRUE(ValidateWellFormed(rel).ok());
+  EXPECT_TRUE(ValidateDuplicateFree(rel).ok());
+  DatasetStats stats = ComputeStats(rel);
+  EXPECT_EQ(stats.num_facts, 10u);
+  EXPECT_GE(stats.min_duration, 1);
+  EXPECT_LE(stats.max_duration, 5);
+}
+
+TEST(SyntheticTest, DeterministicGivenSeed) {
+  SyntheticSpec spec;
+  spec.num_tuples = 100;
+  auto ctx1 = std::make_shared<TpContext>();
+  auto ctx2 = std::make_shared<TpContext>();
+  Rng rng1(7), rng2(7);
+  TpRelation r1 = GenerateSynthetic(ctx1, spec, "r", &rng1);
+  TpRelation r2 = GenerateSynthetic(ctx2, spec, "r", &rng2);
+  ASSERT_EQ(r1.size(), r2.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].t, r2[i].t) << i;
+  }
+}
+
+TEST(SyntheticTest, ProbabilitiesWithinBounds) {
+  auto ctx = std::make_shared<TpContext>();
+  Rng rng(3);
+  SyntheticSpec spec;
+  spec.num_tuples = 200;
+  spec.min_probability = 0.2;
+  spec.max_probability = 0.4;
+  TpRelation rel = GenerateSynthetic(ctx, spec, "r", &rng);
+  for (std::size_t i = 0; i < rel.size(); ++i) {
+    double p = rel.TupleProbability(i);
+    EXPECT_GE(p, 0.2);
+    EXPECT_LE(p, 0.4);
+  }
+}
+
+TEST(SyntheticTest, TableIIIPresetsOrderOverlapFactors) {
+  // The measured overlapping factor must increase monotonically across the
+  // presets (their nominal factors 0.03 < 0.1 < 0.4 < 0.6 < 0.8); absolute
+  // values depend on generator details, the ordering is the property the
+  // robustness experiment needs.
+  double prev = -1.0;
+  for (double nominal : {0.03, 0.1, 0.4, 0.6, 0.8}) {
+    auto ctx = std::make_shared<TpContext>();
+    Rng rng(42);
+    SyntheticPairSpec spec = TableIIIPreset(nominal);
+    spec.num_tuples = 4000;
+    auto [r, s] = GenerateSyntheticPair(ctx, spec, &rng);
+    double factor = TimeWeightedOverlappingFactor(r, s);
+    EXPECT_GT(factor, prev) << "nominal " << nominal;
+    EXPECT_GE(factor, 0.0);
+    EXPECT_LE(factor, 1.0);
+    prev = factor;
+  }
+}
+
+TEST(OverlapFactorTest, ExtremeCases) {
+  auto ctx = std::make_shared<TpContext>();
+  FactId f = ctx->facts().Intern({Value(std::int64_t{0})});
+  TpRelation r(ctx, Schema::SingleInt("fact"), "r");
+  TpRelation s(ctx, Schema::SingleInt("fact"), "s");
+  r.AddBaseFast(f, Interval(0, 10), 0.5);
+  s.AddBaseFast(f, Interval(0, 10), 0.5);
+  EXPECT_DOUBLE_EQ(OverlappingFactor(r, s), 1.0) << "identical intervals";
+
+  TpRelation s2(ctx, Schema::SingleInt("fact"), "s2");
+  s2.AddBaseFast(f, Interval(20, 30), 0.5);
+  EXPECT_DOUBLE_EQ(OverlappingFactor(r, s2), 0.0) << "disjoint intervals";
+
+  TpRelation empty(ctx, Schema::SingleInt("fact"), "e");
+  EXPECT_DOUBLE_EQ(OverlappingFactor(empty, empty), 0.0);
+
+  TpRelation s3(ctx, Schema::SingleInt("fact"), "s3");
+  s3.AddBaseFast(f, Interval(5, 15), 0.5);
+  // Windows: [0,5) r-only, [5,10) both, [10,15) s-only -> 1/3.
+  EXPECT_NEAR(OverlappingFactor(r, s3), 1.0 / 3.0, 1e-12);
+}
+
+TEST(StatsTest, ComputesTableIVColumns) {
+  auto ctx = std::make_shared<TpContext>();
+  FactId f = ctx->facts().Intern({Value(std::int64_t{0})});
+  FactId g = ctx->facts().Intern({Value(std::int64_t{1})});
+  TpRelation rel(ctx, Schema::SingleInt("fact"), "rel");
+  rel.AddBaseFast(f, Interval(0, 10), 0.5);   // duration 10
+  rel.AddBaseFast(g, Interval(5, 7), 0.5);    // duration 2
+  rel.AddBaseFast(g, Interval(10, 14), 0.5);  // duration 4
+  DatasetStats s = ComputeStats(rel);
+  EXPECT_EQ(s.cardinality, 3u);
+  EXPECT_EQ(s.time_range, 14);
+  EXPECT_EQ(s.min_duration, 2);
+  EXPECT_EQ(s.max_duration, 10);
+  EXPECT_NEAR(s.avg_duration, 16.0 / 3.0, 1e-12);
+  EXPECT_EQ(s.num_facts, 2u);
+  // Distinct endpoints: 0,5,7,10,14 (10 is shared by two tuples).
+  EXPECT_EQ(s.distinct_points, 5u);
+  EXPECT_EQ(s.max_tuples_per_point, 2u);
+  EXPECT_NEAR(s.avg_tuples_per_point, 6.0 / 5.0, 1e-12);
+}
+
+TEST(StatsTest, EmptyRelation) {
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation rel(ctx, Schema::SingleInt("fact"), "rel");
+  DatasetStats s = ComputeStats(rel);
+  EXPECT_EQ(s.cardinality, 0u);
+  EXPECT_EQ(s.num_facts, 0u);
+}
+
+TEST(RealWorldTest, MeteoLikeShape) {
+  auto ctx = std::make_shared<TpContext>();
+  Rng rng(5);
+  MeteoSpec spec;
+  spec.num_tuples = 8000;
+  TpRelation rel = GenerateMeteoLike(ctx, spec, "meteo", &rng);
+  EXPECT_EQ(rel.size(), 8000u);
+  EXPECT_TRUE(ValidateDuplicateFree(rel).ok());
+  DatasetStats s = ComputeStats(rel);
+  EXPECT_EQ(s.num_facts, 80u) << "80 stations, like Table IV";
+  EXPECT_GE(s.min_duration, 600);
+  EXPECT_LE(s.max_duration, spec.max_duration);
+  // Grid-aligned endpoints collide across stations: far fewer distinct
+  // points than endpoints (Table IV: 545K points for 10.2M tuples).
+  EXPECT_LT(s.distinct_points, 2 * rel.size());
+  EXPECT_GT(s.avg_tuples_per_point, 2.0);
+}
+
+TEST(RealWorldTest, WebkitLikeShape) {
+  auto ctx = std::make_shared<TpContext>();
+  Rng rng(6);
+  WebkitSpec spec;
+  spec.num_tuples = 20000;
+  spec.num_files = 6500;
+  spec.num_commits = 2000;
+  TpRelation rel = GenerateWebkitLike(ctx, spec, "webkit", &rng);
+  EXPECT_GT(rel.size(), 15000u);
+  EXPECT_LE(rel.size(), 20000u);
+  EXPECT_TRUE(ValidateDuplicateFree(rel).ok());
+  DatasetStats s = ComputeStats(rel);
+  EXPECT_GT(s.num_facts, 4000u) << "many facts, like Table IV";
+  // Endpoint collisions: far fewer distinct points than endpoints, and a
+  // large burst at mass-commit timestamps.
+  EXPECT_LT(s.distinct_points, 2u * rel.size() / 3u);
+  EXPECT_GT(s.max_tuples_per_point, s.avg_tuples_per_point * 5.0);
+}
+
+TEST(RealWorldTest, ShiftedCopyPreservesLengthsAndFacts) {
+  auto ctx = std::make_shared<TpContext>();
+  Rng rng(7);
+  SyntheticSpec spec;
+  spec.num_tuples = 1000;
+  spec.num_facts = 20;
+  spec.max_interval_length = 10;
+  TpRelation rel = GenerateSynthetic(ctx, spec, "r", &rng);
+  TpRelation shifted = ShiftedCopy(rel, "s", &rng);
+  ASSERT_EQ(shifted.size(), rel.size());
+  EXPECT_TRUE(ValidateDuplicateFree(shifted).ok());
+  EXPECT_TRUE(ValidateWellFormed(shifted).ok());
+  // Multiset of (fact, duration) is preserved.
+  auto project = [](const TpRelation& x) {
+    std::vector<std::pair<FactId, TimePoint>> v;
+    for (const TpTuple& t : x.tuples()) v.emplace_back(t.fact, t.t.Duration());
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(project(rel), project(shifted));
+  // Fresh variables were registered for the copies.
+  EXPECT_EQ(ctx->vars().size(), 2000u);
+}
+
+TEST(RealWorldTest, ShiftedCopyActuallyShifts) {
+  auto ctx = std::make_shared<TpContext>();
+  Rng rng(8);
+  SyntheticSpec spec;
+  spec.num_tuples = 500;
+  TpRelation rel = GenerateSynthetic(ctx, spec, "r", &rng);
+  TpRelation shifted = ShiftedCopy(rel, "s", &rng);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < rel.size(); ++i) {
+    if (!(rel[i].t == shifted[i].t)) ++moved;
+  }
+  EXPECT_GT(moved, rel.size() / 2) << "most intervals moved";
+}
+
+}  // namespace
+}  // namespace tpset

@@ -1,0 +1,65 @@
+// EXPLAIN output for TP set queries.
+#include <gtest/gtest.h>
+
+#include "query/explain.h"
+#include "tests/test_util.h"
+
+namespace tpset {
+namespace {
+
+using testing::SupermarketDb;
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  ExplainTest() : exec_(db_.ctx) {
+    EXPECT_TRUE(exec_.Register(db_.a).ok());
+    EXPECT_TRUE(exec_.Register(db_.b).ok());
+    EXPECT_TRUE(exec_.Register(db_.c).ok());
+  }
+  SupermarketDb db_;
+  QueryExecutor exec_;
+};
+
+TEST_F(ExplainTest, AnnotatesCardinalitiesAndWindows) {
+  Result<std::string> plan = ExplainQuery(exec_, "c - (a | b)");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const std::string& text = *plan;
+  EXPECT_NE(text.find("query: c - (a | b)"), std::string::npos) << text;
+  EXPECT_NE(text.find("relation c  [4 tuples]"), std::string::npos) << text;
+  EXPECT_NE(text.find("relation a  [3 tuples]"), std::string::npos) << text;
+  EXPECT_NE(text.find("relation b  [2 tuples]"), std::string::npos) << text;
+  // The final answer has 5 tuples (Fig. 1c).
+  EXPECT_NE(text.find("except  [out=5"), std::string::npos) << text;
+  EXPECT_NE(text.find("union  [out="), std::string::npos) << text;
+  EXPECT_NE(text.find("non-repeating: yes"), std::string::npos) << text;
+  EXPECT_NE(text.find("read-once"), std::string::npos) << text;
+}
+
+TEST_F(ExplainTest, FlagsRepeatingQueries) {
+  Result<std::string> plan = ExplainQuery(exec_, "(a | b) - (a & c)");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("non-repeating: no"), std::string::npos);
+  EXPECT_NE(plan->find("Shannon"), std::string::npos);
+}
+
+TEST_F(ExplainTest, WindowCountsRespectBound) {
+  Result<std::string> plan = ExplainQuery(exec_, "a & c");
+  ASSERT_TRUE(plan.ok());
+  // windows=X/Y(bound) with X <= Y; extract and compare.
+  std::size_t pos = plan->find("windows=");
+  ASSERT_NE(pos, std::string::npos);
+  std::size_t slash = plan->find('/', pos);
+  ASSERT_NE(slash, std::string::npos);
+  int windows = std::stoi(plan->substr(pos + 8, slash - pos - 8));
+  int bound = std::stoi(plan->substr(slash + 1));
+  EXPECT_LE(windows, bound);
+  EXPECT_GT(windows, 0);
+}
+
+TEST_F(ExplainTest, ErrorsPropagate) {
+  EXPECT_FALSE(ExplainQuery(exec_, "a & nope").ok());
+  EXPECT_FALSE(ExplainQuery(exec_, "a &").ok());
+}
+
+}  // namespace
+}  // namespace tpset

@@ -1,0 +1,73 @@
+// Half-open interval semantics.
+#include <gtest/gtest.h>
+
+#include "common/interval.h"
+
+namespace tpset {
+namespace {
+
+TEST(IntervalTest, Validity) {
+  EXPECT_TRUE(Interval(1, 2).IsValid());
+  EXPECT_FALSE(Interval(2, 2).IsValid());
+  EXPECT_FALSE(Interval(3, 2).IsValid());
+  EXPECT_TRUE(Interval(-5, -1).IsValid()) << "negative time points are allowed";
+}
+
+TEST(IntervalTest, Duration) {
+  EXPECT_EQ(Interval(2, 10).Duration(), 8);
+  EXPECT_EQ(Interval(-3, 4).Duration(), 7);
+}
+
+TEST(IntervalTest, ContainsPoint) {
+  Interval iv(2, 5);
+  EXPECT_FALSE(iv.Contains(1));
+  EXPECT_TRUE(iv.Contains(2)) << "start is inclusive";
+  EXPECT_TRUE(iv.Contains(4));
+  EXPECT_FALSE(iv.Contains(5)) << "end is exclusive";
+}
+
+TEST(IntervalTest, ContainsInterval) {
+  Interval iv(2, 10);
+  EXPECT_TRUE(iv.Contains(Interval(2, 10)));
+  EXPECT_TRUE(iv.Contains(Interval(3, 9)));
+  EXPECT_FALSE(iv.Contains(Interval(1, 9)));
+  EXPECT_FALSE(iv.Contains(Interval(3, 11)));
+}
+
+TEST(IntervalTest, Overlaps) {
+  EXPECT_TRUE(Interval(1, 5).Overlaps(Interval(4, 8)));
+  EXPECT_TRUE(Interval(4, 8).Overlaps(Interval(1, 5)));
+  EXPECT_TRUE(Interval(1, 10).Overlaps(Interval(3, 4)));
+  EXPECT_FALSE(Interval(1, 5).Overlaps(Interval(5, 8)))
+      << "adjacent half-open intervals do not overlap";
+  EXPECT_FALSE(Interval(5, 8).Overlaps(Interval(1, 5)));
+  EXPECT_FALSE(Interval(1, 2).Overlaps(Interval(3, 4)));
+}
+
+TEST(IntervalTest, Adjacent) {
+  EXPECT_TRUE(Interval(1, 5).Adjacent(Interval(5, 8)));
+  EXPECT_TRUE(Interval(5, 8).Adjacent(Interval(1, 5)));
+  EXPECT_FALSE(Interval(1, 5).Adjacent(Interval(6, 8)));
+  EXPECT_FALSE(Interval(1, 5).Adjacent(Interval(4, 8)));
+}
+
+TEST(IntervalTest, IntersectAndHull) {
+  EXPECT_EQ(Intersect(Interval(1, 5), Interval(3, 8)), Interval(3, 5));
+  EXPECT_EQ(Intersect(Interval(3, 8), Interval(1, 5)), Interval(3, 5));
+  EXPECT_FALSE(Intersect(Interval(1, 3), Interval(5, 8)).IsValid());
+  EXPECT_EQ(Hull(Interval(1, 3), Interval(5, 8)), Interval(1, 8));
+}
+
+TEST(IntervalTest, Ordering) {
+  EXPECT_LT(Interval(1, 5), Interval(2, 3));
+  EXPECT_LT(Interval(1, 3), Interval(1, 5)) << "end breaks ties";
+  EXPECT_FALSE(Interval(1, 5) < Interval(1, 5));
+}
+
+TEST(IntervalTest, ToString) {
+  EXPECT_EQ(ToString(Interval(2, 10)), "[2,10)");
+  EXPECT_EQ(ToString(Interval(-1, 4)), "[-1,4)");
+}
+
+}  // namespace
+}  // namespace tpset

@@ -1,0 +1,201 @@
+// Pretty-printing and CSV persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "relation/io.h"
+#include "tests/test_util.h"
+
+namespace tpset {
+namespace {
+
+using testing::SupermarketDb;
+
+class IoTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& p : temp_files_) std::remove(p.c_str());
+  }
+  std::string TempPath(const std::string& name) {
+    std::string p = ::testing::TempDir() + "/tpset_io_" + name;
+    temp_files_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> temp_files_;
+};
+
+TEST_F(IoTest, PrintRelationContainsAllColumns) {
+  SupermarketDb db;
+  std::string text = RelationToString(db.a);
+  EXPECT_NE(text.find("Product"), std::string::npos);
+  EXPECT_NE(text.find("'milk'"), std::string::npos);
+  EXPECT_NE(text.find("a1"), std::string::npos);
+  EXPECT_NE(text.find("[2,10)"), std::string::npos);
+  EXPECT_NE(text.find("0.3"), std::string::npos);
+}
+
+TEST_F(IoTest, PrintRelationMaxRows) {
+  SupermarketDb db;
+  PrintOptions opts;
+  opts.max_rows = 1;
+  std::string text = RelationToString(db.a, opts);
+  EXPECT_NE(text.find("2 more rows"), std::string::npos);
+}
+
+TEST_F(IoTest, PrintRelationAsciiLineage) {
+  SupermarketDb db;
+  TpRelation q = [&] {
+    // Build a derived tuple with compound lineage to exercise ascii mode.
+    TpRelation rel(db.ctx, Schema::SingleString("Product"), "q");
+    LineageManager& mgr = db.ctx->lineage();
+    rel.AddDerived(db.c[0].fact, Interval(2, 4),
+                   mgr.ConcatAndNot(db.c[0].lineage, db.a[0].lineage));
+    return rel;
+  }();
+  PrintOptions opts;
+  opts.ascii_lineage = true;
+  std::string text = RelationToString(q, opts);
+  EXPECT_NE(text.find("c1&!a1"), std::string::npos);
+}
+
+TEST_F(IoTest, CsvRoundTrip) {
+  SupermarketDb db;
+  std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(db.a, path).ok());
+
+  auto ctx = std::make_shared<TpContext>();
+  Result<TpRelation> loaded = ReadCsv(path, ctx, "a2");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), db.a.size());
+  for (std::size_t i = 0; i < db.a.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].t, db.a[i].t) << i;
+    EXPECT_EQ(ToString(loaded->FactOf(i)), ToString(db.a.FactOf(i))) << i;
+    EXPECT_NEAR(loaded->TupleProbability(i), db.a.TupleProbability(i), 1e-9) << i;
+    EXPECT_EQ(loaded->LineageString(i), db.a.LineageString(i)) << i;
+  }
+}
+
+TEST_F(IoTest, CsvRejectsDerivedTuples) {
+  SupermarketDb db;
+  TpRelation derived(db.ctx, Schema::SingleString("Product"), "d");
+  LineageManager& mgr = db.ctx->lineage();
+  derived.AddDerived(db.a[0].fact, Interval(0, 1),
+                     mgr.MakeAnd(db.a[0].lineage, db.c[0].lineage));
+  std::string path = TempPath("derived.csv");
+  EXPECT_EQ(WriteCsv(derived, path).code(), StatusCode::kNotSupported);
+}
+
+TEST_F(IoTest, ReadCsvRejectsMalformedFiles) {
+  auto ctx = std::make_shared<TpContext>();
+  // Missing file.
+  EXPECT_EQ(ReadCsv("/nonexistent/nope.csv", ctx, "x").status().code(),
+            StatusCode::kIoError);
+  // Bad header.
+  std::string bad_header = TempPath("bad_header.csv");
+  {
+    std::ofstream f(bad_header);
+    f << "Product,ts,te\n";
+  }
+  EXPECT_EQ(ReadCsv(bad_header, ctx, "x").status().code(), StatusCode::kCorruption);
+  // Header attribute without type.
+  std::string no_type = TempPath("no_type.csv");
+  {
+    std::ofstream f(no_type);
+    f << "Product,ts,te,p,var\nmilk,1,2,0.5,v1\n";
+  }
+  EXPECT_EQ(ReadCsv(no_type, ctx, "x").status().code(), StatusCode::kCorruption);
+  // Wrong field count in a row.
+  std::string bad_row = TempPath("bad_row.csv");
+  {
+    std::ofstream f(bad_row);
+    f << "Product:str,ts,te,p,var\nmilk,1,2\n";
+  }
+  EXPECT_EQ(ReadCsv(bad_row, ctx, "x").status().code(), StatusCode::kCorruption);
+  // Unparsable number.
+  std::string bad_num = TempPath("bad_num.csv");
+  {
+    std::ofstream f(bad_num);
+    f << "Product:str,ts,te,p,var\nmilk,one,2,0.5,v1\n";
+  }
+  EXPECT_EQ(ReadCsv(bad_num, ctx, "x").status().code(), StatusCode::kCorruption);
+  // Invalid interval (te <= ts).
+  std::string bad_iv = TempPath("bad_iv.csv");
+  {
+    std::ofstream f(bad_iv);
+    f << "Product:str,ts,te,p,var\nmilk,5,5,0.5,v1\n";
+  }
+  EXPECT_EQ(ReadCsv(bad_iv, ctx, "x").status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(IoTest, DerivedCsvRoundTrip) {
+  // A query answer (compound lineage) round-trips once the base variables
+  // exist in the target context.
+  SupermarketDb db;
+  TpRelation q = [&] {
+    LineageManager& mgr = db.ctx->lineage();
+    TpRelation rel(db.ctx, Schema::SingleString("Product"), "q");
+    rel.AddDerived(db.c[0].fact, Interval(2, 4),
+                   mgr.ConcatAndNot(db.c[0].lineage, db.a[0].lineage));
+    rel.AddDerived(db.c[2].fact, Interval(4, 5),
+                   mgr.ConcatOr(db.c[2].lineage, db.a[1].lineage));
+    return rel;
+  }();
+  std::string path = TempPath("derived_roundtrip.csv");
+  ASSERT_TRUE(WriteDerivedCsv(q, path).ok());
+
+  // Same context: variables resolve by name.
+  Result<TpRelation> loaded = ReadDerivedCsv(path, db.ctx, "q2");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), q.size());
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].t, q[i].t);
+    EXPECT_EQ((*loaded)[i].lineage, q[i].lineage)
+        << "hash-consing makes the round-trip exact";
+  }
+}
+
+TEST_F(IoTest, DerivedCsvRejectsUnknownVariables) {
+  std::string path = TempPath("unknown_var.csv");
+  {
+    std::ofstream f(path);
+    f << "Product:str,ts,te,lineage\nmilk,1,4,c1&!zz\n";
+  }
+  SupermarketDb db;
+  Result<TpRelation> loaded = ReadDerivedCsv(path, db.ctx, "x");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(IoTest, DerivedCsvRejectsNullLineageAndBadIntervals) {
+  SupermarketDb db;
+  std::string null_lin = TempPath("null_lin.csv");
+  {
+    std::ofstream f(null_lin);
+    f << "Product:str,ts,te,lineage\nmilk,1,4,null\n";
+  }
+  EXPECT_FALSE(ReadDerivedCsv(null_lin, db.ctx, "x").ok());
+  std::string bad_iv = TempPath("derived_bad_iv.csv");
+  {
+    std::ofstream f(bad_iv);
+    f << "Product:str,ts,te,lineage\nmilk,4,4,c1\n";
+  }
+  EXPECT_FALSE(ReadDerivedCsv(bad_iv, db.ctx, "x").ok());
+}
+
+TEST_F(IoTest, ReadCsvIntAttribute) {
+  std::string path = TempPath("int.csv");
+  {
+    std::ofstream f(path);
+    f << "fact:int,ts,te,p,var\n7,1,5,0.25,v1\n8,2,6,0.75,v2\n";
+  }
+  auto ctx = std::make_shared<TpContext>();
+  Result<TpRelation> rel = ReadCsv(path, ctx, "ints");
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_EQ(rel->size(), 2u);
+  EXPECT_EQ(ToString(rel->FactOf(0)), "7");
+  EXPECT_NEAR(rel->TupleProbability(1), 0.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace tpset

@@ -1,0 +1,174 @@
+// TP equi-join: correctness, snapshot reducibility, duplicate-freeness.
+#include <gtest/gtest.h>
+
+#include "algebra/join.h"
+#include "lawa/set_ops.h"
+#include "lineage/eval.h"
+#include "relation/validate.h"
+#include "tests/test_util.h"
+
+namespace tpset {
+namespace {
+
+using testing::MakeRelation;
+using testing::SupermarketDb;
+
+TEST(JoinTest, JoinOnFactEqualsIntersectionModuloSchema) {
+  // For equal single-attribute schemas, joining on the fact produces the
+  // same intervals and lineages as ∩Tp; only the output fact is doubled.
+  SupermarketDb db;
+  Result<TpRelation> joined = TpJoinOnFact(db.a, db.c);
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+  TpRelation intersected = LawaIntersect(db.a, db.c);
+  ASSERT_EQ(joined->size(), intersected.size());
+  const LineageManager& mgr = db.ctx->lineage();
+  // Combined facts intern fresh ids, so the sort orders differ; compare as
+  // multisets of (interval, canonical lineage).
+  auto project = [&](const TpRelation& rel) {
+    std::vector<std::pair<std::string, std::string>> keys;
+    for (const TpTuple& t : rel.tuples()) {
+      keys.emplace_back(ToString(t.t), mgr.CanonicalKey(t.lineage));
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  EXPECT_EQ(project(*joined), project(intersected));
+  for (std::size_t i = 0; i < joined->size(); ++i) {
+    EXPECT_EQ(joined->FactOf(i).size(), 2u) << "concatenated fact";
+  }
+  EXPECT_TRUE(ValidateDuplicateFree(*joined).ok());
+}
+
+TEST(JoinTest, MultiAttributeEquiJoin) {
+  auto ctx = std::make_shared<TpContext>();
+  Schema sales({"product", "store"}, {ValueType::kString, ValueType::kString});
+  Schema supply({"item", "supplier"}, {ValueType::kString, ValueType::kString});
+  TpRelation r(ctx, sales, "sales");
+  TpRelation s(ctx, supply, "supply");
+  ASSERT_TRUE(r.AddBase({Value(std::string("milk")), Value(std::string("s1"))},
+                        Interval(0, 10), 0.5, "r1")
+                  .ok());
+  ASSERT_TRUE(r.AddBase({Value(std::string("tea")), Value(std::string("s1"))},
+                        Interval(0, 10), 0.5, "r2")
+                  .ok());
+  ASSERT_TRUE(s.AddBase({Value(std::string("milk")), Value(std::string("acme"))},
+                        Interval(5, 20), 0.5, "s1v")
+                  .ok());
+  ASSERT_TRUE(s.AddBase({Value(std::string("milk")), Value(std::string("blue"))},
+                        Interval(8, 12), 0.5, "s2v")
+                  .ok());
+  // Join sales.product = supply.item.
+  Result<TpRelation> joined = TpEquiJoin(r, s, {0}, {0});
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+  // milk x acme over [5,10), milk x blue over [8,10); tea matches nothing.
+  ASSERT_EQ(joined->size(), 2u);
+  EXPECT_EQ(joined->schema().num_attributes(), 4u);
+  EXPECT_TRUE(ValidateDuplicateFree(*joined).ok());
+  bool saw_acme = false, saw_blue = false;
+  for (std::size_t i = 0; i < joined->size(); ++i) {
+    std::string f = ToString(joined->FactOf(i));
+    if (f.find("acme") != std::string::npos) {
+      saw_acme = true;
+      EXPECT_EQ((*joined)[i].t, Interval(5, 10));
+      EXPECT_EQ(joined->LineageString(i), "r1∧s1v");
+    }
+    if (f.find("blue") != std::string::npos) {
+      saw_blue = true;
+      EXPECT_EQ((*joined)[i].t, Interval(8, 10));
+    }
+  }
+  EXPECT_TRUE(saw_acme && saw_blue);
+}
+
+TEST(JoinTest, OverlappingSameKeyTuplesAllPair) {
+  // Two s tuples share the key but differ in a non-key attribute and
+  // overlap in time — both must pair with the covering r tuple.
+  auto ctx = std::make_shared<TpContext>();
+  Schema one({"k"}, {ValueType::kString});
+  Schema two({"k", "v"}, {ValueType::kString, ValueType::kString});
+  TpRelation r(ctx, one, "r");
+  TpRelation s(ctx, two, "s");
+  ASSERT_TRUE(r.AddBase({Value(std::string("k1"))}, Interval(0, 100), 0.5, "x").ok());
+  ASSERT_TRUE(s.AddBase({Value(std::string("k1")), Value(std::string("a"))},
+                        Interval(10, 50), 0.5, "y1")
+                  .ok());
+  ASSERT_TRUE(s.AddBase({Value(std::string("k1")), Value(std::string("b"))},
+                        Interval(20, 60), 0.5, "y2")
+                  .ok());
+  Result<TpRelation> joined = TpEquiJoin(r, s, {0}, {0});
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->size(), 2u);
+}
+
+TEST(JoinTest, AdjacentIntervalsDoNotJoin) {
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r = MakeRelation(ctx, "r", {{"f", "r1", 0, 5, 0.5}});
+  TpRelation s = MakeRelation(ctx, "s", {{"f", "s1", 5, 9, 0.5}});
+  Result<TpRelation> joined = TpJoinOnFact(r, s);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->size(), 0u);
+}
+
+TEST(JoinTest, SnapshotReducibility) {
+  // At every time point, the join's snapshot equals the pairing of the
+  // input snapshots.
+  SupermarketDb db;
+  Result<TpRelation> joined = TpJoinOnFact(db.a, db.c);
+  ASSERT_TRUE(joined.ok());
+  for (TimePoint t = 0; t <= 11; ++t) {
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < db.a.size(); ++i) {
+      for (std::size_t j = 0; j < db.c.size(); ++j) {
+        if (db.a[i].fact == db.c[j].fact && db.a[i].t.Contains(t) &&
+            db.c[j].t.Contains(t)) {
+          ++expected;
+        }
+      }
+    }
+    std::size_t actual = 0;
+    for (std::size_t i = 0; i < joined->size(); ++i) {
+      if ((*joined)[i].t.Contains(t)) ++actual;
+    }
+    EXPECT_EQ(actual, expected) << "t=" << t;
+  }
+}
+
+TEST(JoinTest, ProbabilityOfJoinedTupleIsProduct) {
+  SupermarketDb db;
+  Result<TpRelation> joined = TpJoinOnFact(db.a, db.c);
+  ASSERT_TRUE(joined.ok());
+  for (std::size_t i = 0; i < joined->size(); ++i) {
+    // Each lineage is and(x, y) over independent variables.
+    EXPECT_TRUE(db.ctx->lineage().IsReadOnce((*joined)[i].lineage));
+    double p = joined->TupleProbability(i);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(JoinTest, ValidationErrors) {
+  auto ctx = std::make_shared<TpContext>();
+  auto ctx2 = std::make_shared<TpContext>();
+  TpRelation r = MakeRelation(ctx, "r", {{"f", "r1", 0, 5, 0.5}});
+  TpRelation s = MakeRelation(ctx2, "s", {{"f", "s1", 0, 5, 0.5}});
+  EXPECT_FALSE(TpJoinOnFact(r, s).ok()) << "foreign contexts";
+
+  TpRelation s2 = MakeRelation(ctx, "s2", {{"f", "s2v", 0, 5, 0.5}});
+  EXPECT_FALSE(TpEquiJoin(r, s2, {0, 1}, {0}).ok()) << "key arity mismatch";
+  EXPECT_FALSE(TpEquiJoin(r, s2, {3}, {0}).ok()) << "key index out of range";
+
+  TpRelation ints(ctx, Schema::SingleInt("fact"), "ints");
+  ASSERT_TRUE(ints.AddBase({Value(std::int64_t{1})}, Interval(0, 5), 0.5).ok());
+  EXPECT_FALSE(TpEquiJoin(r, ints, {0}, {0}).ok()) << "key type mismatch";
+}
+
+TEST(JoinTest, EmptyInputs) {
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r = MakeRelation(ctx, "r", {{"f", "r1", 0, 5, 0.5}});
+  TpRelation empty(ctx, Schema::SingleString("Product"), "e");
+  EXPECT_EQ(TpJoinOnFact(r, empty)->size(), 0u);
+  EXPECT_EQ(TpJoinOnFact(empty, r)->size(), 0u);
+}
+
+}  // namespace
+}  // namespace tpset

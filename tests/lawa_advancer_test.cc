@@ -1,0 +1,199 @@
+// LAWA window advancer: the paper's Fig. 4 trace, the window sequences of
+// Fig. 6, Proposition 1's bound, and the pseudocode-defect regressions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lawa/advancer.h"
+#include "lawa/set_ops.h"
+#include "tests/test_util.h"
+
+namespace tpset {
+namespace {
+
+using testing::MakeRelation;
+using testing::SupermarketDb;
+
+struct WindowSnapshot {
+  FactId fact;
+  Interval t;
+  std::string lr;
+  std::string ls;
+};
+
+// Runs the advancer to exhaustion and renders each window's lineages.
+std::vector<WindowSnapshot> AllWindows(const TpRelation& r, const TpRelation& s) {
+  std::vector<TpTuple> rs = r.tuples();
+  std::vector<TpTuple> ss = s.tuples();
+  SortTuples(&rs, SortMode::kComparison);
+  SortTuples(&ss, SortMode::kComparison);
+  LineageAwareWindowAdvancer adv(rs, ss);
+  const LineageManager& mgr = r.context()->lineage();
+  const VarTable& vars = r.context()->vars();
+  std::vector<WindowSnapshot> out;
+  LineageAwareWindow w;
+  while (adv.Next(&w)) {
+    out.push_back({w.fact, w.t, mgr.ToString(w.lr, vars), mgr.ToString(w.ls, vars)});
+  }
+  return out;
+}
+
+// ---- Fig. 4: LAWA calls for left input c, right input a ('milk' group) ----
+
+TEST(AdvancerTest, PaperFig4MilkWindows) {
+  SupermarketDb db;
+  // Restrict to the 'milk' tuples as in the figure.
+  TpRelation c_milk(db.ctx, Schema::SingleString("Product"), "c_milk");
+  TpRelation a_milk(db.ctx, Schema::SingleString("Product"), "a_milk");
+  for (std::size_t i = 0; i < db.c.size(); ++i) {
+    if (ToString(db.c.FactOf(i)) == "'milk'") {
+      c_milk.AddDerived(db.c[i].fact, db.c[i].t, db.c[i].lineage);
+    }
+  }
+  for (std::size_t i = 0; i < db.a.size(); ++i) {
+    if (ToString(db.a.FactOf(i)) == "'milk'") {
+      a_milk.AddDerived(db.a[i].fact, db.a[i].t, db.a[i].lineage);
+    }
+  }
+  std::vector<WindowSnapshot> windows = AllWindows(c_milk, a_milk);
+  // The figure shows the first call yielding ('milk', [1,2), c1, null), the
+  // second ('milk', [2,4), c1, a1), and the last ('milk', [8,10), null, a1).
+  ASSERT_EQ(windows.size(), 5u);
+  EXPECT_EQ(windows[0].t, Interval(1, 2));
+  EXPECT_EQ(windows[0].lr, "c1");
+  EXPECT_EQ(windows[0].ls, "null");
+  EXPECT_EQ(windows[1].t, Interval(2, 4));
+  EXPECT_EQ(windows[1].lr, "c1");
+  EXPECT_EQ(windows[1].ls, "a1");
+  EXPECT_EQ(windows[2].t, Interval(4, 6));
+  EXPECT_EQ(windows[2].lr, "null");
+  EXPECT_EQ(windows[2].ls, "a1");
+  EXPECT_EQ(windows[3].t, Interval(6, 8));
+  EXPECT_EQ(windows[3].lr, "c2");
+  EXPECT_EQ(windows[3].ls, "a1");
+  EXPECT_EQ(windows[4].t, Interval(8, 10));
+  EXPECT_EQ(windows[4].lr, "null");
+  EXPECT_EQ(windows[4].ls, "a1");
+}
+
+// ---- Fig. 6's ✓/✗ annotations are the −Tp filter over those windows ----
+
+TEST(AdvancerTest, Fig6FilterDecisions) {
+  SupermarketDb db;
+  std::vector<WindowSnapshot> windows = AllWindows(db.c, db.a);
+  int accepted = 0, rejected = 0;
+  for (const WindowSnapshot& w : windows) {
+    (w.lr != "null" ? accepted : rejected)++;
+  }
+  // Full c vs a sweep: milk 5 windows (3 accepted), chips 3 (2 accepted),
+  // dates 1 (0 accepted).
+  EXPECT_EQ(windows.size(), 9u);
+  EXPECT_EQ(accepted, 5);
+  EXPECT_EQ(rejected, 4);
+}
+
+TEST(AdvancerTest, WindowsAreAdjacentWithinRuns) {
+  SupermarketDb db;
+  std::vector<WindowSnapshot> windows = AllWindows(db.c, db.a);
+  for (std::size_t i = 1; i < windows.size(); ++i) {
+    // Within one fact's run, windows never overlap and never go backwards.
+    if (windows[i - 1].fact == windows[i].fact) {
+      EXPECT_LE(windows[i - 1].t.end, windows[i].t.start);
+    }
+  }
+}
+
+TEST(AdvancerTest, Proposition1WindowBound) {
+  SupermarketDb db;
+  std::vector<TpTuple> rs = db.c.tuples();
+  std::vector<TpTuple> ss = db.a.tuples();
+  SortTuples(&rs, SortMode::kComparison);
+  SortTuples(&ss, SortMode::kComparison);
+  LineageAwareWindowAdvancer adv(rs, ss);
+  LineageAwareWindow w;
+  while (adv.Next(&w)) {
+  }
+  // nr, ns = numbers of start and end points; fd = distinct facts.
+  std::size_t nr = 2 * rs.size();
+  std::size_t ns = 2 * ss.size();
+  std::size_t fd = 3;  // milk, chips, dates
+  EXPECT_LE(adv.windows_produced(), nr + ns - fd);
+}
+
+TEST(AdvancerTest, EmptyInputsProduceNoWindow) {
+  auto ctx = std::make_shared<TpContext>();
+  std::vector<TpTuple> empty;
+  LineageAwareWindowAdvancer adv(empty, empty);
+  LineageAwareWindow w;
+  EXPECT_FALSE(adv.Next(&w));
+  EXPECT_EQ(adv.windows_produced(), 0u);
+}
+
+TEST(AdvancerTest, SingleSidedInput) {
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r = MakeRelation(ctx, "r",
+                              {{"f", "r1", 0, 5, 0.5}, {"f", "r2", 8, 12, 0.5}});
+  TpRelation s(ctx, Schema::SingleString("Product"), "s");
+  std::vector<WindowSnapshot> windows = AllWindows(r, s);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].t, Interval(0, 5));
+  EXPECT_EQ(windows[1].t, Interval(8, 12)) << "gap is skipped, not windowed";
+  EXPECT_EQ(windows[0].ls, "null");
+}
+
+TEST(AdvancerTest, FactGroupSwitchWithInterleavedStarts) {
+  // Regression for pseudocode defect 2: when neither pending tuple matches
+  // currFact, the (fact, start) order decides — a later fact with an
+  // earlier start must not hijack the sweep.
+  auto ctx = std::make_shared<TpContext>();
+  // Interning order fixes FactIds: f < g.
+  TpRelation r = MakeRelation(ctx, "r", {{"f", "r1", 10, 20, 0.5}});
+  TpRelation s = MakeRelation(ctx, "s", {{"g", "s1", 0, 30, 0.5}});
+  std::vector<WindowSnapshot> windows = AllWindows(r, s);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].t, Interval(10, 20));
+  EXPECT_EQ(windows[0].lr, "r1");
+  EXPECT_EQ(windows[1].t, Interval(0, 30));
+  EXPECT_EQ(windows[1].ls, "s1");
+}
+
+TEST(AdvancerTest, PendingTupleOfOtherFactDoesNotSplitWindow) {
+  // Regression for the minTs repair: g's tuple starting at t=3 must not
+  // split f's window [0,10).
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r = MakeRelation(ctx, "r",
+                              {{"f", "r1", 0, 10, 0.5}, {"g", "r2", 3, 5, 0.5}});
+  TpRelation s(ctx, Schema::SingleString("Product"), "s");
+  std::vector<WindowSnapshot> windows = AllWindows(r, s);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].t, Interval(0, 10));
+  EXPECT_EQ(windows[1].t, Interval(3, 5));
+}
+
+TEST(AdvancerTest, StatusAccessorsTrackProgress) {
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r = MakeRelation(ctx, "r", {{"f", "r1", 0, 10, 0.5}});
+  TpRelation s = MakeRelation(ctx, "s", {{"f", "s1", 5, 15, 0.5}});
+  std::vector<TpTuple> rs = r.tuples(), ss = s.tuples();
+  LineageAwareWindowAdvancer adv(rs, ss);
+  EXPECT_TRUE(adv.HasPendingR());
+  EXPECT_TRUE(adv.HasPendingS());
+  EXPECT_FALSE(adv.HasValidR());
+  LineageAwareWindow w;
+  ASSERT_TRUE(adv.Next(&w));  // [0,5): r1 valid, s still pending
+  EXPECT_EQ(w.t, Interval(0, 5));
+  EXPECT_FALSE(adv.HasPendingR());
+  EXPECT_TRUE(adv.HasValidR());
+  EXPECT_TRUE(adv.HasPendingS());
+  ASSERT_TRUE(adv.Next(&w));  // [5,10): both valid
+  EXPECT_EQ(w.t, Interval(5, 10));
+  EXPECT_FALSE(adv.HasValidR()) << "r1 expired at 10";
+  EXPECT_TRUE(adv.HasValidS());
+  ASSERT_TRUE(adv.Next(&w));  // [10,15): s1 alone
+  EXPECT_EQ(w.t, Interval(10, 15));
+  EXPECT_FALSE(adv.Next(&w));
+  EXPECT_EQ(adv.windows_produced(), 3u);
+}
+
+}  // namespace
+}  // namespace tpset

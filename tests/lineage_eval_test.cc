@@ -1,0 +1,149 @@
+// Probability evaluators: read-once exactness, Shannon expansion on shared
+// variables, Monte-Carlo convergence, and cross-validation among the three.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "lineage/eval.h"
+#include "lineage/lineage.h"
+#include "lineage/parse.h"
+
+namespace tpset {
+namespace {
+
+class EvalTest : public ::testing::Test {
+ protected:
+  LineageId Parse(const std::string& text) {
+    Result<LineageId> r = ParseLineage(text, &mgr_, vars_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return *r;
+  }
+
+  LineageManager mgr_;
+  VarTable vars_;
+  VarId a_ = *vars_.AddNamed("a", 0.3);
+  VarId b_ = *vars_.AddNamed("b", 0.6);
+  VarId c_ = *vars_.AddNamed("c", 0.7);
+  VarId d_ = *vars_.AddNamed("d", 0.5);
+};
+
+TEST_F(EvalTest, AssignmentEvaluation) {
+  LineageId f = Parse("a & !(b | c)");
+  EXPECT_TRUE(EvaluateAssignment(mgr_, f, {true, false, false}));
+  EXPECT_FALSE(EvaluateAssignment(mgr_, f, {true, true, false}));
+  EXPECT_FALSE(EvaluateAssignment(mgr_, f, {false, false, false}));
+  EXPECT_TRUE(EvaluateAssignment(mgr_, mgr_.True(), {}));
+  EXPECT_FALSE(EvaluateAssignment(mgr_, mgr_.False(), {}));
+  // Variables beyond the assignment vector default to false.
+  EXPECT_FALSE(EvaluateAssignment(mgr_, Parse("d"), {true, true, true}));
+}
+
+TEST_F(EvalTest, ReadOncePaperValues) {
+  // The probabilities the paper reports for Fig. 1c / Fig. 3.
+  EXPECT_NEAR(ProbabilityReadOnce(mgr_, Parse("c & !a"), vars_), 0.7 * 0.7, 1e-12);
+  // c2 ∧ ¬(a1 ∨ b1) with p = 0.7, 0.3, 0.6: 0.7·(1−(1−(1−0.3)(1−0.6))) = 0.196.
+  EXPECT_NEAR(ProbabilityReadOnce(mgr_, Parse("c & !(a | b)"), vars_), 0.196,
+              1e-12);
+  EXPECT_NEAR(ProbabilityReadOnce(mgr_, Parse("a | b"), vars_),
+              0.3 + 0.6 - 0.18, 1e-12);
+  EXPECT_NEAR(ProbabilityReadOnce(mgr_, Parse("a & b"), vars_), 0.18, 1e-12);
+}
+
+TEST_F(EvalTest, ReadOnceConstants) {
+  EXPECT_DOUBLE_EQ(ProbabilityReadOnce(mgr_, mgr_.True(), vars_), 1.0);
+  EXPECT_DOUBLE_EQ(ProbabilityReadOnce(mgr_, mgr_.False(), vars_), 0.0);
+}
+
+TEST_F(EvalTest, ShannonMatchesReadOnceOn1OF) {
+  for (const char* text : {"a", "!a", "a & b", "a | b", "a & !(b | c)",
+                           "(a | b) & (c | d)", "a & b & c & d"}) {
+    LineageId f = Parse(text);
+    ASSERT_TRUE(mgr_.IsReadOnce(f)) << text;
+    EXPECT_NEAR(ProbabilityExact(mgr_, f, vars_),
+                ProbabilityReadOnce(mgr_, f, vars_), 1e-12)
+        << text;
+  }
+}
+
+TEST_F(EvalTest, ShannonHandlesSharedVariables) {
+  // a ∨ (a ∧ b) ≡ a: exact probability must be P(a) = 0.3, while the naive
+  // independent recursion overestimates.
+  LineageId f = Parse("a | (a & b)");
+  ASSERT_FALSE(mgr_.IsReadOnce(f));
+  EXPECT_NEAR(ProbabilityExact(mgr_, f, vars_), 0.3, 1e-12);
+  EXPECT_GT(ProbabilityReadOnce(mgr_, f, vars_), 0.3)
+      << "read-once recursion is only an upper bound here";
+
+  // a ∧ ¬a ≡ false.
+  EXPECT_NEAR(ProbabilityExact(mgr_, Parse("a & !a"), vars_), 0.0, 1e-12);
+  // a ∨ ¬a ≡ true.
+  EXPECT_NEAR(ProbabilityExact(mgr_, Parse("a | !a"), vars_), 1.0, 1e-12);
+  // (a∧b) ∨ (a∧c): P = P(a)·(P(b∨c)) = 0.3·(0.6+0.7−0.42) = 0.264.
+  EXPECT_NEAR(ProbabilityExact(mgr_, Parse("(a&b) | (a&c)"), vars_), 0.264,
+              1e-12);
+}
+
+TEST_F(EvalTest, ShannonBruteForceCrossCheck) {
+  // Exhaustive enumeration over all assignments as the gold standard.
+  const char* formulas[] = {
+      "a | (b & !a)", "(a | b) & (!a | c)", "(a & b) | (b & c) | (c & d)",
+      "!(a & b) & (a | b)", "((a|b)&(c|d)) | (a&d)"};
+  for (const char* text : formulas) {
+    LineageId f = Parse(text);
+    double brute = 0.0;
+    for (unsigned m = 0; m < 16; ++m) {
+      std::vector<bool> assign = {(m & 1) != 0, (m & 2) != 0, (m & 4) != 0,
+                                  (m & 8) != 0};
+      if (!EvaluateAssignment(mgr_, f, assign)) continue;
+      double p = 1.0;
+      const double probs[] = {0.3, 0.6, 0.7, 0.5};
+      for (int v = 0; v < 4; ++v) p *= assign[v] ? probs[v] : 1.0 - probs[v];
+      brute += p;
+    }
+    EXPECT_NEAR(ProbabilityExact(mgr_, f, vars_), brute, 1e-12) << text;
+  }
+}
+
+TEST_F(EvalTest, MonteCarloConvergesTo1OFTruth) {
+  LineageId f = Parse("c & !(a | b)");
+  double exact = ProbabilityReadOnce(mgr_, f, vars_);
+  Rng rng(7);
+  double estimate = ProbabilityMonteCarlo(mgr_, f, vars_, 200000, &rng);
+  EXPECT_NEAR(estimate, exact, 0.01);
+}
+
+TEST_F(EvalTest, MonteCarloConvergesToShannonOnShared) {
+  LineageId f = Parse("(a & b) | (a & c)");
+  double exact = ProbabilityExact(mgr_, f, vars_);
+  Rng rng(11);
+  double estimate = ProbabilityMonteCarlo(mgr_, f, vars_, 200000, &rng);
+  EXPECT_NEAR(estimate, exact, 0.01);
+}
+
+TEST_F(EvalTest, MonteCarloIsDeterministicGivenSeed) {
+  LineageId f = Parse("a | b");
+  Rng rng1(5), rng2(5);
+  EXPECT_DOUBLE_EQ(ProbabilityMonteCarlo(mgr_, f, vars_, 1000, &rng1),
+                   ProbabilityMonteCarlo(mgr_, f, vars_, 1000, &rng2));
+}
+
+TEST_F(EvalTest, DeepChainStaysExact) {
+  // Union chain of 50 fresh variables: P = 1 − Π(1 − p_i); read-once
+  // recursion must match the closed form.
+  LineageManager mgr;
+  VarTable vars;
+  LineageId acc = kNullLineage;
+  double expected_miss = 1.0;
+  for (int i = 0; i < 50; ++i) {
+    double p = 0.01 + 0.015 * i;
+    VarId v = vars.Add(p);
+    expected_miss *= 1.0 - p;
+    acc = mgr.ConcatOr(acc, mgr.MakeVar(v));
+  }
+  EXPECT_NEAR(ProbabilityReadOnce(mgr, acc, vars), 1.0 - expected_miss, 1e-12);
+  EXPECT_TRUE(mgr.IsReadOnce(acc));
+}
+
+}  // namespace
+}  // namespace tpset

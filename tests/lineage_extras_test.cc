@@ -1,0 +1,153 @@
+// Anytime probability bounds and lineage simplification.
+#include <gtest/gtest.h>
+
+#include "lineage/bounds.h"
+#include "lineage/eval.h"
+#include "lineage/parse.h"
+#include "lineage/simplify.h"
+
+namespace tpset {
+namespace {
+
+class LineageExtrasTest : public ::testing::Test {
+ protected:
+  LineageId Parse(const std::string& text) {
+    Result<LineageId> r = ParseLineage(text, &mgr_, vars_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return *r;
+  }
+
+  // Gold-standard probability by exhaustive enumeration (<= 4 vars).
+  double BruteForce(LineageId f) {
+    const double probs[] = {0.3, 0.6, 0.7, 0.5};
+    double total = 0.0;
+    for (unsigned m = 0; m < 16; ++m) {
+      std::vector<bool> assign = {(m & 1) != 0, (m & 2) != 0, (m & 4) != 0,
+                                  (m & 8) != 0};
+      if (!EvaluateAssignment(mgr_, f, assign)) continue;
+      double p = 1.0;
+      for (int v = 0; v < 4; ++v) p *= assign[v] ? probs[v] : 1.0 - probs[v];
+      total += p;
+    }
+    return total;
+  }
+
+  LineageManager mgr_;
+  VarTable vars_;
+  VarId a_ = *vars_.AddNamed("a", 0.3);
+  VarId b_ = *vars_.AddNamed("b", 0.6);
+  VarId c_ = *vars_.AddNamed("c", 0.7);
+  VarId d_ = *vars_.AddNamed("d", 0.5);
+};
+
+// ---- anytime bounds ----
+
+TEST_F(LineageExtrasTest, ZeroBudgetGivesTrivialBoundsOnCompound) {
+  LineageId f = Parse("a & b");
+  ProbabilityInterval iv = ProbabilityAnytime(mgr_, f, vars_, 0);
+  EXPECT_DOUBLE_EQ(iv.lower, 0.0);
+  EXPECT_DOUBLE_EQ(iv.upper, 1.0);
+}
+
+TEST_F(LineageExtrasTest, AtomsAreExactEvenWithZeroBudget) {
+  ProbabilityInterval iv = ProbabilityAnytime(mgr_, Parse("a"), vars_, 0);
+  EXPECT_DOUBLE_EQ(iv.lower, 0.3);
+  EXPECT_DOUBLE_EQ(iv.upper, 0.3);
+  EXPECT_DOUBLE_EQ(ProbabilityAnytime(mgr_, mgr_.True(), vars_, 0).lower, 1.0);
+  EXPECT_DOUBLE_EQ(ProbabilityAnytime(mgr_, mgr_.False(), vars_, 0).upper, 0.0);
+}
+
+TEST_F(LineageExtrasTest, BoundsEncloseExactAndShrinkMonotonically) {
+  const char* formulas[] = {"a & !(b | c)", "(a | b) & (!a | c)",
+                            "(a & b) | (b & c) | (c & d)", "a | (b & !a)"};
+  for (const char* text : formulas) {
+    LineageId f = Parse(text);
+    double exact = BruteForce(f);
+    double prev_width = 2.0;
+    for (std::size_t budget : {0u, 1u, 2u, 4u, 8u, 32u, 1024u}) {
+      ProbabilityInterval iv = ProbabilityAnytime(mgr_, f, vars_, budget);
+      EXPECT_LE(iv.lower, exact + 1e-12) << text << " budget " << budget;
+      EXPECT_GE(iv.upper, exact - 1e-12) << text << " budget " << budget;
+      EXPECT_LE(iv.width(), prev_width + 1e-12) << text << " budget " << budget;
+      prev_width = iv.width();
+    }
+    // A generous budget collapses the interval to the exact value.
+    ProbabilityInterval final_iv = ProbabilityAnytime(mgr_, f, vars_, 100000);
+    EXPECT_NEAR(final_iv.lower, exact, 1e-12) << text;
+    EXPECT_NEAR(final_iv.upper, exact, 1e-12) << text;
+  }
+}
+
+TEST_F(LineageExtrasTest, BoundsAgreeWithShannonOnConvergence) {
+  LineageId g = Parse("(a | b) & (a | c)");
+  ProbabilityInterval iv = ProbabilityAnytime(mgr_, g, vars_, 100000);
+  EXPECT_NEAR(iv.lower, ProbabilityExact(mgr_, g, vars_), 1e-12);
+}
+
+// ---- simplification ----
+
+TEST_F(LineageExtrasTest, SimplifyComplementRules) {
+  EXPECT_EQ(Simplify(mgr_, Parse("a & !a")), mgr_.False());
+  EXPECT_EQ(Simplify(mgr_, Parse("!a & a")), mgr_.False());
+  EXPECT_EQ(Simplify(mgr_, Parse("a | !a")), mgr_.True());
+  EXPECT_EQ(Simplify(mgr_, Parse("b & (a & !a)")), mgr_.False())
+      << "inner contradiction propagates through constant folding";
+}
+
+TEST_F(LineageExtrasTest, SimplifyAbsorption) {
+  LineageId va = mgr_.MakeVar(a_);
+  EXPECT_EQ(Simplify(mgr_, Parse("a & (a | b)")), va);
+  EXPECT_EQ(Simplify(mgr_, Parse("(a | b) & a")), va);
+  EXPECT_EQ(Simplify(mgr_, Parse("a | (a & b)")), va);
+  EXPECT_EQ(Simplify(mgr_, Parse("(a & b) | a")), va);
+  // Deeper chain: a ∨ (b ∧ (a ∨ c)) is NOT absorbable by these local rules;
+  // it must survive unchanged but equivalent.
+  LineageId f = Parse("a | (b & (a | c))");
+  LineageId simplified = Simplify(mgr_, f);
+  EXPECT_NEAR(BruteForce(simplified), BruteForce(f), 1e-12);
+}
+
+TEST_F(LineageExtrasTest, SimplifyChainDedup) {
+  LineageId va = mgr_.MakeVar(a_);
+  LineageId vb = mgr_.MakeVar(b_);
+  EXPECT_EQ(Simplify(mgr_, Parse("a & (a & b)")), mgr_.MakeAnd(va, vb));
+  EXPECT_EQ(Simplify(mgr_, Parse("a | (a | b)")), mgr_.MakeOr(va, vb));
+}
+
+TEST_F(LineageExtrasTest, SimplifyPreservesSemantics) {
+  const char* formulas[] = {
+      "a",
+      "!a",
+      "a & b",
+      "a | (a & b)",
+      "(a | b) & (!a | c)",
+      "((a & b) | (a & !b)) | (c & d)",
+      "!(a & (a | b))",
+      "(a | !a) & (b | c)",
+      "a & !(a | b)",
+  };
+  for (const char* text : formulas) {
+    LineageId f = Parse(text);
+    LineageId simplified = Simplify(mgr_, f);
+    EXPECT_NEAR(BruteForce(simplified), BruteForce(f), 1e-12) << text;
+    EXPECT_LE(mgr_.CountVarOccurrences(simplified), mgr_.CountVarOccurrences(f))
+        << text << ": simplification must never grow the formula";
+  }
+}
+
+TEST_F(LineageExtrasTest, SimplifyHandlesNull) {
+  EXPECT_EQ(Simplify(mgr_, kNullLineage), kNullLineage);
+}
+
+TEST_F(LineageExtrasTest, SimplifySpeedsUpRepeatingQueryLineage) {
+  // (a∨b) ∧ ¬(a∧b) stays; but (a∨b) ∧ (a∨b) collapses via idempotence at
+  // construction, and a∧(a∨b) absorbs — the pattern produced by repeating
+  // set queries over the same relation.
+  LineageId f = Parse("(a | b) & (a | b)");
+  EXPECT_EQ(mgr_.CountVarOccurrences(f), 2u) << "consing already deduplicates";
+  LineageId g = Parse("a & (a | b)");
+  EXPECT_EQ(mgr_.CountVarOccurrences(Simplify(mgr_, g)), 1u);
+}
+
+}  // namespace
+}  // namespace tpset

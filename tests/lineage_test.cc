@@ -1,0 +1,163 @@
+// Lineage algebra: hash-consing, Table I concatenation functions, printing,
+// canonical keys, variable analysis.
+#include <gtest/gtest.h>
+
+#include "lineage/lineage.h"
+
+namespace tpset {
+namespace {
+
+class LineageTest : public ::testing::Test {
+ protected:
+  LineageManager mgr_;
+  VarTable vars_;
+  VarId a1_ = *vars_.AddNamed("a1", 0.3);
+  VarId b1_ = *vars_.AddNamed("b1", 0.6);
+  VarId c1_ = *vars_.AddNamed("c1", 0.6);
+};
+
+TEST_F(LineageTest, VarTableBasics) {
+  EXPECT_EQ(vars_.size(), 3u);
+  EXPECT_DOUBLE_EQ(vars_.probability(a1_), 0.3);
+  EXPECT_EQ(vars_.name(a1_), "a1");
+  EXPECT_EQ(*vars_.Find("b1"), b1_);
+  EXPECT_FALSE(vars_.Find("nope").ok());
+  EXPECT_FALSE(vars_.AddNamed("a1", 0.5).ok()) << "duplicate names rejected";
+  EXPECT_FALSE(vars_.AddNamed("bad", 0.0).ok()) << "p must be in (0,1]";
+  EXPECT_FALSE(vars_.AddNamed("bad2", 1.5).ok());
+}
+
+TEST_F(LineageTest, AnonymousVarsGetSynthesizedNames) {
+  VarId v = vars_.Add(0.5);
+  EXPECT_EQ(vars_.name(v), "x" + std::to_string(v));
+}
+
+TEST_F(LineageTest, HashConsingDeduplicates) {
+  LineageId va = mgr_.MakeVar(a1_);
+  LineageId vb = mgr_.MakeVar(b1_);
+  EXPECT_EQ(va, mgr_.MakeVar(a1_));
+  EXPECT_EQ(mgr_.MakeAnd(va, vb), mgr_.MakeAnd(va, vb));
+  EXPECT_EQ(mgr_.MakeOr(va, vb), mgr_.MakeOr(va, vb));
+  EXPECT_EQ(mgr_.MakeNot(va), mgr_.MakeNot(va));
+  // And(a,b) and And(b,a) are syntactically different formulas.
+  EXPECT_NE(mgr_.MakeAnd(va, vb), mgr_.MakeAnd(vb, va));
+}
+
+TEST_F(LineageTest, NoConsingStillBuildsCorrectNodes) {
+  LineageManager mgr(false);
+  LineageId va = mgr.MakeVar(a1_);
+  LineageId vb = mgr.MakeVar(a1_);
+  EXPECT_NE(va, vb) << "without consing, each construction appends";
+  EXPECT_EQ(mgr.kind(va), LineageKind::kVar);
+  EXPECT_EQ(mgr.node(va).var, a1_);
+}
+
+TEST_F(LineageTest, ConstantFolding) {
+  LineageId va = mgr_.MakeVar(a1_);
+  EXPECT_EQ(mgr_.MakeAnd(mgr_.True(), va), va);
+  EXPECT_EQ(mgr_.MakeAnd(va, mgr_.True()), va);
+  EXPECT_EQ(mgr_.MakeAnd(mgr_.False(), va), mgr_.False());
+  EXPECT_EQ(mgr_.MakeOr(mgr_.False(), va), va);
+  EXPECT_EQ(mgr_.MakeOr(mgr_.True(), va), mgr_.True());
+  EXPECT_EQ(mgr_.MakeNot(mgr_.True()), mgr_.False());
+  EXPECT_EQ(mgr_.MakeNot(mgr_.False()), mgr_.True());
+  EXPECT_EQ(mgr_.MakeNot(mgr_.MakeNot(va)), va) << "double negation folds";
+  EXPECT_EQ(mgr_.MakeAnd(va, va), va) << "idempotence folds";
+  EXPECT_EQ(mgr_.MakeOr(va, va), va);
+}
+
+TEST_F(LineageTest, TableIAnd) {
+  LineageId va = mgr_.MakeVar(a1_);
+  LineageId vc = mgr_.MakeVar(c1_);
+  LineageId r = mgr_.ConcatAnd(va, vc);
+  EXPECT_EQ(mgr_.ToString(r, vars_), "a1∧c1");
+}
+
+TEST_F(LineageTest, TableIAndNot) {
+  LineageId vc = mgr_.MakeVar(c1_);
+  LineageId va = mgr_.MakeVar(a1_);
+  // andNot(λ1, null) = λ1
+  EXPECT_EQ(mgr_.ConcatAndNot(vc, kNullLineage), vc);
+  // andNot(λ1, λ2) = λ1 ∧ ¬λ2
+  LineageId r = mgr_.ConcatAndNot(vc, va);
+  EXPECT_EQ(mgr_.ToString(r, vars_), "c1∧¬a1");
+}
+
+TEST_F(LineageTest, TableIOr) {
+  LineageId va = mgr_.MakeVar(a1_);
+  LineageId vb = mgr_.MakeVar(b1_);
+  EXPECT_EQ(mgr_.ConcatOr(va, kNullLineage), va);
+  EXPECT_EQ(mgr_.ConcatOr(kNullLineage, vb), vb);
+  EXPECT_EQ(mgr_.ToString(mgr_.ConcatOr(va, vb), vars_), "a1∨b1");
+}
+
+TEST_F(LineageTest, PrintingPrecedence) {
+  LineageId va = mgr_.MakeVar(a1_);
+  LineageId vb = mgr_.MakeVar(b1_);
+  LineageId vc = mgr_.MakeVar(c1_);
+  // c1 ∧ ¬(a1 ∨ b1): the paper's Fig. 1c lineage.
+  LineageId f = mgr_.MakeAnd(vc, mgr_.MakeNot(mgr_.MakeOr(va, vb)));
+  EXPECT_EQ(mgr_.ToString(f, vars_), "c1∧¬(a1∨b1)");
+  EXPECT_EQ(mgr_.ToString(f, vars_, /*ascii=*/true), "c1&!(a1|b1)");
+  // (a1 ∨ b1) ∧ c1 needs parentheses on the left.
+  LineageId g = mgr_.MakeAnd(mgr_.MakeOr(va, vb), vc);
+  EXPECT_EQ(mgr_.ToString(g, vars_), "(a1∨b1)∧c1");
+  // a1 ∨ (b1 ∧ c1) does not need parentheses.
+  LineageId h = mgr_.MakeOr(va, mgr_.MakeAnd(vb, vc));
+  EXPECT_EQ(mgr_.ToString(h, vars_), "a1∨b1∧c1");
+  EXPECT_EQ(mgr_.ToString(kNullLineage, vars_), "null");
+}
+
+TEST_F(LineageTest, CollectVarsDeduplicates) {
+  LineageId va = mgr_.MakeVar(a1_);
+  LineageId vb = mgr_.MakeVar(b1_);
+  LineageId f = mgr_.MakeAnd(mgr_.MakeOr(va, vb), mgr_.MakeNot(va));
+  std::vector<VarId> vars;
+  mgr_.CollectVars(f, &vars);
+  EXPECT_EQ(vars, (std::vector<VarId>{a1_, b1_}));
+  vars.clear();
+  mgr_.CollectVars(kNullLineage, &vars);
+  EXPECT_TRUE(vars.empty());
+}
+
+TEST_F(LineageTest, ReadOnceDetection) {
+  LineageId va = mgr_.MakeVar(a1_);
+  LineageId vb = mgr_.MakeVar(b1_);
+  LineageId vc = mgr_.MakeVar(c1_);
+  EXPECT_TRUE(mgr_.IsReadOnce(va));
+  EXPECT_TRUE(mgr_.IsReadOnce(mgr_.MakeAnd(va, mgr_.MakeNot(vb))));
+  EXPECT_TRUE(mgr_.IsReadOnce(mgr_.MakeAnd(vc, mgr_.MakeNot(mgr_.MakeOr(va, vb)))));
+  // a1 occurs twice: not 1OF.
+  EXPECT_FALSE(mgr_.IsReadOnce(mgr_.MakeAnd(mgr_.MakeOr(va, vb), mgr_.MakeNot(va))));
+  EXPECT_TRUE(mgr_.IsReadOnce(kNullLineage));
+  EXPECT_EQ(mgr_.CountVarOccurrences(
+                mgr_.MakeAnd(mgr_.MakeOr(va, vb), mgr_.MakeNot(va))),
+            3u);
+}
+
+TEST_F(LineageTest, CanonicalKeyIsOrderInsensitive) {
+  LineageId va = mgr_.MakeVar(a1_);
+  LineageId vb = mgr_.MakeVar(b1_);
+  LineageId vc = mgr_.MakeVar(c1_);
+  EXPECT_EQ(mgr_.CanonicalKey(mgr_.MakeAnd(va, vb)),
+            mgr_.CanonicalKey(mgr_.MakeAnd(vb, va)));
+  EXPECT_EQ(mgr_.CanonicalKey(mgr_.MakeOr(mgr_.MakeOr(va, vb), vc)),
+            mgr_.CanonicalKey(mgr_.MakeOr(vc, mgr_.MakeOr(vb, va))))
+      << "associativity flattened";
+  EXPECT_NE(mgr_.CanonicalKey(mgr_.MakeAnd(va, vb)),
+            mgr_.CanonicalKey(mgr_.MakeOr(va, vb)));
+  EXPECT_NE(mgr_.CanonicalKey(va), mgr_.CanonicalKey(mgr_.MakeNot(va)));
+  EXPECT_EQ(mgr_.CanonicalKey(kNullLineage), "null");
+}
+
+TEST_F(LineageTest, ArenaGrowth) {
+  std::size_t before = mgr_.size();
+  LineageId va = mgr_.MakeVar(a1_);
+  LineageId vb = mgr_.MakeVar(b1_);
+  mgr_.MakeAnd(va, vb);
+  mgr_.MakeAnd(va, vb);  // deduplicated
+  EXPECT_EQ(mgr_.size(), before + 3);
+}
+
+}  // namespace
+}  // namespace tpset

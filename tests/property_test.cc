@@ -1,0 +1,193 @@
+// Randomized property tests: LAWA against the literal Def. 1-3 reference
+// evaluator, change preservation, snapshot reducibility, Proposition 1 and
+// Theorem 1, swept over dataset shapes with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "datagen/synthetic.h"
+#include "lawa/advancer.h"
+#include "lawa/set_ops.h"
+#include "lineage/eval.h"
+#include "relation/snapshot.h"
+#include "relation/validate.h"
+
+namespace tpset {
+namespace {
+
+struct PropertyCase {
+  std::uint64_t seed;
+  std::size_t tuples;
+  std::size_t facts;
+  TimePoint len_r;
+  TimePoint len_s;
+  TimePoint gap;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  const PropertyCase& c = info.param;
+  return "seed" + std::to_string(c.seed) + "_n" + std::to_string(c.tuples) + "_f" +
+         std::to_string(c.facts) + "_lr" + std::to_string(c.len_r) + "_ls" +
+         std::to_string(c.len_s) + "_g" + std::to_string(c.gap);
+}
+
+class LawaPropertyTest : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  void SetUp() override {
+    const PropertyCase& c = GetParam();
+    ctx_ = std::make_shared<TpContext>();
+    Rng rng(c.seed);
+    SyntheticPairSpec spec;
+    spec.num_tuples = c.tuples;
+    spec.num_facts = c.facts;
+    spec.max_interval_length_r = c.len_r;
+    spec.max_interval_length_s = c.len_s;
+    spec.max_time_distance = c.gap;
+    auto pair = GenerateSyntheticPair(ctx_, spec, &rng);
+    r_ = std::move(pair.first);
+    s_ = std::move(pair.second);
+    ASSERT_TRUE(ValidateSetOpInputs(r_, s_).ok());
+  }
+
+  std::shared_ptr<TpContext> ctx_;
+  TpRelation r_;
+  TpRelation s_;
+};
+
+TEST_P(LawaPropertyTest, MatchesReferenceEvaluator) {
+  for (SetOpKind op : kAllSetOps) {
+    TpRelation expected = ReferenceSetOp(op, r_, s_);
+    TpRelation actual = LawaSetOp(op, r_, s_);
+    EXPECT_TRUE(RelationsEquivalent(expected, actual))
+        << SetOpName(op) << ": expected " << expected.size() << " tuples, got "
+        << actual.size();
+  }
+}
+
+TEST_P(LawaPropertyTest, OutputsAreWellFormedDuplicateFreeRelations) {
+  for (SetOpKind op : kAllSetOps) {
+    TpRelation out = LawaSetOp(op, r_, s_);
+    EXPECT_TRUE(ValidateWellFormed(out).ok()) << SetOpName(op);
+    EXPECT_TRUE(ValidateDuplicateFree(out).ok()) << SetOpName(op);
+    EXPECT_TRUE(out.IsSortedFactTime()) << SetOpName(op);
+  }
+}
+
+TEST_P(LawaPropertyTest, ChangePreservation) {
+  // Def. 2: no two adjacent same-fact output tuples carry equivalent
+  // lineage (hash-consing makes syntactic equivalence an id comparison).
+  for (SetOpKind op : kAllSetOps) {
+    TpRelation out = LawaSetOp(op, r_, s_);
+    for (std::size_t i = 1; i < out.size(); ++i) {
+      if (out[i - 1].fact == out[i].fact &&
+          out[i - 1].t.end == out[i].t.start) {
+        EXPECT_NE(out[i - 1].lineage, out[i].lineage)
+            << SetOpName(op) << " at tuple " << i << ": intervals not maximal";
+      }
+    }
+  }
+}
+
+TEST_P(LawaPropertyTest, SnapshotReducibility) {
+  // Def. 1: τt(op(r,s)) ≡ opp(τt(r), τt(s)) at sampled time points.
+  LineageManager& mgr = ctx_->lineage();
+  for (SetOpKind op : kAllSetOps) {
+    TpRelation out = LawaSetOp(op, r_, s_);
+    Rng rng(GetParam().seed ^ 0xabcdef);
+    TimePoint horizon = 1;
+    for (const TpTuple& t : r_.tuples()) horizon = std::max(horizon, t.t.end);
+    for (const TpTuple& t : s_.tuples()) horizon = std::max(horizon, t.t.end);
+    for (int probe = 0; probe < 24; ++probe) {
+      TimePoint t = rng.Uniform(0, horizon);
+      // Left side: the output's snapshot at t.
+      std::vector<std::pair<FactId, std::string>> left;
+      for (const TpTuple& tup : out.tuples()) {
+        if (tup.t.Contains(t)) left.emplace_back(tup.fact, mgr.CanonicalKey(tup.lineage));
+      }
+      // Right side: the probabilistic op over the input snapshots at t.
+      std::vector<std::pair<FactId, std::string>> right;
+      for (const auto& [fact, lin] : SnapshotSetOp(op, r_, s_, t)) {
+        right.emplace_back(fact, mgr.CanonicalKey(lin));
+      }
+      std::sort(left.begin(), left.end());
+      std::sort(right.begin(), right.end());
+      EXPECT_EQ(left, right) << SetOpName(op) << " at t=" << t;
+    }
+  }
+}
+
+TEST_P(LawaPropertyTest, Proposition1WindowBound) {
+  std::vector<TpTuple> rs = r_.tuples();
+  std::vector<TpTuple> ss = s_.tuples();
+  SortTuples(&rs, SortMode::kComparison);
+  SortTuples(&ss, SortMode::kComparison);
+  LineageAwareWindowAdvancer adv(rs, ss);
+  LineageAwareWindow w;
+  while (adv.Next(&w)) {
+  }
+  std::vector<FactId> facts;
+  for (const TpTuple& t : rs) facts.push_back(t.fact);
+  for (const TpTuple& t : ss) facts.push_back(t.fact);
+  std::sort(facts.begin(), facts.end());
+  facts.erase(std::unique(facts.begin(), facts.end()), facts.end());
+  EXPECT_LE(adv.windows_produced(),
+            2 * rs.size() + 2 * ss.size() - facts.size());
+}
+
+TEST_P(LawaPropertyTest, Theorem1OutputsAreReadOnce) {
+  // A single set operation is trivially a non-repeating query; all output
+  // lineages must be in 1OF, and the read-once valuation must equal the
+  // exact Shannon valuation (Corollary 1's PTIME path is exact).
+  LineageManager& mgr = ctx_->lineage();
+  const VarTable& vars = ctx_->vars();
+  for (SetOpKind op : kAllSetOps) {
+    TpRelation out = LawaSetOp(op, r_, s_);
+    std::size_t probes = 0;
+    for (std::size_t i = 0; i < out.size() && probes < 50; i += 7, ++probes) {
+      ASSERT_TRUE(mgr.IsReadOnce(out[i].lineage)) << SetOpName(op);
+      EXPECT_NEAR(ProbabilityReadOnce(mgr, out[i].lineage, vars),
+                  ProbabilityExact(mgr, out[i].lineage, vars), 1e-9);
+    }
+  }
+}
+
+TEST_P(LawaPropertyTest, AlgebraicIdentities) {
+  auto project = [](const TpRelation& rel) {
+    std::vector<std::tuple<FactId, TimePoint, TimePoint>> keys;
+    for (const TpTuple& t : rel.tuples()) keys.emplace_back(t.fact, t.t.start, t.t.end);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  // Union and intersection are symmetric on facts + intervals (lineage
+  // operand order differs).
+  EXPECT_EQ(project(LawaUnion(r_, s_)), project(LawaUnion(s_, r_)));
+  EXPECT_EQ(project(LawaIntersect(r_, s_)), project(LawaIntersect(s_, r_)));
+  // Idempotence: both valid tuples are the same tuple, and or(λ,λ)/and(λ,λ)
+  // fold to λ, so r ∪ r ≡ r ∩ r ≡ r exactly (tuples and lineages).
+  EXPECT_TRUE(RelationsEquivalent(LawaUnion(r_, r_), r_));
+  EXPECT_TRUE(RelationsEquivalent(LawaIntersect(r_, r_), r_));
+  // Note: r ∩ s and r − (r − s) are NOT interval-equivalent in TP
+  // semantics — the −Tp filter keeps zero-probability tuples with lineage
+  // λr∧¬λr wherever only r is valid (Def. 3 admits any non-null λr).
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LawaPropertyTest,
+    ::testing::Values(
+        PropertyCase{1, 60, 1, 3, 3, 3},       // paper's runtime setting
+        PropertyCase{2, 60, 1, 10, 10, 3},     // heavy overlap
+        PropertyCase{3, 80, 1, 100, 3, 3},     // Table III OF≈0.03 shape
+        PropertyCase{4, 80, 1, 50, 10, 3},     // Table III OF≈0.4 shape
+        PropertyCase{5, 90, 5, 3, 3, 3},       // few facts
+        PropertyCase{6, 90, 30, 3, 3, 3},      // many facts, sparse
+        PropertyCase{7, 120, 7, 1, 1, 0},      // unit intervals, dense adjacency
+        PropertyCase{8, 100, 2, 20, 1, 1},     // long vs short
+        PropertyCase{9, 100, 2, 1, 20, 1},     // short vs long
+        PropertyCase{10, 150, 50, 5, 5, 5},    // facts ≈ tuples/3
+        PropertyCase{11, 40, 40, 4, 4, 2},     // one tuple per fact
+        PropertyCase{12, 200, 3, 7, 13, 4}),   // asymmetric mix
+    CaseName);
+
+}  // namespace
+}  // namespace tpset

@@ -1,0 +1,169 @@
+// Edge cases for the TP set operations: extreme time points, unit
+// intervals, probability-1 tuples, self-application, dense adjacency runs,
+// and degenerate relation shapes.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "lawa/set_ops.h"
+#include "relation/snapshot.h"
+#include "relation/validate.h"
+#include "tests/test_util.h"
+
+namespace tpset {
+namespace {
+
+using testing::MakeRelation;
+
+TEST(SetOpsEdgeTest, UnitIntervals) {
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r = MakeRelation(ctx, "r",
+                              {{"f", "r1", 0, 1, 0.5}, {"f", "r2", 1, 2, 0.5}});
+  TpRelation s = MakeRelation(ctx, "s", {{"f", "s1", 1, 2, 0.5}});
+  TpRelation x = LawaIntersect(r, s);
+  ASSERT_EQ(x.size(), 1u);
+  EXPECT_EQ(x[0].t, Interval(1, 2));
+  EXPECT_EQ(x.LineageString(0), "r2∧s1");
+  TpRelation d = LawaExcept(r, s);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.LineageString(0), "r1");
+  EXPECT_EQ(d.LineageString(1), "r2∧¬s1");
+}
+
+TEST(SetOpsEdgeTest, NegativeAndLargeTimePoints) {
+  auto ctx = std::make_shared<TpContext>();
+  const TimePoint big = std::numeric_limits<TimePoint>::max() / 4;
+  TpRelation r(ctx, Schema::SingleString("Product"), "r");
+  TpRelation s(ctx, Schema::SingleString("Product"), "s");
+  FactId f = ctx->facts().Intern({Value(std::string("f"))});
+  r.AddBaseFast(f, Interval(-big, -big + 10), 0.5);
+  r.AddBaseFast(f, Interval(big, big + 10), 0.5);
+  s.AddBaseFast(f, Interval(-big + 5, big + 5), 0.5);
+  for (SetOpKind op : kAllSetOps) {
+    TpRelation lawa = LawaSetOp(op, r, s);
+    TpRelation ref = ReferenceSetOp(op, r, s);
+    EXPECT_TRUE(RelationsEquivalent(ref, lawa)) << SetOpName(op);
+    // Counting (radix) sort biases into unsigned space; must agree too.
+    TpRelation counting = LawaSetOp(op, r, s, SortMode::kCounting);
+    EXPECT_TRUE(RelationsEquivalent(ref, counting)) << SetOpName(op);
+  }
+}
+
+TEST(SetOpsEdgeTest, ProbabilityOneTuples) {
+  // p = 1 is inside Ωp = (0,1]; difference against a certain tuple yields a
+  // zero-probability (but present!) tuple, per Def. 3's non-null filter.
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r = MakeRelation(ctx, "r", {{"f", "r1", 0, 10, 0.5}});
+  TpRelation s = MakeRelation(ctx, "s", {{"f", "s1", 0, 10, 1.0}});
+  TpRelation d = LawaExcept(r, s);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.LineageString(0), "r1∧¬s1");
+  EXPECT_NEAR(d.TupleProbability(0), 0.0, 1e-12);
+}
+
+TEST(SetOpsEdgeTest, SelfApplication) {
+  // r op r through the public API (same relation object on both sides).
+  testing::SupermarketDb db;
+  TpRelation u = LawaUnion(db.a, db.a);
+  EXPECT_TRUE(RelationsEquivalent(u, db.a)) << "or(λ,λ) folds to λ";
+  TpRelation x = LawaIntersect(db.a, db.a);
+  EXPECT_TRUE(RelationsEquivalent(x, db.a)) << "and(λ,λ) folds to λ";
+  TpRelation d = LawaExcept(db.a, db.a);
+  // Every window has λr = λs -> lineage λ∧¬λ: present, probability 0.
+  ASSERT_EQ(d.size(), db.a.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_NEAR(d.TupleProbability(i, ProbabilityMethod::kExact), 0.0, 1e-12);
+  }
+}
+
+TEST(SetOpsEdgeTest, LongAdjacencyChains) {
+  // 200 abutting unit tuples vs one covering tuple: union must produce 200
+  // + boundary windows with no merging (all lineages differ).
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r(ctx, Schema::SingleString("Product"), "r");
+  FactId f = ctx->facts().Intern({Value(std::string("f"))});
+  for (TimePoint t = 0; t < 200; ++t) {
+    r.AddBaseFast(f, Interval(t, t + 1), 0.5);
+  }
+  TpRelation s(ctx, Schema::SingleString("Product"), "s");
+  s.AddBaseFast(f, Interval(0, 200), 0.9);
+  TpRelation u = LawaUnion(r, s);
+  EXPECT_EQ(u.size(), 200u);
+  TpRelation ref = ReferenceSetOp(SetOpKind::kUnion, r, s);
+  EXPECT_TRUE(RelationsEquivalent(ref, u));
+  TpRelation d = LawaExcept(s, r);
+  EXPECT_EQ(d.size(), 200u) << "each unit window gets s∧¬r_i";
+}
+
+TEST(SetOpsEdgeTest, ManyFactsOneTupleEach) {
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r(ctx, Schema::SingleString("Product"), "r");
+  TpRelation s(ctx, Schema::SingleString("Product"), "s");
+  for (int i = 0; i < 100; ++i) {
+    FactId f = ctx->facts().Intern({Value("f" + std::to_string(i))});
+    r.AddBaseFast(f, Interval(0, 10), 0.5);
+    if (i % 2 == 0) s.AddBaseFast(f, Interval(5, 15), 0.5);
+  }
+  TpRelation x = LawaIntersect(r, s);
+  EXPECT_EQ(x.size(), 50u);
+  TpRelation u = LawaUnion(r, s);
+  // 50 overlapping facts yield 3 windows each ([0,5) r, [5,10) both,
+  // [10,15) s); 50 r-only facts yield 1 window each.
+  EXPECT_EQ(u.size(), 50u * 3 + 50u);
+  TpRelation ref = ReferenceSetOp(SetOpKind::kUnion, r, s);
+  EXPECT_TRUE(RelationsEquivalent(ref, u));
+}
+
+TEST(SetOpsEdgeTest, TouchingButDisjointInputs) {
+  // r covers even slots, s covers odd slots of the same fact; intersection
+  // is empty, union is one window per slot.
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r(ctx, Schema::SingleString("Product"), "r");
+  TpRelation s(ctx, Schema::SingleString("Product"), "s");
+  FactId f = ctx->facts().Intern({Value(std::string("f"))});
+  for (TimePoint t = 0; t < 40; t += 2) {
+    r.AddBaseFast(f, Interval(t, t + 1), 0.5);
+    s.AddBaseFast(f, Interval(t + 1, t + 2), 0.5);
+  }
+  EXPECT_EQ(LawaIntersect(r, s).size(), 0u);
+  EXPECT_EQ(LawaUnion(r, s).size(), 40u);
+  EXPECT_EQ(LawaExcept(r, s).size(), 20u);
+  EXPECT_TRUE(RelationsEquivalent(ReferenceSetOp(SetOpKind::kExcept, r, s),
+                                  LawaExcept(r, s)));
+}
+
+TEST(SetOpsEdgeTest, OneRelationMuchDenserThanOther) {
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r(ctx, Schema::SingleString("Product"), "r");
+  TpRelation s(ctx, Schema::SingleString("Product"), "s");
+  FactId f = ctx->facts().Intern({Value(std::string("f"))});
+  r.AddBaseFast(f, Interval(0, 1000), 0.5);
+  for (TimePoint t = 0; t < 1000; t += 10) {
+    s.AddBaseFast(f, Interval(t, t + 3), 0.5);
+  }
+  for (SetOpKind op : kAllSetOps) {
+    EXPECT_TRUE(RelationsEquivalent(ReferenceSetOp(op, r, s), LawaSetOp(op, r, s)))
+        << SetOpName(op);
+    EXPECT_TRUE(RelationsEquivalent(ReferenceSetOp(op, s, r), LawaSetOp(op, s, r)))
+        << SetOpName(op) << " flipped";
+  }
+}
+
+TEST(SetOpsEdgeTest, OutputOfOpFeedsNextOpCleanly) {
+  // Derived relations (non-atomic lineage) as inputs: (a ∪ b) − c and
+  // a ∪ (b − c) both validate and match the reference.
+  testing::SupermarketDb db;
+  TpRelation u = LawaUnion(db.a, db.b);
+  TpRelation q1 = LawaExcept(u, db.c);
+  EXPECT_TRUE(ValidateDuplicateFree(q1).ok());
+  TpRelation ref1 = ReferenceSetOp(SetOpKind::kExcept, u, db.c);
+  EXPECT_TRUE(RelationsEquivalent(ref1, q1));
+
+  TpRelation d = LawaExcept(db.b, db.c);
+  TpRelation q2 = LawaUnion(db.a, d);
+  TpRelation ref2 = ReferenceSetOp(SetOpKind::kUnion, db.a, d);
+  EXPECT_TRUE(RelationsEquivalent(ref2, q2));
+}
+
+}  // namespace
+}  // namespace tpset

@@ -1,0 +1,279 @@
+// TP set operations via LAWA against the paper's worked examples
+// (Figs. 1, 3 and 6) plus structural output guarantees.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lawa/set_ops.h"
+#include "relation/validate.h"
+#include "tests/test_util.h"
+
+namespace tpset {
+namespace {
+
+using testing::ExpectedRow;
+using testing::MakeRelation;
+using testing::SupermarketDb;
+
+std::string RelationToStringForDebug(const TpRelation& rel) {
+  std::string out = rel.name() + " has " + std::to_string(rel.size()) + " tuples\n";
+  for (std::size_t i = 0; i < rel.size(); ++i) {
+    out += ToString(rel.FactOf(i)) + " " + ToString(rel[i].t) + " " +
+           rel.LineageString(i) + "\n";
+  }
+  return out;
+}
+
+// Checks that `rel` consists of exactly the expected rows (order by fact
+// value string, then start, for determinism).
+void ExpectRelation(const TpRelation& rel, std::vector<ExpectedRow> expected) {
+  ASSERT_EQ(rel.size(), expected.size()) << RelationToStringForDebug(rel);
+  struct ActualRow {
+    std::string fact;
+    TimePoint ts, te;
+    std::string lineage;
+    double p;
+  };
+  std::vector<ActualRow> actual;
+  for (std::size_t i = 0; i < rel.size(); ++i) {
+    actual.push_back({ToString(std::get<std::string>(rel.FactOf(i)[0])),
+                      rel[i].t.start, rel[i].t.end, rel.LineageString(i),
+                      rel.TupleProbability(i)});
+  }
+  auto by_fact_start = [](const auto& x, const auto& y) {
+    return x.fact != y.fact ? x.fact < y.fact
+                            : (x.ts != y.ts ? x.ts < y.ts : x.te < y.te);
+  };
+  std::sort(actual.begin(), actual.end(), by_fact_start);
+  std::sort(expected.begin(), expected.end(), [](const auto& x, const auto& y) {
+    std::string xf = "'" + x.fact + "'";
+    std::string yf = "'" + y.fact + "'";
+    return xf != yf ? xf < yf : (x.ts != y.ts ? x.ts < y.ts : x.te < y.te);
+  });
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].fact, "'" + expected[i].fact + "'") << "row " << i;
+    EXPECT_EQ(actual[i].ts, expected[i].ts) << "row " << i;
+    EXPECT_EQ(actual[i].te, expected[i].te) << "row " << i;
+    EXPECT_EQ(actual[i].lineage, expected[i].lineage) << "row " << i;
+    EXPECT_NEAR(actual[i].p, expected[i].p, 1e-9) << "row " << i;
+  }
+}
+
+// ---- Fig. 3: all three set operations between a and c ----
+
+TEST(LawaSetOps, PaperFig3Union) {
+  SupermarketDb db;
+  TpRelation u = LawaUnion(db.a, db.c);
+  ExpectRelation(u, {
+                        {"milk", 1, 2, "c1", 0.6},
+                        {"milk", 2, 4, "a1∨c1", 0.72},
+                        {"milk", 4, 6, "a1", 0.3},
+                        {"milk", 6, 8, "a1∨c2", 0.79},
+                        {"milk", 8, 10, "a1", 0.3},
+                        {"chips", 4, 5, "a2∨c3", 0.94},
+                        {"chips", 5, 7, "a2", 0.8},
+                        {"chips", 7, 9, "c4", 0.8},
+                        {"dates", 1, 3, "a3", 0.6},
+                    });
+}
+
+TEST(LawaSetOps, PaperFig3Except) {
+  SupermarketDb db;
+  TpRelation d = LawaExcept(db.a, db.c);
+  ExpectRelation(d, {
+                        {"milk", 2, 4, "a1∧¬c1", 0.12},
+                        {"milk", 4, 6, "a1", 0.3},
+                        {"milk", 6, 8, "a1∧¬c2", 0.09},
+                        {"milk", 8, 10, "a1", 0.3},
+                        {"chips", 4, 5, "a2∧¬c3", 0.24},
+                        {"chips", 5, 7, "a2", 0.8},
+                        {"dates", 1, 3, "a3", 0.6},
+                    });
+}
+
+TEST(LawaSetOps, PaperFig3Intersect) {
+  SupermarketDb db;
+  TpRelation x = LawaIntersect(db.a, db.c);
+  ExpectRelation(x, {
+                        {"milk", 2, 4, "a1∧c1", 0.18},
+                        {"milk", 6, 8, "a1∧c2", 0.21},
+                        {"chips", 4, 5, "a2∧c3", 0.56},
+                    });
+}
+
+// ---- Fig. 1c: the full query Q = c −Tp (a ∪Tp b) ----
+
+TEST(LawaSetOps, PaperFig1Query) {
+  SupermarketDb db;
+  TpRelation u = LawaUnion(db.a, db.b);
+  TpRelation q = LawaExcept(db.c, u);
+  ExpectRelation(q, {
+                        {"milk", 1, 2, "c1", 0.6},
+                        {"milk", 2, 4, "c1∧¬a1", 0.42},
+                        {"milk", 6, 8, "c2∧¬(a1∨b1)", 0.196},
+                        {"chips", 4, 5, "c3∧¬(a2∨b2)", 0.014},
+                        {"chips", 7, 9, "c4", 0.8},
+                    });
+}
+
+// ---- Fig. 2: selected output tuples of a −Tp c ----
+
+TEST(LawaSetOps, PaperFig2SelectedTuples) {
+  SupermarketDb db;
+  TpRelation d = LawaExcept(db.a, db.c);
+  bool found_dates = false, found_chips = false, found_milk = false;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    std::string lin = d.LineageString(i);
+    if (lin == "a3" && d[i].t == Interval(1, 3)) {
+      found_dates = true;
+      EXPECT_NEAR(d.TupleProbability(i), 0.6, 1e-9);
+    }
+    if (lin == "a2∧¬c3" && d[i].t == Interval(4, 5)) {
+      found_chips = true;
+      EXPECT_NEAR(d.TupleProbability(i), 0.24, 1e-9);
+    }
+    if (lin == "a1∧¬c2" && d[i].t == Interval(6, 8)) {
+      found_milk = true;
+      EXPECT_NEAR(d.TupleProbability(i), 0.09, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found_dates && found_chips && found_milk);
+}
+
+// ---- Fig. 6: σ(c) −Tp σ(a) restricted to 'milk' ----
+
+TEST(LawaSetOps, PaperFig6MilkExcept) {
+  SupermarketDb db;
+  auto ctx = db.ctx;
+  // Selections σF='milk' realized by building the filtered relations.
+  TpRelation c_milk(ctx, Schema::SingleString("Product"), "c_milk");
+  TpRelation a_milk(ctx, Schema::SingleString("Product"), "a_milk");
+  for (std::size_t i = 0; i < db.c.size(); ++i) {
+    if (std::get<std::string>(db.c.FactOf(i)[0]) == "milk") {
+      c_milk.AddDerived(db.c[i].fact, db.c[i].t, db.c[i].lineage);
+    }
+  }
+  for (std::size_t i = 0; i < db.a.size(); ++i) {
+    if (std::get<std::string>(db.a.FactOf(i)[0]) == "milk") {
+      a_milk.AddDerived(db.a[i].fact, db.a[i].t, db.a[i].lineage);
+    }
+  }
+  TpRelation d = LawaExcept(c_milk, a_milk);
+  ExpectRelation(d, {
+                        {"milk", 1, 2, "c1", 0.6},
+                        {"milk", 2, 4, "c1∧¬a1", 0.42},
+                        {"milk", 6, 8, "c2∧¬a1", 0.49},
+                    });
+}
+
+// ---- structural guarantees of every LAWA output ----
+
+TEST(LawaSetOps, OutputIsDuplicateFreeAndSorted) {
+  SupermarketDb db;
+  for (SetOpKind op : kAllSetOps) {
+    TpRelation out = LawaSetOp(op, db.a, db.c);
+    EXPECT_TRUE(ValidateWellFormed(out).ok()) << SetOpName(op);
+    EXPECT_TRUE(ValidateDuplicateFree(out).ok()) << SetOpName(op);
+    EXPECT_TRUE(out.IsSortedFactTime()) << SetOpName(op);
+  }
+}
+
+TEST(LawaSetOps, EmptyInputs) {
+  SupermarketDb db;
+  TpRelation empty(db.ctx, Schema::SingleString("Product"), "empty");
+  EXPECT_EQ(LawaUnion(db.a, empty).size(), db.a.size());
+  EXPECT_EQ(LawaUnion(empty, db.a).size(), db.a.size());
+  EXPECT_EQ(LawaIntersect(db.a, empty).size(), 0u);
+  EXPECT_EQ(LawaIntersect(empty, db.a).size(), 0u);
+  EXPECT_EQ(LawaExcept(db.a, empty).size(), db.a.size());
+  EXPECT_EQ(LawaExcept(empty, db.a).size(), 0u);
+  EXPECT_EQ(LawaUnion(empty, empty).size(), 0u);
+}
+
+TEST(LawaSetOps, ExceptDrainsLongLeftTuple) {
+  // Regression for the pseudocode defect: r = [0,100) split by two short s
+  // tuples must yield 5 output tuples, not 2 (see DESIGN.md).
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r = MakeRelation(ctx, "r", {{"f", "r1", 0, 100, 0.5}});
+  TpRelation s = MakeRelation(ctx, "s",
+                              {{"f", "s1", 10, 20, 0.5}, {"f", "s2", 30, 40, 0.5}});
+  TpRelation d = LawaExcept(r, s);
+  ExpectRelation(d, {
+                        {"f", 0, 10, "r1", 0.5},
+                        {"f", 10, 20, "r1∧¬s1", 0.25},
+                        {"f", 20, 30, "r1", 0.5},
+                        {"f", 30, 40, "r1∧¬s2", 0.25},
+                        {"f", 40, 100, "r1", 0.5},
+                    });
+}
+
+TEST(LawaSetOps, IntersectDrainsTrailingOverlap) {
+  // Regression: r = [0,10) vs s = {[0,5), [5,10)} must produce two
+  // intersection tuples even though both fetch cursors exhaust early.
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r = MakeRelation(ctx, "r", {{"f", "r1", 0, 10, 0.5}});
+  TpRelation s = MakeRelation(ctx, "s",
+                              {{"f", "s1", 0, 5, 0.5}, {"f", "s2", 5, 10, 0.5}});
+  TpRelation x = LawaIntersect(r, s);
+  ExpectRelation(x, {
+                        {"f", 0, 5, "r1∧s1", 0.25},
+                        {"f", 5, 10, "r1∧s2", 0.25},
+                    });
+}
+
+TEST(LawaSetOps, UnionDrainsTrailingTuple) {
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r = MakeRelation(ctx, "r", {{"f", "r1", 0, 10, 0.5}});
+  TpRelation s = MakeRelation(ctx, "s", {{"f", "s1", 0, 20, 0.5}});
+  TpRelation u = LawaUnion(r, s);
+  ExpectRelation(u, {
+                        {"f", 0, 10, "r1∨s1", 0.75},
+                        {"f", 10, 20, "s1", 0.5},
+                    });
+}
+
+TEST(LawaSetOps, AdjacentTuplesAreNotMerged) {
+  // Change preservation: distinct base tuples with adjacent intervals keep
+  // separate outputs because their lineages differ (Def. 2).
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r = MakeRelation(ctx, "r",
+                              {{"f", "r1", 0, 5, 0.5}, {"f", "r2", 5, 10, 0.5}});
+  TpRelation s(ctx, Schema::SingleString("Product"), "s");
+  TpRelation u = LawaUnion(r, s);
+  ExpectRelation(u, {
+                        {"f", 0, 5, "r1", 0.5},
+                        {"f", 5, 10, "r2", 0.5},
+                    });
+}
+
+TEST(LawaSetOps, CheckedRejectsDuplicateInput) {
+  auto ctx = std::make_shared<TpContext>();
+  TpRelation r = MakeRelation(ctx, "r",
+                              {{"f", "r1", 0, 5, 0.5}, {"f", "r2", 3, 8, 0.5}});
+  TpRelation s(ctx, Schema::SingleString("Product"), "s");
+  Result<TpRelation> out = LawaSetOpChecked(SetOpKind::kUnion, r, s);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LawaSetOps, CheckedRejectsForeignContexts) {
+  auto ctx1 = std::make_shared<TpContext>();
+  auto ctx2 = std::make_shared<TpContext>();
+  TpRelation r = MakeRelation(ctx1, "r", {{"f", "r1", 0, 5, 0.5}});
+  TpRelation s = MakeRelation(ctx2, "s", {{"f", "s1", 0, 5, 0.5}});
+  Result<TpRelation> out = LawaSetOpChecked(SetOpKind::kIntersect, r, s);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LawaSetOps, CountingSortMatchesComparisonSort) {
+  SupermarketDb db;
+  for (SetOpKind op : kAllSetOps) {
+    TpRelation cmp = LawaSetOp(op, db.a, db.c, SortMode::kComparison);
+    TpRelation cnt = LawaSetOp(op, db.a, db.c, SortMode::kCounting);
+    EXPECT_TRUE(RelationsEquivalent(cmp, cnt)) << SetOpName(op);
+  }
+}
+
+}  // namespace
+}  // namespace tpset

@@ -1,0 +1,91 @@
+// Values, facts, hashing and schemas.
+#include <gtest/gtest.h>
+
+#include "common/fact_dictionary.h"
+#include "common/value.h"
+
+namespace tpset {
+namespace {
+
+TEST(ValueTest, TypeOf) {
+  EXPECT_EQ(TypeOf(Value(std::int64_t{42})), ValueType::kInt64);
+  EXPECT_EQ(TypeOf(Value(3.5)), ValueType::kDouble);
+  EXPECT_EQ(TypeOf(Value(std::string("milk"))), ValueType::kString);
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(ToString(Value(std::int64_t{42})), "42");
+  EXPECT_EQ(ToString(Value(std::string("milk"))), "'milk'");
+  EXPECT_EQ(ToString(Fact{Value(std::string("milk"))}), "'milk'");
+  EXPECT_EQ(ToString(Fact{Value(std::int64_t{1}), Value(std::string("x"))}),
+            "(1, 'x')");
+}
+
+TEST(ValueTest, HashDistinguishesTypes) {
+  // int64 42 and string "42" must not collide via type confusion.
+  EXPECT_NE(HashValue(Value(std::int64_t{42})), HashValue(Value(std::string("42"))));
+}
+
+TEST(ValueTest, HashFactIsOrderSensitive) {
+  Fact f1{Value(std::int64_t{1}), Value(std::int64_t{2})};
+  Fact f2{Value(std::int64_t{2}), Value(std::int64_t{1})};
+  EXPECT_NE(HashFact(f1), HashFact(f2));
+  EXPECT_EQ(HashFact(f1), HashFact(f1));
+}
+
+TEST(SchemaTest, ValidateArityAndTypes) {
+  Schema s({"id", "name"}, {ValueType::kInt64, ValueType::kString});
+  EXPECT_TRUE(s.Validate({Value(std::int64_t{1}), Value(std::string("a"))}).ok());
+  EXPECT_FALSE(s.Validate({Value(std::int64_t{1})}).ok()) << "wrong arity";
+  EXPECT_FALSE(
+      s.Validate({Value(std::string("a")), Value(std::string("b"))}).ok())
+      << "wrong type";
+}
+
+TEST(SchemaTest, Compatibility) {
+  Schema a = Schema::SingleString("Product");
+  Schema b = Schema::SingleString("Item");
+  Schema c = Schema::SingleInt("fact");
+  EXPECT_TRUE(a.CompatibleWith(b)) << "names may differ";
+  EXPECT_FALSE(a.CompatibleWith(c));
+  EXPECT_TRUE(a.CompatibleWith(a));
+}
+
+TEST(FactDictionaryTest, InternIsIdempotent) {
+  FactDictionary dict;
+  Fact milk{Value(std::string("milk"))};
+  Fact chips{Value(std::string("chips"))};
+  FactId m1 = dict.Intern(milk);
+  FactId c1 = dict.Intern(chips);
+  EXPECT_NE(m1, c1);
+  EXPECT_EQ(dict.Intern(milk), m1);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Get(m1), milk);
+}
+
+TEST(FactDictionaryTest, FindWithoutInterning) {
+  FactDictionary dict;
+  Fact milk{Value(std::string("milk"))};
+  EXPECT_FALSE(dict.Find(milk).ok());
+  FactId id = dict.Intern(milk);
+  ASSERT_TRUE(dict.Find(milk).ok());
+  EXPECT_EQ(*dict.Find(milk), id);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(FactDictionaryTest, ContainsChecksRange) {
+  FactDictionary dict;
+  FactId id = dict.Intern({Value(std::int64_t{7})});
+  EXPECT_TRUE(dict.Contains(id));
+  EXPECT_FALSE(dict.Contains(id + 1));
+}
+
+TEST(FactDictionaryTest, MultiAttributeFacts) {
+  FactDictionary dict;
+  Fact f1{Value(std::int64_t{1}), Value(std::string("a"))};
+  Fact f2{Value(std::int64_t{1}), Value(std::string("b"))};
+  EXPECT_NE(dict.Intern(f1), dict.Intern(f2));
+}
+
+}  // namespace
+}  // namespace tpset
