@@ -1,0 +1,77 @@
+// Thread-scaling of the partitioned parallel engine: LAWA-P at 1/2/4/8
+// threads against sequential LAWA on a 1M-tuple-per-relation synthetic pair
+// (scaled by TPSET_BENCH_SCALE), all three operations.
+//
+// Expected shape on a multi-core box: near-linear until the sequential
+// lineage-apply phase dominates (Amdahl); >1.5x at 4 threads for union.
+// Emits the harness CSV rows plus one JSON summary line per operation
+// ("# json {...}") with the speedups, for machine consumption.
+#include <memory>
+#include <string>
+
+#include "bench/harness.h"
+#include "datagen/synthetic.h"
+#include "lawa/set_ops.h"
+#include "parallel/parallel_set_op.h"
+
+using namespace tpset;
+using namespace tpset::bench;
+
+namespace {
+
+// Best of `reps` wall-clock runs (threads warm after the first).
+double BestMs(int reps, const std::function<void()>& fn) {
+  double best = TimeMs(fn);
+  for (int i = 1; i < reps; ++i) best = std::min(best, TimeMs(fn));
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = ScaleFactor(argc, argv);
+  std::printf("# parallel scaling: LAWA-P threads=1/2/4/8 vs LAWA, "
+              "1M tuples/relation (scale=%.3g), 1K facts\n", scale);
+  PrintHeader("parallel");
+
+  const std::size_t n = Scaled(1000000, scale);
+  auto ctx = std::make_shared<TpContext>(/*hash_consing=*/false);
+  Rng rng(0x9A7A11E1);
+  SyntheticPairSpec spec = TableIIIPreset(0.6);
+  spec.num_tuples = n;
+  spec.num_facts = std::max<std::size_t>(1, n / 1000);
+  auto [r, s] = GenerateSyntheticPair(ctx, spec, &rng);
+
+  const std::size_t thread_counts[] = {1, 2, 4, 8};
+  const int reps = 3;
+
+  for (SetOpKind op : kAllSetOps) {
+    const char* op_name = SetOpName(op);
+
+    double seq_ms = BestMs(reps, [&]() {
+      TpRelation out = LawaSetOp(op, r, s);
+      (void)out;
+    });
+    PrintRow("parallel", op_name, "LAWA", n, seq_ms);
+
+    double ms_at[9] = {0};
+    for (std::size_t threads : thread_counts) {
+      ParallelSetOpAlgorithm algo(threads);
+      double ms = BestMs(reps, [&]() {
+        TpRelation out = algo.Compute(op, r, s);
+        (void)out;
+      });
+      ms_at[threads] = ms;
+      PrintRow("parallel", op_name, "LAWA-P/" + std::to_string(threads), n, ms);
+    }
+
+    std::printf("# json {\"experiment\":\"parallel\",\"operation\":\"%s\","
+                "\"n\":%zu,\"lawa_ms\":%.3f,\"t1_ms\":%.3f,\"t2_ms\":%.3f,"
+                "\"t4_ms\":%.3f,\"t8_ms\":%.3f,\"speedup_4_over_1\":%.3f,"
+                "\"speedup_8_over_1\":%.3f}\n",
+                op_name, n, seq_ms, ms_at[1], ms_at[2], ms_at[4], ms_at[8],
+                ms_at[4] > 0 ? ms_at[1] / ms_at[4] : 0.0,
+                ms_at[8] > 0 ? ms_at[1] / ms_at[8] : 0.0);
+  }
+  return 0;
+}

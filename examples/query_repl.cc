@@ -52,6 +52,7 @@ void AddSupermarketRelations(const std::shared_ptr<TpContext>& ctx,
     }
   }
   for (TpRelation* rel : {&a, &b, &c}) {
+    rel->SortFactTime();  // Register rejects unsorted relations
     Status st = exec->Register(*rel);
     if (!st.ok()) {
       std::cerr << st.ToString() << '\n';
@@ -86,6 +87,7 @@ int main(int argc, char** argv) {
         std::cerr << rel.status().ToString() << '\n';
         return 1;
       }
+      rel->SortFactTime();  // Register rejects unsorted relations
       Status st = exec.Register(*rel);
       if (!st.ok()) {
         std::cerr << st.ToString() << '\n';

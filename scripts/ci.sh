@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification, as CI runs it: configure with warnings-as-errors,
+# build everything (library, tests, benches, examples), run ctest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-ci}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S . -DTPSET_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

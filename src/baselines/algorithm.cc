@@ -2,11 +2,14 @@
 
 #include <cassert>
 
+#include <thread>
+
 #include "baselines/norm.h"
 #include "baselines/oip.h"
 #include "baselines/timeline_index.h"
 #include "baselines/tpdb.h"
 #include "lawa/set_ops.h"
+#include "parallel/parallel_set_op.h"
 
 namespace tpset {
 
@@ -76,12 +79,15 @@ class TimelineAlgorithm final : public SetOpAlgorithm {
 
 const std::vector<const SetOpAlgorithm*>& AllAlgorithms() {
   static const LawaAlgorithm lawa;
+  // Partitioned parallel LAWA on all hardware threads; its pool is created
+  // lazily, so merely listing the registry spawns nothing.
+  static const ParallelSetOpAlgorithm lawa_p(std::thread::hardware_concurrency());
   static const NormAlgorithm norm;
   static const TpdbAlgorithm tpdb;
   static const OipAlgorithm oip;
   static const TimelineAlgorithm ti;
-  static const std::vector<const SetOpAlgorithm*> all = {&lawa, &norm, &tpdb, &oip,
-                                                         &ti};
+  static const std::vector<const SetOpAlgorithm*> all = {&lawa, &lawa_p, &norm,
+                                                         &tpdb, &oip, &ti};
   return all;
 }
 

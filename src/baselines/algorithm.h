@@ -31,8 +31,9 @@ class SetOpAlgorithm {
                              const TpRelation& s) const = 0;
 };
 
-/// All registered algorithms, in the paper's Table II order:
-/// LAWA, NORM, TPDB, OIP, TI. Pointers have static storage duration.
+/// All registered algorithms, in the paper's Table II order with the
+/// partitioned parallel variant next to its sequential base:
+/// LAWA, LAWA-P, NORM, TPDB, OIP, TI. Pointers have static storage duration.
 const std::vector<const SetOpAlgorithm*>& AllAlgorithms();
 
 /// Looks up an algorithm by display name; nullptr if unknown.

@@ -7,7 +7,13 @@ namespace tpset {
 
 LineageAwareWindowAdvancer::LineageAwareWindowAdvancer(
     const std::vector<TpTuple>& r, const std::vector<TpTuple>& s)
-    : r_(&r), s_(&s) {}
+    : LineageAwareWindowAdvancer(r.data(), r.size(), s.data(), s.size()) {}
+
+LineageAwareWindowAdvancer::LineageAwareWindowAdvancer(const TpTuple* r,
+                                                       std::size_t nr,
+                                                       const TpTuple* s,
+                                                       std::size_t ns)
+    : r_(r), s_(s), nr_(nr), ns_(ns) {}
 
 bool LineageAwareWindowAdvancer::Next(LineageAwareWindow* w) {
   const bool pend_r = HasPendingR();
@@ -18,8 +24,8 @@ bool LineageAwareWindowAdvancer::Next(LineageAwareWindow* w) {
     // No tuple carries over: the next window group starts at a new tuple
     // (possibly of a new fact), or the sweep is done (Alg. 1 lines 2-15).
     if (!pend_r && !pend_s) return false;
-    const TpTuple* next_r = pend_r ? &(*r_)[ri_] : nullptr;
-    const TpTuple* next_s = pend_s ? &(*s_)[si_] : nullptr;
+    const TpTuple* next_r = pend_r ? &r_[ri_] : nullptr;
+    const TpTuple* next_s = pend_s ? &s_[si_] : nullptr;
     const bool r_match = next_r && have_fact_ && next_r->fact == curr_fact_;
     const bool s_match = next_s && have_fact_ && next_s->fact == curr_fact_;
     if (r_match && !s_match) {
@@ -51,25 +57,25 @@ bool LineageAwareWindowAdvancer::Next(LineageAwareWindow* w) {
 
   // Load tuples of the current fact that start exactly at winTs
   // (Alg. 1 lines 17-20). Duplicate-freeness guarantees at most one per side.
-  if (HasPendingR() && (*r_)[ri_].fact == curr_fact_ &&
-      (*r_)[ri_].t.start == win_ts) {
-    r_valid_tuple_ = (*r_)[ri_++];
+  if (HasPendingR() && r_[ri_].fact == curr_fact_ &&
+      r_[ri_].t.start == win_ts) {
+    r_valid_tuple_ = r_[ri_++];
     r_valid_ = true;
   }
-  if (HasPendingS() && (*s_)[si_].fact == curr_fact_ &&
-      (*s_)[si_].t.start == win_ts) {
-    s_valid_tuple_ = (*s_)[si_++];
+  if (HasPendingS() && s_[si_].fact == curr_fact_ &&
+      s_[si_].t.start == win_ts) {
+    s_valid_tuple_ = s_[si_++];
     s_valid_ = true;
   }
 
   // Right boundary: smallest among the end points of the valid tuples and
   // the start points of the next tuples of the current fact (Alg. 1 line 21).
   TimePoint win_te = std::numeric_limits<TimePoint>::max();
-  if (HasPendingR() && (*r_)[ri_].fact == curr_fact_) {
-    win_te = std::min(win_te, (*r_)[ri_].t.start);
+  if (HasPendingR() && r_[ri_].fact == curr_fact_) {
+    win_te = std::min(win_te, r_[ri_].t.start);
   }
-  if (HasPendingS() && (*s_)[si_].fact == curr_fact_) {
-    win_te = std::min(win_te, (*s_)[si_].t.start);
+  if (HasPendingS() && s_[si_].fact == curr_fact_) {
+    win_te = std::min(win_te, s_[si_].t.start);
   }
   if (r_valid_) win_te = std::min(win_te, r_valid_tuple_.t.end);
   if (s_valid_) win_te = std::min(win_te, s_valid_tuple_.t.end);

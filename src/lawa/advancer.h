@@ -36,14 +36,19 @@ class LineageAwareWindowAdvancer {
   LineageAwareWindowAdvancer(const std::vector<TpTuple>& r,
                              const std::vector<TpTuple>& s);
 
+  /// Span form of the same contract: advances over r[0..nr) and s[0..ns).
+  /// Used by the parallel engine to sweep one fact-range partition in place.
+  LineageAwareWindowAdvancer(const TpTuple* r, std::size_t nr, const TpTuple* s,
+                             std::size_t ns);
+
   /// One LAWA call. Returns true and fills *w if a window was produced;
   /// returns false when both inputs are exhausted and no tuple is valid.
   bool Next(LineageAwareWindow* w);
 
   /// status.r ≠ null: an unprocessed tuple of the left input remains.
-  bool HasPendingR() const { return ri_ < r_->size(); }
+  bool HasPendingR() const { return ri_ < nr_; }
   /// status.s ≠ null: an unprocessed tuple of the right input remains.
-  bool HasPendingS() const { return si_ < s_->size(); }
+  bool HasPendingS() const { return si_ < ns_; }
   /// status.rValid ≠ null: a left tuple is valid past the previous window.
   bool HasValidR() const { return r_valid_; }
   /// status.sValid ≠ null: a right tuple is valid past the previous window.
@@ -53,8 +58,10 @@ class LineageAwareWindowAdvancer {
   std::size_t windows_produced() const { return windows_produced_; }
 
  private:
-  const std::vector<TpTuple>* r_;
-  const std::vector<TpTuple>* s_;
+  const TpTuple* r_;
+  const TpTuple* s_;
+  std::size_t nr_;
+  std::size_t ns_;
   std::size_t ri_ = 0;
   std::size_t si_ = 0;
   bool r_valid_ = false;

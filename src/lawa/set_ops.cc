@@ -76,6 +76,8 @@ TpRelation LawaSetOp(SetOpKind op, const TpRelation& r, const TpRelation& s,
   // The loop conditions extend the paper's Algorithms 2-4 to also drain
   // still-valid tuples (see DESIGN.md, faithfulness note 3): windows keep
   // coming while the operation can still produce output.
+  // parallel/parallel_set_op.cc mirrors these loops per fact-range
+  // partition; keep any change to the conditions or filters in sync there.
   LineageAwareWindowAdvancer adv(rs, ss);
   LineageAwareWindow w;
   switch (op) {

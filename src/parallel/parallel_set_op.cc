@@ -1,0 +1,271 @@
+#include "parallel/parallel_set_op.h"
+
+#include <algorithm>
+#include <cassert>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "lawa/advancer.h"
+#include "parallel/partition.h"
+#include "relation/validate.h"
+
+namespace tpset {
+
+namespace {
+
+// A window that passed the per-operation λ-filter but whose lineage
+// concatenation is deferred to the sequential apply phase.
+struct PendingWindow {
+  FactId fact;
+  Interval t;
+  LineageId lr;
+  LineageId ls;
+};
+
+struct PartitionSweep {
+  std::vector<PendingWindow> windows;
+  std::size_t windows_produced = 0;
+};
+
+// Phase 3: the sequential advancer over one partition. The loop conditions
+// and λ-filters MUST stay character-for-character in sync with LawaSetOp
+// (lawa/set_ops.cc) — bit-identity depends on it, and the cross-check is the
+// parallel_set_op_test property suite. Reads shared data only.
+PartitionSweep SweepPartition(SetOpKind op, const TpTuple* r, std::size_t nr,
+                              const TpTuple* s, std::size_t ns) {
+  PartitionSweep out;
+  LineageAwareWindowAdvancer adv(r, nr, s, ns);
+  LineageAwareWindow w;
+  switch (op) {
+    case SetOpKind::kIntersect:
+      while ((adv.HasPendingR() || adv.HasValidR()) &&
+             (adv.HasPendingS() || adv.HasValidS())) {
+        bool produced = adv.Next(&w);
+        assert(produced);
+        (void)produced;
+        if (w.lr != kNullLineage && w.ls != kNullLineage) {
+          out.windows.push_back({w.fact, w.t, w.lr, w.ls});
+        }
+      }
+      break;
+    case SetOpKind::kUnion:
+      while (adv.HasPendingR() || adv.HasPendingS() || adv.HasValidR() ||
+             adv.HasValidS()) {
+        bool produced = adv.Next(&w);
+        assert(produced);
+        (void)produced;
+        out.windows.push_back({w.fact, w.t, w.lr, w.ls});
+      }
+      break;
+    case SetOpKind::kExcept:
+      while (adv.HasPendingR() || adv.HasValidR()) {
+        bool produced = adv.Next(&w);
+        assert(produced);
+        (void)produced;
+        if (w.lr != kNullLineage) {
+          out.windows.push_back({w.fact, w.t, w.lr, w.ls});
+        }
+      }
+      break;
+  }
+  out.windows_produced = adv.windows_produced();
+  return out;
+}
+
+// Phase 4 kernel: one partition's deferred concatenations, in window order.
+void ApplyPartition(SetOpKind op, const PartitionSweep& sweep,
+                    LineageManager& mgr, TpRelation* out) {
+  for (const PendingWindow& w : sweep.windows) {
+    LineageId lineage = kNullLineage;
+    switch (op) {
+      case SetOpKind::kIntersect:
+        lineage = mgr.ConcatAnd(w.lr, w.ls);
+        break;
+      case SetOpKind::kUnion:
+        lineage = mgr.ConcatOr(w.lr, w.ls);
+        break;
+      case SetOpKind::kExcept:
+        lineage = mgr.ConcatAndNot(w.lr, w.ls);
+        break;
+    }
+    out->AddDerived(w.fact, w.t, lineage);
+  }
+}
+
+}  // namespace
+
+void ParallelSortBatch(std::vector<TpTuple>* const* arrays, std::size_t count,
+                       SortMode mode, ThreadPool* pool) {
+  const std::size_t chunks = pool == nullptr ? 1 : pool->size();
+
+  // One merge-sort state per array still large enough to split; small arrays
+  // are handled sequentially up front. All arrays share each round of task
+  // submissions, so one array's narrow merge tail overlaps another's wide
+  // chunk phase instead of idling the pool between the two sorts.
+  struct Job {
+    TpTuple* base;
+    std::vector<std::size_t> bounds;  // chunk boundaries, shrinking per round
+  };
+  std::vector<Job> jobs;
+  for (std::size_t a = 0; a < count; ++a) {
+    const std::size_t n = arrays[a]->size();
+    if (chunks < 2 || n < 2 * chunks) {
+      SortTuples(arrays[a], mode);
+      continue;
+    }
+    Job job;
+    job.base = arrays[a]->data();
+    job.bounds.reserve(chunks + 1);
+    for (std::size_t c = 0; c <= chunks; ++c) job.bounds.push_back(n * c / chunks);
+    jobs.push_back(std::move(job));
+  }
+  if (jobs.empty()) return;
+
+  {
+    std::vector<std::future<void>> sorted;
+    for (const Job& job : jobs) {
+      TpTuple* base = job.base;
+      for (std::size_t c = 0; c + 1 < job.bounds.size(); ++c) {
+        std::size_t lo = job.bounds[c], hi = job.bounds[c + 1];
+        sorted.push_back(pool->Submit([base, lo, hi, mode]() {
+          // SortTuples operates on a vector; sort the span directly instead.
+          if (mode == SortMode::kComparison) {
+            std::sort(base + lo, base + hi, FactTimeOrder());
+          } else {
+            std::vector<TpTuple> span(base + lo, base + hi);
+            SortTuples(&span, mode);
+            std::copy(span.begin(), span.end(), base + lo);
+          }
+        }));
+      }
+    }
+    for (std::future<void>& f : sorted) f.get();
+  }
+
+  bool merging = true;
+  while (merging) {
+    merging = false;
+    std::vector<std::future<void>> merged;
+    for (Job& job : jobs) {
+      if (job.bounds.size() <= 2) continue;
+      TpTuple* base = job.base;
+      std::vector<std::size_t> next;
+      next.reserve(job.bounds.size() / 2 + 2);
+      next.push_back(job.bounds[0]);
+      for (std::size_t i = 0; i + 2 < job.bounds.size(); i += 2) {
+        std::size_t lo = job.bounds[i], mid = job.bounds[i + 1],
+                    hi = job.bounds[i + 2];
+        merged.push_back(pool->Submit([base, lo, mid, hi]() {
+          std::inplace_merge(base + lo, base + mid, base + hi, FactTimeOrder());
+        }));
+        next.push_back(hi);
+      }
+      if (job.bounds.size() % 2 == 0) next.push_back(job.bounds.back());
+      job.bounds = std::move(next);
+      if (job.bounds.size() > 2) merging = true;
+    }
+    for (std::future<void>& f : merged) f.get();
+  }
+}
+
+void ParallelSortTuples(std::vector<TpTuple>* tuples, SortMode mode,
+                        ThreadPool* pool) {
+  std::vector<TpTuple>* arrays[] = {tuples};
+  ParallelSortBatch(arrays, 1, mode, pool);
+}
+
+ParallelSetOpAlgorithm::ParallelSetOpAlgorithm(std::size_t num_threads,
+                                               SortMode sort_mode,
+                                               std::size_t partitions_per_thread)
+    : num_threads_(num_threads),
+      sort_mode_(sort_mode),
+      partitions_per_thread_(
+          partitions_per_thread == 0 ? 1 : partitions_per_thread) {}
+
+ParallelSetOpAlgorithm::~ParallelSetOpAlgorithm() = default;
+
+ThreadPool* ParallelSetOpAlgorithm::pool() const {
+  std::call_once(pool_once_, [this]() {
+    pool_ = std::make_unique<ThreadPool>(num_threads_);
+  });
+  return pool_.get();
+}
+
+TpRelation ParallelSetOpAlgorithm::Compute(SetOpKind op, const TpRelation& r,
+                                           const TpRelation& s) const {
+  return ComputeSequenced(op, r, s, /*seq=*/nullptr, /*ticket=*/0);
+}
+
+TpRelation ParallelSetOpAlgorithm::ComputeSequenced(SetOpKind op,
+                                                    const TpRelation& r,
+                                                    const TpRelation& s,
+                                                    ApplySequencer* seq,
+                                                    std::size_t ticket,
+                                                    LawaStats* stats) const {
+  if (num_threads_ <= 1) {
+    // Degenerate pool: the sequential algorithm *is* the partition sweep.
+    // LawaSetOp mutates the arena throughout, so the whole call is the turn.
+    TurnGuard turn(seq, ticket);
+    turn.Wait();
+    TpRelation out = LawaSetOp(op, r, s, sort_mode_, stats);
+    turn.Release();
+    return out;
+  }
+  TurnGuard turn(seq, ticket);  // released on every path, including unwind
+
+  assert(ValidateSetOpInputs(r, s).ok());
+  ThreadPool* p = pool();
+  TpRelation out(r.context(), r.schema(),
+                 "(" + r.name() + " " + SetOpName(op) + " " + s.name() + ")");
+
+  // Phase 1: sort both inputs by (F, Ts) on the pool, jointly — one array's
+  // merge tail (few wide tasks) overlaps the other's fully-parallel chunks.
+  std::vector<TpTuple> rs = r.tuples();
+  std::vector<TpTuple> ss = s.tuples();
+  {
+    std::vector<TpTuple>* arrays[] = {&rs, &ss};
+    ParallelSortBatch(arrays, 2, sort_mode_, p);
+  }
+
+  // Phase 2: cut at fact boundaries, oversubscribed for balance.
+  const std::vector<FactPartition> parts =
+      PartitionByFactRange(rs, ss, num_threads_ * partitions_per_thread_);
+
+  // Phase 3: sweep partitions concurrently. Collection order = fact order.
+  std::vector<std::future<PartitionSweep>> sweeps;
+  sweeps.reserve(parts.size());
+  for (const FactPartition& part : parts) {
+    sweeps.push_back(p->Submit([op, &rs, &ss, part]() {
+      return SweepPartition(op, rs.data() + part.r_begin,
+                            part.r_end - part.r_begin, ss.data() + part.s_begin,
+                            part.s_end - part.s_begin);
+    }));
+  }
+  std::vector<PartitionSweep> results;
+  results.reserve(sweeps.size());
+  for (std::future<PartitionSweep>& f : sweeps) results.push_back(f.get());
+
+  // Phase 4: deterministic sequential apply, gated when subtrees race.
+  turn.Wait();
+  LineageManager& mgr = r.context()->lineage();
+  std::size_t total_windows = 0;
+  std::size_t total_out = 0;
+  for (const PartitionSweep& sweep : results) {
+    total_windows += sweep.windows_produced;
+    total_out += sweep.windows.size();
+  }
+  out.mutable_tuples().reserve(total_out);
+  for (const PartitionSweep& sweep : results) {
+    ApplyPartition(op, sweep, mgr, &out);
+  }
+  turn.Release();
+
+  if (stats != nullptr) {
+    stats->windows_produced = total_windows;
+    stats->output_tuples = out.size();
+  }
+  return out;
+}
+
+}  // namespace tpset

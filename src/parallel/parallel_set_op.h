@@ -1,0 +1,94 @@
+// Partitioned parallel LAWA: the paper's advancer run per fact-range
+// partition on a thread pool, with results bit-identical to sequential LAWA.
+//
+// Execution of one operation (Fig. 5 pipeline, parallelized):
+//   1. sort    — both inputs are chunk-sorted and merged on the pool;
+//   2. split   — PartitionByFactRange cuts both inputs at fact boundaries;
+//   3. advance — each partition is swept by the sequential advancer on the
+//                pool, emitting *pending* windows (fact, interval, λr, λs)
+//                that already passed the per-operation λ-filter;
+//   4. apply   — the caller thread concatenates lineages and appends output
+//                tuples partition by partition, in fact order.
+//
+// Phase 4 is the only phase touching the shared lineage arena, and it runs
+// the same Concat calls in the same order as sequential LawaSetOp — so with
+// or without hash-consing, the arena evolves identically and every output
+// tuple (fact, interval, lineage id) matches the sequential run bit for bit.
+// See DESIGN.md ("Partitioned parallel execution") for the independence
+// argument.
+#ifndef TPSET_PARALLEL_PARALLEL_SET_OP_H_
+#define TPSET_PARALLEL_PARALLEL_SET_OP_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "baselines/algorithm.h"
+#include "common/setop.h"
+#include "lawa/set_ops.h"
+#include "parallel/sequencer.h"
+#include "parallel/thread_pool.h"
+#include "relation/relation.h"
+
+namespace tpset {
+
+/// LAWA over fact-range partitions on a private thread pool. Registered as
+/// "LAWA-P"; supports all three operations (Table II row of LAWA).
+class ParallelSetOpAlgorithm final : public SetOpAlgorithm {
+ public:
+  /// `num_threads` <= 1 degrades to plain sequential LawaSetOp (no pool is
+  /// created). `partitions_per_thread` oversubscribes the split so stragglers
+  /// even out; the pool itself is created lazily on first use.
+  explicit ParallelSetOpAlgorithm(std::size_t num_threads,
+                                  SortMode sort_mode = SortMode::kComparison,
+                                  std::size_t partitions_per_thread = 4);
+  ~ParallelSetOpAlgorithm() override;
+
+  std::string name() const override { return "LAWA-P"; }
+  bool Supports(SetOpKind) const override { return true; }
+
+  /// Standalone entry point (registry / benchmarks). The caller must not
+  /// mutate the shared context concurrently — the same contract as
+  /// sequential LawaSetOp.
+  TpRelation Compute(SetOpKind op, const TpRelation& r,
+                     const TpRelation& s) const override;
+
+  /// Executor entry point for concurrent query-subtree evaluation: phases
+  /// 1-3 run immediately, the arena-mutating apply phase waits for `ticket`
+  /// on `seq`. Every concurrent evaluation against one context must go
+  /// through one sequencer.
+  ///
+  /// `stats`: output_tuples matches the sequential run exactly;
+  /// windows_produced may be smaller — a partition whose other input is
+  /// empty never sweeps, skipping candidate windows the sequential global
+  /// loop produces only to filter out. Proposition 1 bounds both counts.
+  TpRelation ComputeSequenced(SetOpKind op, const TpRelation& r,
+                              const TpRelation& s, ApplySequencer* seq,
+                              std::size_t ticket,
+                              LawaStats* stats = nullptr) const;
+
+  std::size_t num_threads() const { return num_threads_; }
+
+ private:
+  ThreadPool* pool() const;
+
+  std::size_t num_threads_;
+  SortMode sort_mode_;
+  std::size_t partitions_per_thread_;
+  mutable std::once_flag pool_once_;
+  mutable std::unique_ptr<ThreadPool> pool_;
+};
+
+/// Sorts into (fact, start, end) order using `pool`: chunks are sorted as
+/// pool tasks (each with `mode`, see SortTuples) and merged pairwise.
+void ParallelSortTuples(std::vector<TpTuple>* tuples, SortMode mode,
+                        ThreadPool* pool);
+
+/// Sorts `count` independent arrays at once, interleaving their chunk and
+/// merge tasks on one pool so no array's merge tail leaves workers idle.
+void ParallelSortBatch(std::vector<TpTuple>* const* arrays, std::size_t count,
+                       SortMode mode, ThreadPool* pool);
+
+}  // namespace tpset
+
+#endif  // TPSET_PARALLEL_PARALLEL_SET_OP_H_

@@ -1,0 +1,62 @@
+#include "parallel/partition.h"
+
+#include <algorithm>
+
+#include "common/types.h"
+
+namespace tpset {
+
+namespace {
+
+// First index of `tuples` whose fact is >= f. Sorted-by-(fact, start) input
+// makes this a pure fact lower bound.
+std::size_t FactLowerBound(const std::vector<TpTuple>& tuples, FactId f) {
+  auto it = std::lower_bound(
+      tuples.begin(), tuples.end(), f,
+      [](const TpTuple& t, FactId fact) { return t.fact < fact; });
+  return static_cast<std::size_t>(it - tuples.begin());
+}
+
+}  // namespace
+
+std::vector<FactPartition> PartitionByFactRange(const std::vector<TpTuple>& r,
+                                                const std::vector<TpTuple>& s,
+                                                std::size_t max_partitions) {
+  const std::size_t total = r.size() + s.size();
+  std::vector<FactPartition> parts;
+  if (total == 0) return parts;
+  if (max_partitions == 0) max_partitions = 1;
+
+  // Combined count of tuples with fact < f; monotone in f, so the i-th cut is
+  // the smallest fact bringing the running count to at least i/k of the total.
+  auto count_below = [&](FactId f) {
+    return FactLowerBound(r, f) + FactLowerBound(s, f);
+  };
+
+  std::size_t prev_r = 0, prev_s = 0;
+  for (std::size_t i = 1; i < max_partitions; ++i) {
+    const std::size_t target = total * i / max_partitions;
+    FactId lo = 0, hi = kInvalidFact;  // no real fact is kInvalidFact
+    while (lo < hi) {
+      const FactId mid = lo + (hi - lo) / 2;
+      if (count_below(mid) >= target) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    const std::size_t r_cut = FactLowerBound(r, lo);
+    const std::size_t s_cut = FactLowerBound(s, lo);
+    if (r_cut == prev_r && s_cut == prev_s) continue;  // skewed fact: no split
+    parts.push_back({prev_r, r_cut, prev_s, s_cut});
+    prev_r = r_cut;
+    prev_s = s_cut;
+    if (prev_r == r.size() && prev_s == s.size()) break;
+  }
+  if (prev_r < r.size() || prev_s < s.size()) {
+    parts.push_back({prev_r, r.size(), prev_s, s.size()});
+  }
+  return parts;
+}
+
+}  // namespace tpset

@@ -1,0 +1,42 @@
+// Fact-range partitioning of a pair of (fact, start)-sorted TP relations.
+//
+// LAWA windows never span fact boundaries (the advancer's status resets
+// whenever currFact changes), so a set operation over inputs sorted by
+// (fact, start) decomposes into independent operations over disjoint fact
+// ranges — the partition-then-merge structure of radix-partitioned joins,
+// with the fact as the partitioning key. The partitioner cuts both inputs at
+// common fact boundaries, balancing the combined tuple count per partition.
+#ifndef TPSET_PARALLEL_PARTITION_H_
+#define TPSET_PARALLEL_PARTITION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "relation/tuple.h"
+
+namespace tpset {
+
+/// One partition: a contiguous index range of each input. All tuples of a
+/// fact land in exactly one partition, and the fact ranges of successive
+/// partitions are disjoint and increasing.
+struct FactPartition {
+  std::size_t r_begin = 0, r_end = 0;
+  std::size_t s_begin = 0, s_end = 0;
+
+  /// Combined tuple count (the balancing weight).
+  std::size_t size() const { return (r_end - r_begin) + (s_end - s_begin); }
+};
+
+/// Splits `r` and `s` (both sorted by (fact, start)) into at most
+/// `max_partitions` non-empty partitions cut at fact boundaries, choosing
+/// cuts so combined sizes are balanced up to fact granularity. Fewer
+/// partitions come back when the inputs have fewer facts than requested or
+/// when skew concentrates the weight (a single heavy fact is never split —
+/// it ends up alone in one partition). Empty inputs yield no partitions.
+std::vector<FactPartition> PartitionByFactRange(const std::vector<TpTuple>& r,
+                                                const std::vector<TpTuple>& s,
+                                                std::size_t max_partitions);
+
+}  // namespace tpset
+
+#endif  // TPSET_PARALLEL_PARTITION_H_

@@ -1,0 +1,101 @@
+// Ticket sequencer: serializes the arena-mutating phases of concurrently
+// evaluated query nodes into a fixed (post-order) sequence.
+//
+// The lineage arena is shared, append-only state; the id a formula receives
+// depends on every node interned before it. Concurrent query-subtree
+// evaluation therefore splits each set operation into a parallel phase
+// (sort, partition, advance — reads only) and an apply phase (lineage
+// concatenation — writes). Apply phases take turns in ticket order, so the
+// arena sees exactly the mutation sequence of a sequential post-order
+// evaluation and the whole query result is bit-identical to single-threaded
+// execution, regardless of scheduling.
+#ifndef TPSET_PARALLEL_SEQUENCER_H_
+#define TPSET_PARALLEL_SEQUENCER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace tpset {
+
+/// Admits ticket holders one at a time, in increasing ticket order starting
+/// at 0. Every ticket in the range must eventually be released (via Done or
+/// Skip), or later holders wait forever.
+class ApplySequencer {
+ public:
+  ApplySequencer() = default;
+  ApplySequencer(const ApplySequencer&) = delete;
+  ApplySequencer& operator=(const ApplySequencer&) = delete;
+
+  /// Blocks until `ticket` is the next turn.
+  void WaitTurn(std::size_t ticket) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&]() { return next_ == ticket; });
+  }
+
+  /// Ends the turn of `ticket` (which must be current) and admits the next.
+  /// A stale Done (ticket already passed) is ignored rather than rewinding.
+  void Done(std::size_t ticket) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_ != ticket) return;
+      next_ = ticket + 1;
+    }
+    cv_.notify_all();
+  }
+
+  /// Waits for and immediately releases `ticket` — used by a node that has
+  /// nothing to apply (e.g. its subtree failed) but must keep the sequence
+  /// moving.
+  void Skip(std::size_t ticket) {
+    WaitTurn(ticket);
+    Done(ticket);
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t next_ = 0;
+};
+
+/// RAII holder of one turn. Guarantees the ticket is released exactly once
+/// even when the guarded scope unwinds via exception — an unreleased ticket
+/// would block every later turn forever. Waiting lazily (on Release) is
+/// equivalent to Skip for scopes that never reached their turn.
+class TurnGuard {
+ public:
+  /// `seq` may be null (unsequenced execution); all operations no-op then.
+  TurnGuard(ApplySequencer* seq, std::size_t ticket) : seq_(seq), ticket_(ticket) {}
+  TurnGuard(const TurnGuard&) = delete;
+  TurnGuard& operator=(const TurnGuard&) = delete;
+  ~TurnGuard() { Release(); }
+
+  /// Blocks until the turn starts.
+  void Wait() {
+    if (seq_ == nullptr || waited_) return;
+    seq_->WaitTurn(ticket_);
+    waited_ = true;
+  }
+
+  /// Ends the turn (waiting first if it never started). Idempotent.
+  void Release() {
+    if (seq_ == nullptr || released_) return;
+    Wait();
+    seq_->Done(ticket_);
+    released_ = true;
+  }
+
+  /// Hands responsibility for the ticket to someone else (e.g. a callee
+  /// that sequences the same ticket internally); the guard becomes a no-op.
+  void Disarm() { released_ = true; }
+
+ private:
+  ApplySequencer* seq_;
+  std::size_t ticket_;
+  bool waited_ = false;
+  bool released_ = false;
+};
+
+}  // namespace tpset
+
+#endif  // TPSET_PARALLEL_SEQUENCER_H_

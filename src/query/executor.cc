@@ -1,5 +1,11 @@
 #include "query/executor.h"
 
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "parallel/parallel_set_op.h"
+#include "parallel/sequencer.h"
 #include "query/parser.h"
 #include "relation/validate.h"
 
@@ -15,6 +21,7 @@ Status QueryExecutor::Register(const TpRelation& rel) {
   }
   TPSET_RETURN_NOT_OK(ValidateWellFormed(rel));
   TPSET_RETURN_NOT_OK(ValidateDuplicateFree(rel));
+  TPSET_RETURN_NOT_OK(ValidateSortedFactTime(rel));
   if (catalog_.count(rel.name()) > 0) {
     return Status::InvalidArgument("relation '" + rel.name() +
                                    "' is already registered");
@@ -56,6 +63,118 @@ Result<TpRelation> QueryExecutor::Execute(const QueryNode& query,
   Result<TpRelation> right = Execute(*query.right, algorithm);
   if (!right.ok()) return right;
   return algorithm->Compute(query.op, *left, *right);
+}
+
+Result<TpRelation> QueryExecutor::Execute(const std::string& query,
+                                          const ExecOptions& options,
+                                          const SetOpAlgorithm* algorithm) const {
+  Result<QueryPtr> parsed = ParseQuery(query);
+  if (!parsed.ok()) return parsed.status();
+  return Execute(**parsed, options, algorithm);
+}
+
+Result<TpRelation> QueryExecutor::Execute(const QueryNode& query,
+                                          const ExecOptions& options,
+                                          const SetOpAlgorithm* algorithm) const {
+  if (options.num_threads <= 1) return Execute(query, algorithm);
+  return ExecuteConcurrent(query, options, algorithm);
+}
+
+const ParallelSetOpAlgorithm* QueryExecutor::ParallelAlgoFor(
+    std::size_t num_threads) const {
+  std::lock_guard<std::mutex> lock(parallel_mu_);
+  std::unique_ptr<ParallelSetOpAlgorithm>& slot = parallel_algos_[num_threads];
+  if (slot == nullptr) {
+    slot = std::make_unique<ParallelSetOpAlgorithm>(num_threads);
+  }
+  return slot.get();
+}
+
+namespace {
+
+// First operator of the tree (post-order) that `algorithm` cannot compute;
+// OK when the whole tree is supported.
+Status CheckSupported(const QueryNode& q, const SetOpAlgorithm& algorithm) {
+  if (q.kind == QueryNode::Kind::kRelation) return Status::OK();
+  TPSET_RETURN_NOT_OK(CheckSupported(*q.left, algorithm));
+  TPSET_RETURN_NOT_OK(CheckSupported(*q.right, algorithm));
+  if (!algorithm.Supports(q.op)) {
+    return Status::NotSupported("algorithm " + algorithm.name() +
+                                " does not support TP set " + SetOpName(q.op) +
+                                " (Table II)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TpRelation> QueryExecutor::ExecuteConcurrent(
+    const QueryNode& query, const ExecOptions& options,
+    const SetOpAlgorithm* algorithm) const {
+  if (algorithm == nullptr) algorithm = FindAlgorithm("LAWA");
+  // Plain LAWA is transparently upgraded to its partitioned variant; any
+  // other algorithm keeps its own Compute but is serialized per node (see
+  // below), since only the partitioned algorithm can defer arena writes.
+  const auto* parallel = dynamic_cast<const ParallelSetOpAlgorithm*>(algorithm);
+  if (parallel == nullptr && algorithm->name() == "LAWA") {
+    parallel = ParallelAlgoFor(options.num_threads);
+    algorithm = parallel;
+  }
+  TPSET_RETURN_NOT_OK(CheckSupported(query, *algorithm));
+
+  // One std::async task per set-op node, joined through shared_futures; the
+  // arena-mutating phase of node i waits for turn i of a post-order ticket
+  // sequence, making the result bit-identical to sequential evaluation.
+  // Query trees are user-written and small, so a thread per node is cheap;
+  // the heavy data parallelism lives inside the partitioned algorithm.
+  ApplySequencer sequencer;
+  using NodeFuture = std::shared_future<Result<TpRelation>>;
+  std::size_t next_ticket = 0;
+
+  auto eval = [&](auto&& self, const QueryNode& node) -> NodeFuture {
+    if (node.kind == QueryNode::Kind::kRelation) {
+      std::promise<Result<TpRelation>> ready;
+      Result<const TpRelation*> rel = Find(node.relation_name);
+      if (!rel.ok()) {
+        ready.set_value(rel.status());
+      } else {
+        ready.set_value(**rel);
+      }
+      return ready.get_future().share();
+    }
+    NodeFuture left = self(self, *node.left);
+    NodeFuture right = self(self, *node.right);
+    const std::size_t ticket = next_ticket++;  // post-order: children first
+    const SetOpAlgorithm* algo = algorithm;
+    const ParallelSetOpAlgorithm* par = parallel;
+    ApplySequencer* seq = &sequencer;
+    SetOpKind op = node.op;
+    return std::async(std::launch::async,
+                      [left, right, ticket, algo, par, seq, op]() {
+                        // The guard keeps the ticket sequence alive on every
+                        // exit, including exceptions rethrown by get() — an
+                        // unreleased ticket would hang all later turns.
+                        TurnGuard turn(seq, ticket);
+                        const Result<TpRelation>& l = left.get();
+                        const Result<TpRelation>& r = right.get();
+                        if (!l.ok() || !r.ok()) {
+                          return !l.ok() ? l : r;  // guard skips the turn
+                        }
+                        if (par != nullptr) {
+                          turn.Disarm();  // ComputeSequenced owns the ticket
+                          return Result<TpRelation>(
+                              par->ComputeSequenced(op, *l, *r, seq, ticket));
+                        }
+                        // Foreign algorithm: its whole compute is the turn.
+                        turn.Wait();
+                        TpRelation out = algo->Compute(op, *l, *r);
+                        turn.Release();
+                        return Result<TpRelation>(std::move(out));
+                      })
+        .share();
+  };
+
+  return eval(eval, query).get();
 }
 
 }  // namespace tpset

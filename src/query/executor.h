@@ -4,14 +4,31 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "baselines/algorithm.h"
 #include "common/status.h"
+#include "parallel/parallel_set_op.h"
 #include "query/ast.h"
 #include "relation/relation.h"
 
 namespace tpset {
+
+/// Execution knobs for one query.
+struct ExecOptions {
+  /// 1 evaluates sequentially (the seed behavior). Above 1, leaf set
+  /// operations run the partitioned parallel algorithm on this many pool
+  /// threads AND independent query subtrees are evaluated concurrently.
+  /// Results are bit-identical to sequential execution either way (see
+  /// DESIGN.md, "Partitioned parallel execution").
+  ///
+  /// Applies when the algorithm is defaulted or is plain "LAWA". An
+  /// explicitly passed ParallelSetOpAlgorithm keeps its own thread count
+  /// (the instance was configured deliberately); any other explicit
+  /// algorithm gets subtree concurrency only, serialized per node.
+  std::size_t num_threads = 1;
+};
 
 /// Evaluates TP set queries bottom-up with a pluggable set-operation
 /// algorithm (LAWA by default; any Table II approach that supports every
@@ -33,14 +50,38 @@ class QueryExecutor {
   Result<TpRelation> Execute(const QueryNode& query,
                              const SetOpAlgorithm* algorithm = nullptr) const;
 
+  /// Parses and executes with explicit execution options.
+  Result<TpRelation> Execute(const std::string& query, const ExecOptions& options,
+                             const SetOpAlgorithm* algorithm = nullptr) const;
+
+  /// Executes a query tree with explicit execution options. With
+  /// options.num_threads > 1, sibling subtrees are evaluated concurrently
+  /// and leaf set operations are partition-parallel; the shared lineage
+  /// arena is mutated in post-order turns, so the result (tuples and
+  /// lineage ids) equals sequential execution exactly.
+  Result<TpRelation> Execute(const QueryNode& query, const ExecOptions& options,
+                             const SetOpAlgorithm* algorithm = nullptr) const;
+
   /// Looks up a registered relation.
   Result<const TpRelation*> Find(const std::string& name) const;
 
   const std::shared_ptr<TpContext>& context() const { return ctx_; }
 
  private:
+  Result<TpRelation> ExecuteConcurrent(const QueryNode& query,
+                                       const ExecOptions& options,
+                                       const SetOpAlgorithm* algorithm) const;
+
+  /// Lazily built, cached per requested thread count for the executor's
+  /// lifetime (a handful of distinct counts in practice; each retains its
+  /// pool threads once first used).
+  const ParallelSetOpAlgorithm* ParallelAlgoFor(std::size_t num_threads) const;
+
   std::shared_ptr<TpContext> ctx_;
   std::map<std::string, TpRelation> catalog_;
+  mutable std::mutex parallel_mu_;
+  mutable std::map<std::size_t, std::unique_ptr<ParallelSetOpAlgorithm>>
+      parallel_algos_;
 };
 
 }  // namespace tpset

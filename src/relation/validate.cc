@@ -45,6 +45,15 @@ Status ValidateDuplicateFree(const TpRelation& rel) {
   return Status::OK();
 }
 
+Status ValidateSortedFactTime(const TpRelation& rel) {
+  if (!rel.IsSortedFactTime()) {
+    return Status::InvalidArgument(
+        "relation '" + rel.name() +
+        "' is not sorted by (fact, start); call SortFactTime() first");
+  }
+  return Status::OK();
+}
+
 Status ValidateSetOpInputs(const TpRelation& r, const TpRelation& s) {
   TPSET_RETURN_NOT_OK(ValidateWellFormed(r));
   TPSET_RETURN_NOT_OK(ValidateWellFormed(s));

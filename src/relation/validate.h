@@ -15,6 +15,12 @@ Status ValidateWellFormed(const TpRelation& rel);
 /// the same fact, the intervals must not overlap. O(n log n).
 Status ValidateDuplicateFree(const TpRelation& rel);
 
+/// The (fact, start) order required by LAWA and by the fact-range
+/// partitioner. Enforced at the catalog boundary (QueryExecutor::Register)
+/// so every registered relation is partition-ready; sort with
+/// TpRelation::SortFactTime first. O(n).
+Status ValidateSortedFactTime(const TpRelation& rel);
+
 /// Preconditions for a binary TP set operation: both relations well formed,
 /// duplicate-free, sharing one context, with compatible schemas.
 Status ValidateSetOpInputs(const TpRelation& r, const TpRelation& s);

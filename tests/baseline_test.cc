@@ -25,11 +25,12 @@ TEST(BaselineTest, TableIISupportMatrix) {
     const char* name;
     bool u, d, x;  // union, difference, intersection
   };
-  // Table II of the paper.
+  // Table II of the paper, plus the partitioned parallel LAWA variant
+  // (same support row as its sequential base).
   const Row expected[] = {
-      {"LAWA", true, true, true}, {"NORM", true, true, true},
-      {"TPDB", true, false, true}, {"OIP", false, false, true},
-      {"TI", false, false, true},
+      {"LAWA", true, true, true}, {"LAWA-P", true, true, true},
+      {"NORM", true, true, true}, {"TPDB", true, false, true},
+      {"OIP", false, false, true}, {"TI", false, false, true},
   };
   for (const Row& row : expected) {
     const SetOpAlgorithm* algo = FindAlgorithm(row.name);
@@ -38,7 +39,7 @@ TEST(BaselineTest, TableIISupportMatrix) {
     EXPECT_EQ(algo->Supports(SetOpKind::kExcept), row.d) << row.name;
     EXPECT_EQ(algo->Supports(SetOpKind::kIntersect), row.x) << row.name;
   }
-  EXPECT_EQ(AllAlgorithms().size(), 5u);
+  EXPECT_EQ(AllAlgorithms().size(), 6u);
   EXPECT_EQ(FindAlgorithm("nope"), nullptr);
 }
 
