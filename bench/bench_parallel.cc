@@ -1,13 +1,26 @@
 // Thread-scaling of the partitioned parallel engine: LAWA-P at 1/2/4/8
 // threads against sequential LAWA on a 1M-tuple-per-relation synthetic pair
-// (scaled by TPSET_BENCH_SCALE), all three operations.
+// (scaled by TPSET_BENCH_SCALE), all three operations, in both apply modes
+// (bit-identical and staged; see parallel/parallel_set_op.h).
 //
-// Expected shape on a multi-core box: near-linear until the sequential
-// lineage-apply phase dominates (Amdahl); >1.5x at 4 threads for union.
-// Emits the harness CSV rows plus one JSON summary line per operation
-// ("# json {...}") with the speedups, for machine consumption.
+// Each LAWA-P measurement carries the per-phase wall-time breakdown
+// (sort/split/advance/apply); `apply` is the sequential arena-mutating tail
+// — the Amdahl term the staged mode attacks. The context uses hash-consing
+// (the production default), which is what makes the bit-identical apply
+// phase hash-heavy. Every rep runs against a freshly generated context and
+// pair (same seed): a production operation builds lineage formulas the
+// arena has not seen, so a warm-arena rerun — where every intern degrades
+// to a cache hit — would systematically understate the apply phase.
+//
+// Output: the harness CSV rows, one "# json {...}" summary line per
+// operation, and a machine-readable summary written to BENCH_parallel.json
+// (override with --json <path>) so the perf trajectory is tracked across
+// PRs.
+#include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/harness.h"
 #include "datagen/synthetic.h"
@@ -19,59 +32,180 @@ using namespace tpset::bench;
 
 namespace {
 
-// Best of `reps` wall-clock runs (threads warm after the first).
-double BestMs(int reps, const std::function<void()>& fn) {
-  double best = TimeMs(fn);
-  for (int i = 1; i < reps; ++i) best = std::min(best, TimeMs(fn));
+struct Sample {
+  double wall_ms = 0.0;
+  PhaseTimings phases;
+};
+
+struct Workload {
+  SyntheticPairSpec spec;
+
+  // Fresh context + pair, deterministic across calls (fixed seed).
+  std::pair<TpRelation, TpRelation> Fresh() const {
+    auto ctx = std::make_shared<TpContext>(/*hash_consing=*/true);
+    Rng rng(0x9A7A11E1);
+    return GenerateSyntheticPair(ctx, spec, &rng);
+  }
+};
+
+// Best-of-reps wall time (with the fastest run's phase breakdown), each rep
+// against a cold arena. Generation time is excluded from the measurement.
+Sample BestTimedCold(int reps, const Workload& wl,
+                     const ParallelSetOpAlgorithm& algo, SetOpKind op) {
+  Sample best;
+  for (int i = 0; i < reps; ++i) {
+    auto [r, s] = wl.Fresh();
+    PhaseTimings t;
+    double ms = TimeMs([&]() {
+      TpRelation out = algo.ComputeTimed(op, r, s, &t);
+      (void)out;
+    });
+    if (i == 0 || ms < best.wall_ms) best = Sample{ms, t};
+  }
   return best;
+}
+
+// Cold-arena best-of-reps for sequential LAWA.
+double BestSequentialCold(int reps, const Workload& wl, SetOpKind op) {
+  double best = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    auto [r, s] = wl.Fresh();
+    double ms = TimeMs([&]() {
+      TpRelation out = LawaSetOp(op, r, s);
+      (void)out;
+    });
+    if (i == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+void AppendPhaseJson(std::string* out, std::size_t threads, const Sample& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"t%zu\":{\"wall_ms\":%.3f,\"sort_ms\":%.3f,\"split_ms\":%.3f,"
+                "\"advance_ms\":%.3f,\"apply_ms\":%.3f}",
+                threads, s.wall_ms, s.phases.sort_ms, s.phases.split_ms,
+                s.phases.advance_ms, s.phases.apply_ms);
+  *out += buf;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   double scale = ScaleFactor(argc, argv);
-  std::printf("# parallel scaling: LAWA-P threads=1/2/4/8 vs LAWA, "
-              "1M tuples/relation (scale=%.3g), 1K facts\n", scale);
+  const char* json_path = "BENCH_parallel.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+
+  std::printf("# parallel scaling: LAWA-P threads=1/2/4/8 (bit-identical and "
+              "staged apply) vs LAWA, 1M tuples/relation (scale=%.3g), 1K "
+              "facts, hash-consing on\n", scale);
   PrintHeader("parallel");
 
   const std::size_t n = Scaled(1000000, scale);
-  auto ctx = std::make_shared<TpContext>(/*hash_consing=*/false);
-  Rng rng(0x9A7A11E1);
-  SyntheticPairSpec spec = TableIIIPreset(0.6);
-  spec.num_tuples = n;
-  spec.num_facts = std::max<std::size_t>(1, n / 1000);
-  auto [r, s] = GenerateSyntheticPair(ctx, spec, &rng);
+  Workload wl;
+  wl.spec = TableIIIPreset(0.6);
+  wl.spec.num_tuples = n;
+  wl.spec.num_facts = std::max<std::size_t>(1, n / 1000);
 
   const std::size_t thread_counts[] = {1, 2, 4, 8};
   const int reps = 3;
 
+  std::string json = "{\n  \"experiment\": \"parallel\",\n";
+  {
+    char head[256];
+    std::snprintf(head, sizeof(head),
+                  "  \"scale\": %.4g,\n  \"n_per_relation\": %zu,\n"
+                  "  \"num_facts\": %zu,\n  \"reps\": %d,\n"
+                  "  \"hash_consing\": true,\n  \"cold_arena\": true,\n"
+                  "  \"operations\": [\n",
+                  scale, n, wl.spec.num_facts, reps);
+    json += head;
+  }
+
+  bool first_op = true;
   for (SetOpKind op : kAllSetOps) {
     const char* op_name = SetOpName(op);
 
-    double seq_ms = BestMs(reps, [&]() {
-      TpRelation out = LawaSetOp(op, r, s);
-      (void)out;
-    });
+    double seq_ms = BestSequentialCold(reps, wl, op);
     PrintRow("parallel", op_name, "LAWA", n, seq_ms);
 
-    double ms_at[9] = {0};
+    Sample bit_at[9], staged_at[9];
     for (std::size_t threads : thread_counts) {
-      ParallelSetOpAlgorithm algo(threads);
-      double ms = BestMs(reps, [&]() {
-        TpRelation out = algo.Compute(op, r, s);
-        (void)out;
-      });
-      ms_at[threads] = ms;
-      PrintRow("parallel", op_name, "LAWA-P/" + std::to_string(threads), n, ms);
+      ParallelSetOpAlgorithm bit(threads, SortMode::kComparison, 4,
+                                 ApplyMode::kBitIdentical);
+      bit_at[threads] = BestTimedCold(reps, wl, bit, op);
+      PrintRow("parallel", op_name, "LAWA-P/" + std::to_string(threads), n,
+               bit_at[threads].wall_ms);
+
+      ParallelSetOpAlgorithm staged(threads, SortMode::kComparison, 4,
+                                    ApplyMode::kStaged);
+      staged_at[threads] = BestTimedCold(reps, wl, staged, op);
+      PrintRow("parallel", op_name, "LAWA-P-staged/" + std::to_string(threads),
+               n, staged_at[threads].wall_ms);
     }
 
-    std::printf("# json {\"experiment\":\"parallel\",\"operation\":\"%s\","
-                "\"n\":%zu,\"lawa_ms\":%.3f,\"t1_ms\":%.3f,\"t2_ms\":%.3f,"
-                "\"t4_ms\":%.3f,\"t8_ms\":%.3f,\"speedup_4_over_1\":%.3f,"
-                "\"speedup_8_over_1\":%.3f}\n",
-                op_name, n, seq_ms, ms_at[1], ms_at[2], ms_at[4], ms_at[8],
-                ms_at[4] > 0 ? ms_at[1] / ms_at[4] : 0.0,
-                ms_at[8] > 0 ? ms_at[1] / ms_at[8] : 0.0);
+    const double apply_speedup =
+        staged_at[8].phases.apply_ms > 0
+            ? bit_at[8].phases.apply_ms / staged_at[8].phases.apply_ms
+            : 0.0;
+    std::printf(
+        "# json {\"experiment\":\"parallel\",\"operation\":\"%s\",\"n\":%zu,"
+        "\"lawa_ms\":%.3f,\"t8_bit_ms\":%.3f,\"t8_staged_ms\":%.3f,"
+        "\"apply_ms_bit_t8\":%.3f,\"apply_ms_staged_t8\":%.3f,"
+        "\"apply_speedup_staged_t8\":%.3f,"
+        "\"speedup_8_over_1_bit\":%.3f,\"speedup_8_over_1_staged\":%.3f}\n",
+        op_name, n, seq_ms, bit_at[8].wall_ms, staged_at[8].wall_ms,
+        bit_at[8].phases.apply_ms, staged_at[8].phases.apply_ms, apply_speedup,
+        bit_at[8].wall_ms > 0 ? bit_at[1].wall_ms / bit_at[8].wall_ms : 0.0,
+        staged_at[8].wall_ms > 0 ? staged_at[1].wall_ms / staged_at[8].wall_ms
+                                 : 0.0);
+
+    if (!first_op) json += ",\n";
+    first_op = false;
+    char ophead[128];
+    std::snprintf(ophead, sizeof(ophead),
+                  "    {\"operation\": \"%s\", \"lawa_ms\": %.3f,\n", op_name,
+                  seq_ms);
+    json += ophead;
+    json += "     \"bit_identical\": {";
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (i > 0) json += ",";
+      AppendPhaseJson(&json, thread_counts[i], bit_at[thread_counts[i]]);
+    }
+    json += "},\n     \"staged\": {";
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (i > 0) json += ",";
+      AppendPhaseJson(&json, thread_counts[i], staged_at[thread_counts[i]]);
+    }
+    json += "},\n";
+    char optail[256];
+    std::snprintf(optail, sizeof(optail),
+                  "     \"apply_speedup_staged_t8\": %.3f,\n"
+                  "     \"speedup_8_over_1_bit\": %.3f,\n"
+                  "     \"speedup_8_over_1_staged\": %.3f}",
+                  apply_speedup,
+                  bit_at[8].wall_ms > 0 ? bit_at[1].wall_ms / bit_at[8].wall_ms
+                                        : 0.0,
+                  staged_at[8].wall_ms > 0
+                      ? staged_at[1].wall_ms / staged_at[8].wall_ms
+                      : 0.0);
+    json += optail;
+  }
+  json += "\n  ]\n}\n";
+
+  if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("# wrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "bench_parallel: cannot write %s\n", json_path);
+    return 1;
   }
   return 0;
 }

@@ -1,15 +1,21 @@
 // Mini query shell for TP set queries.
 //
 // Usage:
-//   query_repl [name=file.csv ...]
+//   query_repl [--threads=N] [name=file.csv ...]
 //
 // Loads the given CSV relations (see relation/io.h for the format) into one
 // context — or, with no arguments, the paper's supermarket relations a, b,
 // c — then reads one query per line from stdin and prints the answer with
-// exact probabilities. Commands:
+// exact probabilities. With --threads=N (or the .threads command) queries
+// run on the partitioned parallel engine: N pool threads per set operation
+// and concurrent sibling subtrees, bit-identical to sequential evaluation.
+// Commands:
 //   \list            show registered relations
 //   \show <name>     print a relation
+//   \threads [N]     show or set the thread count (1 = sequential)
 //   \quit            exit
+// (.list/.show/.threads/.quit are accepted as aliases.)
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -69,13 +75,28 @@ int main(int argc, char** argv) {
   auto ctx = std::make_shared<TpContext>();
   QueryExecutor exec(ctx);
   std::vector<std::string> names;
+  std::size_t num_threads = 1;
 
-  if (argc <= 1) {
+  std::vector<std::string> rel_args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      long v = std::atol(arg.c_str() + 10);
+      if (v < 1) {
+        std::cerr << "--threads expects a positive count, got '" << arg << "'\n";
+        return 1;
+      }
+      num_threads = static_cast<std::size_t>(v);
+    } else {
+      rel_args.push_back(arg);
+    }
+  }
+
+  if (rel_args.empty()) {
     AddSupermarketRelations(ctx, &exec);
     names = {"a", "b", "c"};
   } else {
-    for (int i = 1; i < argc; ++i) {
-      std::string arg = argv[i];
+    for (const std::string& arg : rel_args) {
       std::size_t eq = arg.find('=');
       if (eq == std::string::npos) {
         std::cerr << "expected name=file.csv, got '" << arg << "'\n";
@@ -97,10 +118,15 @@ int main(int argc, char** argv) {
       std::cout << "loaded " << name << " (" << rel->size() << " tuples)\n";
     }
   }
+  if (num_threads > 1) {
+    std::cout << "parallel execution: " << num_threads << " threads\n";
+  }
 
   std::string line;
   std::cout << "tpset> " << std::flush;
   while (std::getline(std::cin, line)) {
+    // Commands accept both \cmd and .cmd spellings.
+    if (!line.empty() && line[0] == '.') line[0] = '\\';
     if (line == "\\quit" || line == "\\q") break;
     if (line.empty()) {
       std::cout << "tpset> " << std::flush;
@@ -108,6 +134,17 @@ int main(int argc, char** argv) {
     }
     if (line == "\\list") {
       for (const std::string& n : names) std::cout << "  " << n << '\n';
+    } else if (line == "\\threads") {
+      std::cout << "threads: " << num_threads << '\n';
+    } else if (line.rfind("\\threads ", 0) == 0) {
+      long v = std::atol(line.c_str() + 9);
+      if (v < 1) {
+        std::cout << "usage: \\threads N (N >= 1; 1 = sequential)\n";
+      } else {
+        num_threads = static_cast<std::size_t>(v);
+        std::cout << "threads: " << num_threads
+                  << (num_threads == 1 ? " (sequential)" : "") << '\n';
+      }
     } else if (line.rfind("\\show ", 0) == 0) {
       Result<const TpRelation*> rel = exec.Find(line.substr(6));
       if (rel.ok()) {
@@ -120,7 +157,9 @@ int main(int argc, char** argv) {
       if (!parsed.ok()) {
         std::cout << parsed.status().ToString() << '\n';
       } else {
-        Result<TpRelation> answer = exec.Execute(**parsed);
+        ExecOptions options;
+        options.num_threads = num_threads;
+        Result<TpRelation> answer = exec.Execute(**parsed, options);
         if (!answer.ok()) {
           std::cout << answer.status().ToString() << '\n';
         } else {

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification, as CI runs it: configure with warnings-as-errors,
-# build everything (library, tests, benches, examples), run ctest.
+# build everything (library, tests, benches, examples), run ctest, then
+# smoke-run bench_parallel at a tiny scale so the bench binary and its
+# BENCH_parallel.json emitter cannot bitrot.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,3 +12,11 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 cmake -B "$BUILD_DIR" -S . -DTPSET_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# Bench smoke: ~2K tuples/relation, JSON into the build dir (the committed
+# BENCH_parallel.json is produced by a full-scale manual run, not by CI).
+TPSET_BENCH_SCALE=0.002 "$BUILD_DIR/bench/bench_parallel" \
+  --json "$BUILD_DIR/BENCH_parallel.json" > "$BUILD_DIR/bench_parallel.out"
+test -s "$BUILD_DIR/BENCH_parallel.json"
+grep -q '"operations"' "$BUILD_DIR/BENCH_parallel.json"
+echo "bench_parallel smoke OK"

@@ -66,57 +66,51 @@ TpRelation LawaSetOp(SetOpKind op, const TpRelation& r, const TpRelation& s,
   TpRelation out(r.context(), r.schema(),
                  "(" + r.name() + " " + SetOpName(op) + " " + s.name() + ")");
 
-  // Step 1 of Fig. 5: sort both inputs by (F, Ts).
-  std::vector<TpTuple> rs = r.tuples();
-  std::vector<TpTuple> ss = s.tuples();
-  SortTuples(&rs, sort_mode);
-  SortTuples(&ss, sort_mode);
+  // Step 1 of Fig. 5: sort both inputs by (F, Ts). An input carrying the
+  // sortedness witness (catalog relations, set-op outputs) is swept in
+  // place — no copy, no sort.
+  std::size_t sort_skipped = 0;
+  std::vector<TpTuple> rs, ss;
+  const std::vector<TpTuple>* rv = &r.tuples();
+  const std::vector<TpTuple>* sv = &s.tuples();
+  if (r.known_sorted()) {
+    ++sort_skipped;
+  } else {
+    rs = r.tuples();
+    SortTuples(&rs, sort_mode);
+    rv = &rs;
+  }
+  if (s.known_sorted()) {
+    ++sort_skipped;
+  } else {
+    ss = s.tuples();
+    SortTuples(&ss, sort_mode);
+    sv = &ss;
+  }
 
   // Steps 2-4: advance windows; filter on (λr, λs); concatenate lineages.
-  // The loop conditions extend the paper's Algorithms 2-4 to also drain
-  // still-valid tuples (see DESIGN.md, faithfulness note 3): windows keep
-  // coming while the operation can still produce output.
-  // parallel/parallel_set_op.cc mirrors these loops per fact-range
-  // partition; keep any change to the conditions or filters in sync there.
-  LineageAwareWindowAdvancer adv(rs, ss);
-  LineageAwareWindow w;
-  switch (op) {
-    case SetOpKind::kIntersect:
-      while ((adv.HasPendingR() || adv.HasValidR()) &&
-             (adv.HasPendingS() || adv.HasValidS())) {
-        bool produced = adv.Next(&w);
-        assert(produced);
-        (void)produced;
-        if (w.lr != kNullLineage && w.ls != kNullLineage) {
-          out.AddDerived(w.fact, w.t, mgr.ConcatAnd(w.lr, w.ls));
-        }
-      }
-      break;
-    case SetOpKind::kUnion:
-      while (adv.HasPendingR() || adv.HasPendingS() || adv.HasValidR() ||
-             adv.HasValidS()) {
-        bool produced = adv.Next(&w);
-        assert(produced);
-        (void)produced;
-        // Every window overlaps at least one valid tuple, so the ∪Tp filter
-        // (λr ≠ null ∨ λs ≠ null) always passes.
-        out.AddDerived(w.fact, w.t, mgr.ConcatOr(w.lr, w.ls));
-      }
-      break;
-    case SetOpKind::kExcept:
-      while (adv.HasPendingR() || adv.HasValidR()) {
-        bool produced = adv.Next(&w);
-        assert(produced);
-        (void)produced;
-        if (w.lr != kNullLineage) {
-          out.AddDerived(w.fact, w.t, mgr.ConcatAndNot(w.lr, w.ls));
-        }
-      }
-      break;
-  }
+  // The drain conditions and λ-filters live in ForEachSurvivingWindow
+  // (set_ops.h), shared with the parallel sweep kernels.
+  LineageAwareWindowAdvancer adv(*rv, *sv);
+  ForEachSurvivingWindow(op, adv, [&](const LineageAwareWindow& w) {
+    LineageId lineage = kNullLineage;
+    switch (op) {
+      case SetOpKind::kIntersect:
+        lineage = mgr.ConcatAnd(w.lr, w.ls);
+        break;
+      case SetOpKind::kUnion:
+        lineage = mgr.ConcatOr(w.lr, w.ls);
+        break;
+      case SetOpKind::kExcept:
+        lineage = mgr.ConcatAndNot(w.lr, w.ls);
+        break;
+    }
+    out.AddDerived(w.fact, w.t, lineage);
+  });
   if (stats != nullptr) {
     stats->windows_produced = adv.windows_produced();
     stats->output_tuples = out.size();
+    stats->sort_skipped = sort_skipped;
   }
   return out;
 }

@@ -3,8 +3,11 @@
 #ifndef TPSET_LAWA_SET_OPS_H_
 #define TPSET_LAWA_SET_OPS_H_
 
+#include <cassert>
+
 #include "common/setop.h"
 #include "common/status.h"
+#include "lawa/advancer.h"
 #include "relation/relation.h"
 
 namespace tpset {
@@ -18,6 +21,11 @@ enum class SortMode { kComparison = 0, kCounting = 1 };
 struct LawaStats {
   std::size_t windows_produced = 0;  ///< candidate windows (Prop. 1 bound)
   std::size_t output_tuples = 0;     ///< windows that passed the λ-filter
+  /// Inputs (0-2) for which the per-operation copy + sort was skipped
+  /// because the relation carried the sortedness witness — catalog
+  /// relations (Register validates order) and set-operation outputs
+  /// (emitted in order) take the zero-sort fast path.
+  std::size_t sort_skipped = 0;
 };
 
 /// Computes r opTp s with LAWA. Inputs must satisfy ValidateSetOpInputs
@@ -56,6 +64,51 @@ inline TpRelation LawaExcept(const TpRelation& r, const TpRelation& s) {
 /// kCounting uses an LSD radix sort on (fact, start) — linear in the input,
 /// the §VI-B counting-based alternative. Exposed for the ablation bench.
 void SortTuples(std::vector<TpTuple>* tuples, SortMode mode);
+
+/// Drives one advancer sweep for `op`, invoking emit(w) for every window
+/// that survives the per-operation λ-filter (Algorithms 2-4). This is the
+/// single definition of the drain conditions and filters, shared by
+/// sequential LawaSetOp and both parallel sweep kernels — what the emit
+/// callback does with a surviving window (concatenate into the shared
+/// arena, defer, or stage thread-locally) is the only thing that differs
+/// between them. The loop conditions extend the paper's pseudocode to also
+/// drain still-valid tuples (see DESIGN.md, faithfulness note 3): windows
+/// keep coming while the operation can still produce output.
+template <typename Emit>
+void ForEachSurvivingWindow(SetOpKind op, LineageAwareWindowAdvancer& adv,
+                            Emit&& emit) {
+  LineageAwareWindow w;
+  switch (op) {
+    case SetOpKind::kIntersect:
+      while ((adv.HasPendingR() || adv.HasValidR()) &&
+             (adv.HasPendingS() || adv.HasValidS())) {
+        bool produced = adv.Next(&w);
+        assert(produced);
+        (void)produced;
+        if (w.lr != kNullLineage && w.ls != kNullLineage) emit(w);
+      }
+      break;
+    case SetOpKind::kUnion:
+      while (adv.HasPendingR() || adv.HasPendingS() || adv.HasValidR() ||
+             adv.HasValidS()) {
+        bool produced = adv.Next(&w);
+        assert(produced);
+        (void)produced;
+        // Every window overlaps at least one valid tuple, so the ∪Tp filter
+        // (λr ≠ null ∨ λs ≠ null) always passes.
+        emit(w);
+      }
+      break;
+    case SetOpKind::kExcept:
+      while (adv.HasPendingR() || adv.HasValidR()) {
+        bool produced = adv.Next(&w);
+        assert(produced);
+        (void)produced;
+        if (w.lr != kNullLineage) emit(w);
+      }
+      break;
+  }
+}
 
 }  // namespace tpset
 

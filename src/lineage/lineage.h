@@ -25,6 +25,8 @@
 
 namespace tpset {
 
+class StagingArena;
+
 /// Node discriminator. kTrue/kFalse arise only from restriction (Shannon
 /// cofactors); the set-operation algebra itself never creates constants.
 enum class LineageKind : std::uint8_t { kFalse = 0, kTrue, kVar, kNot, kAnd, kOr };
@@ -81,6 +83,11 @@ class VarTable {
 /// index for append-only speed.
 class LineageManager {
  public:
+  /// Ids of the Boolean constants; reserved by the constructor, stable for
+  /// the lifetime of every arena (StagingArena relies on the values).
+  static constexpr LineageId kFalseId = 0;
+  static constexpr LineageId kTrueId = 1;
+
   explicit LineageManager(bool hash_consing = true);
   LineageManager(const LineageManager&) = delete;
   LineageManager& operator=(const LineageManager&) = delete;
@@ -146,10 +153,19 @@ class LineageManager {
   /// the same key. Used by tests to compare outputs of different algorithms.
   std::string CanonicalKey(LineageId id) const;
 
- private:
-  static constexpr LineageId kFalseId = 0;
-  static constexpr LineageId kTrueId = 1;
+  /// Splices the cells of a staging arena (see lineage/staging.h) into this
+  /// arena: a pure remap-and-append (affine id shift, no hashing) — the
+  /// whole point of staging is that the serialized merge does O(cells)
+  /// memcpy-like work, not per-node intern work. On return, (*remap)[i] is
+  /// the final id of staged cell `staged.frozen_size() + i`. Spliced cells
+  /// are NOT entered into the hash-consing index: a cell structurally equal
+  /// to an existing node becomes a duplicate arena node, which valuation
+  /// and CanonicalKey see through (deduplication remains local to each
+  /// staging arena). The caller must hold exclusive access to this manager
+  /// (the sequencer turn). Defined in staging.cc.
+  void SpliceStaged(const StagingArena& staged, std::vector<LineageId>* remap);
 
+ private:
   struct ConsKey {
     LineageKind kind;
     VarId var;

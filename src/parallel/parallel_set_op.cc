@@ -2,17 +2,25 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <future>
 #include <utility>
 #include <vector>
 
 #include "lawa/advancer.h"
+#include "lineage/staging.h"
 #include "parallel/partition.h"
 #include "relation/validate.h"
 
 namespace tpset {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
 
 // A window that passed the per-operation λ-filter but whose lineage
 // concatenation is deferred to the sequential apply phase.
@@ -28,47 +36,18 @@ struct PartitionSweep {
   std::size_t windows_produced = 0;
 };
 
-// Phase 3: the sequential advancer over one partition. The loop conditions
-// and λ-filters MUST stay character-for-character in sync with LawaSetOp
-// (lawa/set_ops.cc) — bit-identity depends on it, and the cross-check is the
-// parallel_set_op_test property suite. Reads shared data only.
+// Phase 3: the sequential advancer over one partition, deferring the
+// concatenations as pending windows. Drain conditions and λ-filters are
+// shared with LawaSetOp via ForEachSurvivingWindow — bit-identity depends
+// on them agreeing, and the cross-check is the parallel_set_op_test
+// property suite. Reads shared data only.
 PartitionSweep SweepPartition(SetOpKind op, const TpTuple* r, std::size_t nr,
                               const TpTuple* s, std::size_t ns) {
   PartitionSweep out;
   LineageAwareWindowAdvancer adv(r, nr, s, ns);
-  LineageAwareWindow w;
-  switch (op) {
-    case SetOpKind::kIntersect:
-      while ((adv.HasPendingR() || adv.HasValidR()) &&
-             (adv.HasPendingS() || adv.HasValidS())) {
-        bool produced = adv.Next(&w);
-        assert(produced);
-        (void)produced;
-        if (w.lr != kNullLineage && w.ls != kNullLineage) {
-          out.windows.push_back({w.fact, w.t, w.lr, w.ls});
-        }
-      }
-      break;
-    case SetOpKind::kUnion:
-      while (adv.HasPendingR() || adv.HasPendingS() || adv.HasValidR() ||
-             adv.HasValidS()) {
-        bool produced = adv.Next(&w);
-        assert(produced);
-        (void)produced;
-        out.windows.push_back({w.fact, w.t, w.lr, w.ls});
-      }
-      break;
-    case SetOpKind::kExcept:
-      while (adv.HasPendingR() || adv.HasValidR()) {
-        bool produced = adv.Next(&w);
-        assert(produced);
-        (void)produced;
-        if (w.lr != kNullLineage) {
-          out.windows.push_back({w.fact, w.t, w.lr, w.ls});
-        }
-      }
-      break;
-  }
+  ForEachSurvivingWindow(op, adv, [&](const LineageAwareWindow& w) {
+    out.windows.push_back({w.fact, w.t, w.lr, w.ls});
+  });
   out.windows_produced = adv.windows_produced();
   return out;
 }
@@ -91,6 +70,42 @@ void ApplyPartition(SetOpKind op, const PartitionSweep& sweep,
     }
     out->AddDerived(w.fact, w.t, lineage);
   }
+}
+
+// One partition's result under ApplyMode::kStaged: output tuples whose
+// lineage ids may be partition-local (>= arena.frozen_size()), resolved at
+// splice time.
+struct StagedSweep {
+  StagingArena arena;
+  std::vector<TpTuple> tuples;
+  std::size_t windows_produced = 0;
+};
+
+// Staged phase 3: the same shared sweep, but the lineage concatenations run
+// here, on the pool thread, into a thread-local staging arena instead of
+// being deferred to a serialized apply phase.
+StagedSweep SweepPartitionStaged(SetOpKind op, const TpTuple* r, std::size_t nr,
+                                 const TpTuple* s, std::size_t ns,
+                                 LineageId frozen, bool hash_consing) {
+  StagedSweep out{StagingArena(frozen, hash_consing), {}, 0};
+  LineageAwareWindowAdvancer adv(r, nr, s, ns);
+  ForEachSurvivingWindow(op, adv, [&](const LineageAwareWindow& w) {
+    LineageId lineage = kNullLineage;
+    switch (op) {
+      case SetOpKind::kIntersect:
+        lineage = out.arena.ConcatAnd(w.lr, w.ls);
+        break;
+      case SetOpKind::kUnion:
+        lineage = out.arena.ConcatOr(w.lr, w.ls);
+        break;
+      case SetOpKind::kExcept:
+        lineage = out.arena.ConcatAndNot(w.lr, w.ls);
+        break;
+    }
+    out.tuples.push_back({w.fact, w.t, lineage});
+  });
+  out.windows_produced = adv.windows_produced();
+  return out;
 }
 
 }  // namespace
@@ -177,11 +192,13 @@ void ParallelSortTuples(std::vector<TpTuple>* tuples, SortMode mode,
 
 ParallelSetOpAlgorithm::ParallelSetOpAlgorithm(std::size_t num_threads,
                                                SortMode sort_mode,
-                                               std::size_t partitions_per_thread)
+                                               std::size_t partitions_per_thread,
+                                               ApplyMode apply_mode)
     : num_threads_(num_threads),
       sort_mode_(sort_mode),
       partitions_per_thread_(
-          partitions_per_thread == 0 ? 1 : partitions_per_thread) {}
+          partitions_per_thread == 0 ? 1 : partitions_per_thread),
+      apply_mode_(apply_mode) {}
 
 ParallelSetOpAlgorithm::~ParallelSetOpAlgorithm() = default;
 
@@ -197,18 +214,35 @@ TpRelation ParallelSetOpAlgorithm::Compute(SetOpKind op, const TpRelation& r,
   return ComputeSequenced(op, r, s, /*seq=*/nullptr, /*ticket=*/0);
 }
 
+TpRelation ParallelSetOpAlgorithm::ComputeTimed(SetOpKind op,
+                                                const TpRelation& r,
+                                                const TpRelation& s,
+                                                PhaseTimings* timings,
+                                                LawaStats* stats) const {
+  return ComputeSequenced(op, r, s, /*seq=*/nullptr, /*ticket=*/0, stats,
+                          timings);
+}
+
 TpRelation ParallelSetOpAlgorithm::ComputeSequenced(SetOpKind op,
                                                     const TpRelation& r,
                                                     const TpRelation& s,
                                                     ApplySequencer* seq,
                                                     std::size_t ticket,
-                                                    LawaStats* stats) const {
+                                                    LawaStats* stats,
+                                                    PhaseTimings* timings) const {
   if (num_threads_ <= 1) {
     // Degenerate pool: the sequential algorithm *is* the partition sweep.
     // LawaSetOp mutates the arena throughout, so the whole call is the turn.
     TurnGuard turn(seq, ticket);
     turn.Wait();
+    Clock::time_point t0 = Clock::now();
     TpRelation out = LawaSetOp(op, r, s, sort_mode_, stats);
+    if (timings != nullptr) {
+      // The sequential algorithm interleaves all phases; report its whole
+      // wall time as the sweep.
+      *timings = PhaseTimings{};
+      timings->advance_ms = MsSince(t0);
+    }
     turn.Release();
     return out;
   }
@@ -218,52 +252,158 @@ TpRelation ParallelSetOpAlgorithm::ComputeSequenced(SetOpKind op,
   ThreadPool* p = pool();
   TpRelation out(r.context(), r.schema(),
                  "(" + r.name() + " " + SetOpName(op) + " " + s.name() + ")");
+  std::size_t sort_skipped = 0;
+  Clock::time_point t0 = Clock::now();
 
-  // Phase 1: sort both inputs by (F, Ts) on the pool, jointly — one array's
-  // merge tail (few wide tasks) overlaps the other's fully-parallel chunks.
-  std::vector<TpTuple> rs = r.tuples();
-  std::vector<TpTuple> ss = s.tuples();
+  // Phase 1: bring both inputs into (F, Ts) order. An input carrying the
+  // sortedness witness is swept in place — zero copy, zero sort; the rest
+  // are copied and chunk-sorted on the pool jointly, so one array's merge
+  // tail (few wide tasks) overlaps the other's fully-parallel chunks.
+  std::vector<TpTuple> rs, ss;
+  const TpTuple* rdata = r.tuples().data();
+  std::size_t rn = r.tuples().size();
+  const TpTuple* sdata = s.tuples().data();
+  std::size_t sn = s.tuples().size();
   {
-    std::vector<TpTuple>* arrays[] = {&rs, &ss};
-    ParallelSortBatch(arrays, 2, sort_mode_, p);
+    std::vector<TpTuple>* arrays[2];
+    std::size_t to_sort = 0;
+    if (r.known_sorted()) {
+      ++sort_skipped;
+    } else {
+      rs = r.tuples();
+      arrays[to_sort++] = &rs;
+    }
+    if (s.known_sorted()) {
+      ++sort_skipped;
+    } else {
+      ss = s.tuples();
+      arrays[to_sort++] = &ss;
+    }
+    if (to_sort > 0) ParallelSortBatch(arrays, to_sort, sort_mode_, p);
+    if (!r.known_sorted()) {
+      rdata = rs.data();
+      rn = rs.size();
+    }
+    if (!s.known_sorted()) {
+      sdata = ss.data();
+      sn = ss.size();
+    }
   }
+  double sort_ms = MsSince(t0);
+  t0 = Clock::now();
 
-  // Phase 2: cut at fact boundaries, oversubscribed for balance.
-  const std::vector<FactPartition> parts =
-      PartitionByFactRange(rs, ss, num_threads_ * partitions_per_thread_);
+  // Phase 2: cut at fact boundaries, oversubscribed for balance. Staged
+  // mode also fixes the frozen arena snapshot here: one linear scan for the
+  // largest input lineage id — every id the staged cells may reference —
+  // without touching the (possibly concurrently growing) arena itself.
+  const std::vector<FactPartition> parts = PartitionByFactRange(
+      rdata, rn, sdata, sn, num_threads_ * partitions_per_thread_);
+  const bool staged = apply_mode_ == ApplyMode::kStaged;
+  LineageId frozen = 2;  // constants stay below the snapshot
+  if (staged) {
+    for (std::size_t i = 0; i < rn; ++i) {
+      if (rdata[i].lineage != kNullLineage && rdata[i].lineage >= frozen) {
+        frozen = rdata[i].lineage + 1;
+      }
+    }
+    for (std::size_t i = 0; i < sn; ++i) {
+      if (sdata[i].lineage != kNullLineage && sdata[i].lineage >= frozen) {
+        frozen = sdata[i].lineage + 1;
+      }
+    }
+    assert(frozen != kNullLineage && "lineage id space exhausted");
+  }
+  const bool hash_consing = r.context()->lineage().hash_consing();
+  double split_ms = MsSince(t0);
+  t0 = Clock::now();
 
   // Phase 3: sweep partitions concurrently. Collection order = fact order.
+  // In staged mode the sweeps also intern their concatenations thread-
+  // locally and build partition-local output tuples.
   std::vector<std::future<PartitionSweep>> sweeps;
-  sweeps.reserve(parts.size());
-  for (const FactPartition& part : parts) {
-    sweeps.push_back(p->Submit([op, &rs, &ss, part]() {
-      return SweepPartition(op, rs.data() + part.r_begin,
-                            part.r_end - part.r_begin, ss.data() + part.s_begin,
-                            part.s_end - part.s_begin);
-    }));
+  std::vector<std::future<StagedSweep>> staged_sweeps;
+  if (staged) {
+    staged_sweeps.reserve(parts.size());
+    for (const FactPartition& part : parts) {
+      staged_sweeps.push_back(
+          p->Submit([op, rdata, sdata, part, frozen, hash_consing]() {
+            return SweepPartitionStaged(
+                op, rdata + part.r_begin, part.r_end - part.r_begin,
+                sdata + part.s_begin, part.s_end - part.s_begin, frozen,
+                hash_consing);
+          }));
+    }
+  } else {
+    sweeps.reserve(parts.size());
+    for (const FactPartition& part : parts) {
+      sweeps.push_back(p->Submit([op, rdata, sdata, part]() {
+        return SweepPartition(op, rdata + part.r_begin,
+                              part.r_end - part.r_begin, sdata + part.s_begin,
+                              part.s_end - part.s_begin);
+      }));
+    }
   }
   std::vector<PartitionSweep> results;
+  std::vector<StagedSweep> staged_results;
   results.reserve(sweeps.size());
+  staged_results.reserve(staged_sweeps.size());
   for (std::future<PartitionSweep>& f : sweeps) results.push_back(f.get());
+  for (std::future<StagedSweep>& f : staged_sweeps) {
+    staged_results.push_back(f.get());
+  }
+  double advance_ms = MsSince(t0);
 
-  // Phase 4: deterministic sequential apply, gated when subtrees race.
+  // Phase 4: the sequential arena-mutating tail, gated when subtrees race.
+  // kBitIdentical replays every deferred concatenation; kStaged only
+  // splices pre-interned cells and bulk-appends tuples.
   turn.Wait();
+  t0 = Clock::now();
   LineageManager& mgr = r.context()->lineage();
   std::size_t total_windows = 0;
   std::size_t total_out = 0;
-  for (const PartitionSweep& sweep : results) {
-    total_windows += sweep.windows_produced;
-    total_out += sweep.windows.size();
+  if (staged) {
+    for (const StagedSweep& sweep : staged_results) {
+      total_windows += sweep.windows_produced;
+      total_out += sweep.tuples.size();
+    }
+    std::vector<TpTuple>& out_tuples = out.mutable_tuples();
+    out_tuples.reserve(total_out);
+    std::vector<LineageId> remap;
+    for (const StagedSweep& sweep : staged_results) {
+      mgr.SpliceStaged(sweep.arena, &remap);
+      const std::size_t base = out_tuples.size();
+      out_tuples.insert(out_tuples.end(), sweep.tuples.begin(),
+                        sweep.tuples.end());
+      for (std::size_t i = base; i < out_tuples.size(); ++i) {
+        LineageId& lin = out_tuples[i].lineage;
+        if (lin >= frozen) lin = remap[lin - frozen];
+      }
+    }
+  } else {
+    for (const PartitionSweep& sweep : results) {
+      total_windows += sweep.windows_produced;
+      total_out += sweep.windows.size();
+    }
+    out.mutable_tuples().reserve(total_out);
+    for (const PartitionSweep& sweep : results) {
+      ApplyPartition(op, sweep, mgr, &out);
+    }
   }
-  out.mutable_tuples().reserve(total_out);
-  for (const PartitionSweep& sweep : results) {
-    ApplyPartition(op, sweep, mgr, &out);
-  }
+  // Windows come out in fact order with increasing starts per fact.
+  out.MarkSortedUnchecked();
+  double apply_ms = MsSince(t0);
   turn.Release();
 
   if (stats != nullptr) {
     stats->windows_produced = total_windows;
     stats->output_tuples = out.size();
+    stats->sort_skipped = sort_skipped;
+  }
+  if (timings != nullptr) {
+    timings->sort_ms = sort_ms;
+    timings->split_ms = split_ms;
+    timings->advance_ms = advance_ms;
+    timings->apply_ms = apply_ms;
   }
   return out;
 }

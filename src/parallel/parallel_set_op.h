@@ -1,21 +1,39 @@
 // Partitioned parallel LAWA: the paper's advancer run per fact-range
-// partition on a thread pool, with results bit-identical to sequential LAWA.
+// partition on a thread pool.
 //
 // Execution of one operation (Fig. 5 pipeline, parallelized):
-//   1. sort    — both inputs are chunk-sorted and merged on the pool;
+//   1. sort    — inputs are chunk-sorted and merged on the pool; an input
+//                carrying the sortedness witness (TpRelation::known_sorted —
+//                catalog relations, set-op outputs) is swept in place with
+//                no copy and no sort at all (the zero-sort fast path);
 //   2. split   — PartitionByFactRange cuts both inputs at fact boundaries;
 //   3. advance — each partition is swept by the sequential advancer on the
-//                pool, emitting *pending* windows (fact, interval, λr, λs)
-//                that already passed the per-operation λ-filter;
-//   4. apply   — the caller thread concatenates lineages and appends output
-//                tuples partition by partition, in fact order.
+//                pool; what happens to the surviving windows depends on the
+//                apply mode (below);
+//   4. apply   — the sequential, arena-mutating tail, gated by the
+//                ApplySequencer when query subtrees race.
 //
-// Phase 4 is the only phase touching the shared lineage arena, and it runs
-// the same Concat calls in the same order as sequential LawaSetOp — so with
-// or without hash-consing, the arena evolves identically and every output
-// tuple (fact, interval, lineage id) matches the sequential run bit for bit.
-// See DESIGN.md ("Partitioned parallel execution") for the independence
-// argument.
+// Two apply modes trade strictness of the equivalence guarantee for the
+// size of the sequential term:
+//
+//  * ApplyMode::kBitIdentical (default): phase 3 emits *pending* windows
+//    (fact, interval, λr, λs) and phase 4 runs the same Concat calls in the
+//    same order as sequential LawaSetOp — the arena evolves identically and
+//    every output tuple (fact, interval, lineage id) matches the sequential
+//    run bit for bit.
+//  * ApplyMode::kStaged: each partition sweep interns its concatenations
+//    into a thread-local StagingArena during phase 3 and builds its output
+//    tuples with partition-local ids; phase 4 shrinks to
+//    LineageManager::SpliceStaged per partition (deterministic id remap +
+//    append) plus a bulk tuple splice. Output is deterministic and equals
+//    the sequential run tuple for tuple in (fact, interval) with
+//    probability-equal lineage — node *ids* may differ (see
+//    lineage/staging.h). The sequencer critical section shrinks from
+//    O(output · intern cost) to O(staged cells), so concurrent subtrees
+//    overlap far more.
+//
+// See DESIGN.md ("Partitioned parallel execution", "Staged apply") for the
+// independence and determinism arguments.
 #ifndef TPSET_PARALLEL_PARALLEL_SET_OP_H_
 #define TPSET_PARALLEL_PARALLEL_SET_OP_H_
 
@@ -32,16 +50,38 @@
 
 namespace tpset {
 
+/// How the arena-mutating apply phase of a parallel set operation runs.
+enum class ApplyMode {
+  kBitIdentical = 0,  ///< serialized Concat replay; bit-equal to sequential
+  kStaged = 1,        ///< per-partition staging arenas + sequential splice
+};
+
+/// Wall-clock breakdown of one parallel set operation, phase by phase.
+/// `advance_ms` includes staged-mode lineage staging (it runs inside the
+/// partition sweeps); `apply_ms` is the sequential arena-mutating tail —
+/// the sequencer critical section under concurrent subtree evaluation.
+struct PhaseTimings {
+  double sort_ms = 0.0;
+  double split_ms = 0.0;
+  double advance_ms = 0.0;
+  double apply_ms = 0.0;
+
+  double total_ms() const { return sort_ms + split_ms + advance_ms + apply_ms; }
+};
+
 /// LAWA over fact-range partitions on a private thread pool. Registered as
 /// "LAWA-P"; supports all three operations (Table II row of LAWA).
 class ParallelSetOpAlgorithm final : public SetOpAlgorithm {
  public:
   /// `num_threads` <= 1 degrades to plain sequential LawaSetOp (no pool is
-  /// created). `partitions_per_thread` oversubscribes the split so stragglers
-  /// even out; the pool itself is created lazily on first use.
+  /// created; `apply_mode` is then irrelevant — the sequential algorithm is
+  /// bit-identical by definition). `partitions_per_thread` oversubscribes
+  /// the split so stragglers even out; the pool itself is created lazily on
+  /// first use.
   explicit ParallelSetOpAlgorithm(std::size_t num_threads,
                                   SortMode sort_mode = SortMode::kComparison,
-                                  std::size_t partitions_per_thread = 4);
+                                  std::size_t partitions_per_thread = 4,
+                                  ApplyMode apply_mode = ApplyMode::kBitIdentical);
   ~ParallelSetOpAlgorithm() override;
 
   std::string name() const override { return "LAWA-P"; }
@@ -52,6 +92,11 @@ class ParallelSetOpAlgorithm final : public SetOpAlgorithm {
   /// sequential LawaSetOp.
   TpRelation Compute(SetOpKind op, const TpRelation& r,
                      const TpRelation& s) const override;
+
+  /// Compute with per-phase wall times (and optionally stats) reported.
+  TpRelation ComputeTimed(SetOpKind op, const TpRelation& r,
+                          const TpRelation& s, PhaseTimings* timings,
+                          LawaStats* stats = nullptr) const;
 
   /// Executor entry point for concurrent query-subtree evaluation: phases
   /// 1-3 run immediately, the arena-mutating apply phase waits for `ticket`
@@ -64,10 +109,11 @@ class ParallelSetOpAlgorithm final : public SetOpAlgorithm {
   /// loop produces only to filter out. Proposition 1 bounds both counts.
   TpRelation ComputeSequenced(SetOpKind op, const TpRelation& r,
                               const TpRelation& s, ApplySequencer* seq,
-                              std::size_t ticket,
-                              LawaStats* stats = nullptr) const;
+                              std::size_t ticket, LawaStats* stats = nullptr,
+                              PhaseTimings* timings = nullptr) const;
 
   std::size_t num_threads() const { return num_threads_; }
+  ApplyMode apply_mode() const { return apply_mode_; }
 
  private:
   ThreadPool* pool() const;
@@ -75,6 +121,7 @@ class ParallelSetOpAlgorithm final : public SetOpAlgorithm {
   std::size_t num_threads_;
   SortMode sort_mode_;
   std::size_t partitions_per_thread_;
+  ApplyMode apply_mode_;
   mutable std::once_flag pool_once_;
   mutable std::unique_ptr<ThreadPool> pool_;
 };

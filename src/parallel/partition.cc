@@ -8,13 +8,13 @@ namespace tpset {
 
 namespace {
 
-// First index of `tuples` whose fact is >= f. Sorted-by-(fact, start) input
-// makes this a pure fact lower bound.
-std::size_t FactLowerBound(const std::vector<TpTuple>& tuples, FactId f) {
+// First index of tuples[0..n) whose fact is >= f. Sorted-by-(fact, start)
+// input makes this a pure fact lower bound.
+std::size_t FactLowerBound(const TpTuple* tuples, std::size_t n, FactId f) {
   auto it = std::lower_bound(
-      tuples.begin(), tuples.end(), f,
+      tuples, tuples + n, f,
       [](const TpTuple& t, FactId fact) { return t.fact < fact; });
-  return static_cast<std::size_t>(it - tuples.begin());
+  return static_cast<std::size_t>(it - tuples);
 }
 
 }  // namespace
@@ -22,7 +22,16 @@ std::size_t FactLowerBound(const std::vector<TpTuple>& tuples, FactId f) {
 std::vector<FactPartition> PartitionByFactRange(const std::vector<TpTuple>& r,
                                                 const std::vector<TpTuple>& s,
                                                 std::size_t max_partitions) {
-  const std::size_t total = r.size() + s.size();
+  return PartitionByFactRange(r.data(), r.size(), s.data(), s.size(),
+                              max_partitions);
+}
+
+std::vector<FactPartition> PartitionByFactRange(const TpTuple* r,
+                                                std::size_t nr,
+                                                const TpTuple* s,
+                                                std::size_t ns,
+                                                std::size_t max_partitions) {
+  const std::size_t total = nr + ns;
   std::vector<FactPartition> parts;
   if (total == 0) return parts;
   if (max_partitions == 0) max_partitions = 1;
@@ -30,7 +39,7 @@ std::vector<FactPartition> PartitionByFactRange(const std::vector<TpTuple>& r,
   // Combined count of tuples with fact < f; monotone in f, so the i-th cut is
   // the smallest fact bringing the running count to at least i/k of the total.
   auto count_below = [&](FactId f) {
-    return FactLowerBound(r, f) + FactLowerBound(s, f);
+    return FactLowerBound(r, nr, f) + FactLowerBound(s, ns, f);
   };
 
   std::size_t prev_r = 0, prev_s = 0;
@@ -45,16 +54,16 @@ std::vector<FactPartition> PartitionByFactRange(const std::vector<TpTuple>& r,
         lo = mid + 1;
       }
     }
-    const std::size_t r_cut = FactLowerBound(r, lo);
-    const std::size_t s_cut = FactLowerBound(s, lo);
+    const std::size_t r_cut = FactLowerBound(r, nr, lo);
+    const std::size_t s_cut = FactLowerBound(s, ns, lo);
     if (r_cut == prev_r && s_cut == prev_s) continue;  // skewed fact: no split
     parts.push_back({prev_r, r_cut, prev_s, s_cut});
     prev_r = r_cut;
     prev_s = s_cut;
-    if (prev_r == r.size() && prev_s == s.size()) break;
+    if (prev_r == nr && prev_s == ns) break;
   }
-  if (prev_r < r.size() || prev_s < s.size()) {
-    parts.push_back({prev_r, r.size(), prev_s, s.size()});
+  if (prev_r < nr || prev_s < ns) {
+    parts.push_back({prev_r, nr, prev_s, ns});
   }
   return parts;
 }

@@ -37,6 +37,15 @@ std::vector<FactPartition> PartitionByFactRange(const std::vector<TpTuple>& r,
                                                 const std::vector<TpTuple>& s,
                                                 std::size_t max_partitions);
 
+/// Span form of the same contract: partitions r[0..nr) and s[0..ns). Lets
+/// the zero-sort fast path cut a registered relation's tuples in place
+/// without materializing a copy.
+std::vector<FactPartition> PartitionByFactRange(const TpTuple* r,
+                                                std::size_t nr,
+                                                const TpTuple* s,
+                                                std::size_t ns,
+                                                std::size_t max_partitions);
+
 }  // namespace tpset
 
 #endif  // TPSET_PARALLEL_PARTITION_H_

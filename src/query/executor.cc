@@ -26,7 +26,13 @@ Status QueryExecutor::Register(const TpRelation& rel) {
     return Status::InvalidArgument("relation '" + rel.name() +
                                    "' is already registered");
   }
-  catalog_.emplace(rel.name(), rel);
+  // ValidateSortedFactTime just proved the order, so the catalog copy gets
+  // the sortedness witness — every query leaf then takes the zero-sort
+  // fast path. Armed here, on the copy we own, rather than memoized
+  // through the caller's const reference (which could race).
+  TpRelation copy = rel;
+  copy.MarkSortedUnchecked();
+  catalog_.emplace(rel.name(), std::move(copy));
   return Status::OK();
 }
 
@@ -81,11 +87,14 @@ Result<TpRelation> QueryExecutor::Execute(const QueryNode& query,
 }
 
 const ParallelSetOpAlgorithm* QueryExecutor::ParallelAlgoFor(
-    std::size_t num_threads) const {
+    std::size_t num_threads, ApplyMode apply_mode) const {
   std::lock_guard<std::mutex> lock(parallel_mu_);
-  std::unique_ptr<ParallelSetOpAlgorithm>& slot = parallel_algos_[num_threads];
+  std::unique_ptr<ParallelSetOpAlgorithm>& slot =
+      parallel_algos_[{num_threads, apply_mode}];
   if (slot == nullptr) {
-    slot = std::make_unique<ParallelSetOpAlgorithm>(num_threads);
+    slot = std::make_unique<ParallelSetOpAlgorithm>(
+        num_threads, SortMode::kComparison, /*partitions_per_thread=*/4,
+        apply_mode);
   }
   return slot.get();
 }
@@ -117,7 +126,7 @@ Result<TpRelation> QueryExecutor::ExecuteConcurrent(
   // below), since only the partitioned algorithm can defer arena writes.
   const auto* parallel = dynamic_cast<const ParallelSetOpAlgorithm*>(algorithm);
   if (parallel == nullptr && algorithm->name() == "LAWA") {
-    parallel = ParallelAlgoFor(options.num_threads);
+    parallel = ParallelAlgoFor(options.num_threads, options.apply_mode);
     algorithm = parallel;
   }
   TPSET_RETURN_NOT_OK(CheckSupported(query, *algorithm));

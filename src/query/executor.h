@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 
 #include "baselines/algorithm.h"
 #include "common/status.h"
@@ -20,14 +21,23 @@ struct ExecOptions {
   /// 1 evaluates sequentially (the seed behavior). Above 1, leaf set
   /// operations run the partitioned parallel algorithm on this many pool
   /// threads AND independent query subtrees are evaluated concurrently.
-  /// Results are bit-identical to sequential execution either way (see
-  /// DESIGN.md, "Partitioned parallel execution").
+  /// With apply_mode kBitIdentical, results are bit-identical to sequential
+  /// execution either way (see DESIGN.md, "Partitioned parallel execution").
   ///
   /// Applies when the algorithm is defaulted or is plain "LAWA". An
   /// explicitly passed ParallelSetOpAlgorithm keeps its own thread count
-  /// (the instance was configured deliberately); any other explicit
-  /// algorithm gets subtree concurrency only, serialized per node.
+  /// and apply mode (the instance was configured deliberately); any other
+  /// explicit algorithm gets subtree concurrency only, serialized per node.
   std::size_t num_threads = 1;
+
+  /// How parallel set operations mutate the shared lineage arena (only
+  /// meaningful with num_threads > 1). kBitIdentical (default) keeps the
+  /// whole-query result bit-equal to sequential execution; kStaged interns
+  /// into per-partition staging arenas and splices under the sequencer — a
+  /// far smaller critical section, deterministic output, same tuples with
+  /// probability-equal lineage but possibly different node ids (see
+  /// DESIGN.md, "Staged apply").
+  ApplyMode apply_mode = ApplyMode::kBitIdentical;
 };
 
 /// Evaluates TP set queries bottom-up with a pluggable set-operation
@@ -67,20 +77,25 @@ class QueryExecutor {
 
   const std::shared_ptr<TpContext>& context() const { return ctx_; }
 
+  /// The executor-owned parallel algorithm for a (thread count, apply mode)
+  /// config: lazily built, cached for the executor's lifetime (a handful of
+  /// distinct configs in practice; each retains its pool threads once first
+  /// used). Exposed so tools that execute plans themselves — EXPLAIN's
+  /// per-node phase timing — reuse the warm pools instead of paying thread
+  /// startup inside their measurements.
+  const ParallelSetOpAlgorithm* ParallelAlgoFor(std::size_t num_threads,
+                                                ApplyMode apply_mode) const;
+
  private:
   Result<TpRelation> ExecuteConcurrent(const QueryNode& query,
                                        const ExecOptions& options,
                                        const SetOpAlgorithm* algorithm) const;
 
-  /// Lazily built, cached per requested thread count for the executor's
-  /// lifetime (a handful of distinct counts in practice; each retains its
-  /// pool threads once first used).
-  const ParallelSetOpAlgorithm* ParallelAlgoFor(std::size_t num_threads) const;
-
   std::shared_ptr<TpContext> ctx_;
   std::map<std::string, TpRelation> catalog_;
   mutable std::mutex parallel_mu_;
-  mutable std::map<std::size_t, std::unique_ptr<ParallelSetOpAlgorithm>>
+  mutable std::map<std::pair<std::size_t, ApplyMode>,
+                   std::unique_ptr<ParallelSetOpAlgorithm>>
       parallel_algos_;
 };
 

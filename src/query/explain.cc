@@ -1,9 +1,11 @@
 #include "query/explain.h"
 
+#include <cstdio>
 #include <set>
 #include <sstream>
 
 #include "lawa/set_ops.h"
+#include "parallel/parallel_set_op.h"
 #include "query/analyzer.h"
 #include "query/parser.h"
 
@@ -19,7 +21,8 @@ std::size_t DistinctFacts(const TpRelation& r, const TpRelation& s) {
 }
 
 Result<TpRelation> Explain(const QueryExecutor& exec, const QueryNode& q,
-                           int depth, std::ostringstream* out) {
+                           int depth, std::ostringstream* out,
+                           const ParallelSetOpAlgorithm* parallel) {
   std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
   if (q.kind == QueryNode::Kind::kRelation) {
     Result<const TpRelation*> rel = exec.Find(q.relation_name);
@@ -29,29 +32,47 @@ Result<TpRelation> Explain(const QueryExecutor& exec, const QueryNode& q,
     return **rel;
   }
   // Reserve the line for this node, fill in after the children are known.
-  Result<TpRelation> left = Explain(exec, *q.left, depth + 1, out);
+  Result<TpRelation> left = Explain(exec, *q.left, depth + 1, out, parallel);
   if (!left.ok()) return left;
-  Result<TpRelation> right = Explain(exec, *q.right, depth + 1, out);
+  Result<TpRelation> right = Explain(exec, *q.right, depth + 1, out, parallel);
   if (!right.ok()) return right;
 
   LawaStats stats;
-  TpRelation result = LawaSetOp(q.op, *left, *right, SortMode::kComparison, &stats);
+  PhaseTimings timings;
+  TpRelation result =
+      parallel != nullptr
+          ? parallel->ComputeTimed(q.op, *left, *right, &timings, &stats)
+          : LawaSetOp(q.op, *left, *right, SortMode::kComparison, &stats);
   std::size_t bound =
       2 * left->size() + 2 * right->size() - DistinctFacts(*left, *right);
   // Children were streamed into `out` first; emit this node after them with
   // the depth marker so the tree still reads top-down per level.
   *out << indent << SetOpName(q.op) << "  [out=" << result.size()
-       << ", windows=" << stats.windows_produced << "/" << bound << "(bound)]\n";
+       << ", windows=" << stats.windows_produced << "/" << bound << "(bound)";
+  if (parallel != nullptr) {
+    char phases[128];
+    std::snprintf(phases, sizeof(phases),
+                  ", sort=%.2fms split=%.2fms advance=%.2fms apply=%.2fms",
+                  timings.sort_ms, timings.split_ms, timings.advance_ms,
+                  timings.apply_ms);
+    *out << phases;
+  }
+  *out << "]\n";
   return result;
 }
 
-}  // namespace
-
-Result<std::string> ExplainQuery(const QueryExecutor& exec,
-                                 const QueryNode& query) {
+Result<std::string> ExplainWith(const QueryExecutor& exec,
+                                const QueryNode& query,
+                                const ParallelSetOpAlgorithm* parallel) {
   std::ostringstream out;
   out << "query: " << QueryToString(query) << "\n";
-  Result<TpRelation> result = Explain(exec, query, 0, &out);
+  if (parallel != nullptr) {
+    out << "parallel: threads=" << parallel->num_threads() << " apply="
+        << (parallel->apply_mode() == ApplyMode::kStaged ? "staged"
+                                                         : "bit-identical")
+        << "\n";
+  }
+  Result<TpRelation> result = Explain(exec, query, 0, &out, parallel);
   if (!result.ok()) return result.status();
   bool non_repeating = IsNonRepeating(query);
   out << "non-repeating: " << (non_repeating ? "yes" : "no")
@@ -62,11 +83,38 @@ Result<std::string> ExplainQuery(const QueryExecutor& exec,
   return out.str();
 }
 
+}  // namespace
+
+Result<std::string> ExplainQuery(const QueryExecutor& exec,
+                                 const QueryNode& query) {
+  return ExplainWith(exec, query, /*parallel=*/nullptr);
+}
+
 Result<std::string> ExplainQuery(const QueryExecutor& exec,
                                  const std::string& query) {
   Result<QueryPtr> parsed = ParseQuery(query);
   if (!parsed.ok()) return parsed.status();
   return ExplainQuery(exec, **parsed);
+}
+
+Result<std::string> ExplainQuery(const QueryExecutor& exec,
+                                 const QueryNode& query,
+                                 const ExecOptions& options) {
+  if (options.num_threads <= 1) return ExplainQuery(exec, query);
+  // Explain walks the tree bottom-up on one thread (no subtree concurrency,
+  // so no sequencer needed); each node runs the partitioned algorithm to
+  // surface its true phase profile. The executor's cached instance keeps
+  // pool-thread startup out of the first node's timings.
+  return ExplainWith(
+      exec, query, exec.ParallelAlgoFor(options.num_threads, options.apply_mode));
+}
+
+Result<std::string> ExplainQuery(const QueryExecutor& exec,
+                                 const std::string& query,
+                                 const ExecOptions& options) {
+  Result<QueryPtr> parsed = ParseQuery(query);
+  if (!parsed.ok()) return parsed.status();
+  return ExplainQuery(exec, **parsed, options);
 }
 
 }  // namespace tpset

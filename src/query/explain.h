@@ -28,6 +28,25 @@ Result<std::string> ExplainQuery(const QueryExecutor& exec, const QueryNode& que
 Result<std::string> ExplainQuery(const QueryExecutor& exec,
                                  const std::string& query);
 
+/// Explain under explicit execution options. With options.num_threads > 1
+/// every set-op node runs the partitioned parallel algorithm (with the
+/// requested apply mode) and its line additionally carries the per-phase
+/// wall-time breakdown:
+///
+///   except  [out=5, windows=8/9(bound), sort=0.01ms split=0.00ms
+///            advance=0.05ms apply=0.02ms]
+///
+/// `apply` is the sequential arena-mutating tail — the sequencer critical
+/// section under concurrent subtree evaluation; staged mode shrinks it.
+Result<std::string> ExplainQuery(const QueryExecutor& exec,
+                                 const QueryNode& query,
+                                 const ExecOptions& options);
+
+/// Parses, then explains with options.
+Result<std::string> ExplainQuery(const QueryExecutor& exec,
+                                 const std::string& query,
+                                 const ExecOptions& options);
+
 }  // namespace tpset
 
 #endif  // TPSET_QUERY_EXPLAIN_H_

@@ -28,6 +28,7 @@ Result<VarId> TpRelation::AddBase(const Fact& fact, Interval iv, double p,
   }
   FactId f = ctx_->facts().Intern(fact);
   tuples_.push_back({f, iv, ctx_->lineage().MakeVar(v)});
+  NoteAppended();
   return v;
 }
 
@@ -36,6 +37,7 @@ VarId TpRelation::AddBaseFast(FactId fact, Interval iv, double p) {
   assert(iv.IsValid());
   VarId v = ctx_->vars().Add(p);
   tuples_.push_back({fact, iv, ctx_->lineage().MakeVar(v)});
+  NoteAppended();
   return v;
 }
 
@@ -43,13 +45,16 @@ void TpRelation::AddDerived(FactId fact, Interval iv, LineageId lineage) {
   assert(iv.IsValid());
   assert(lineage != kNullLineage && "derived tuples carry concrete lineage");
   tuples_.push_back({fact, iv, lineage});
+  NoteAppended();
 }
 
 void TpRelation::SortFactTime() {
   std::sort(tuples_.begin(), tuples_.end(), FactTimeOrder());
+  sorted_ = true;
 }
 
 bool TpRelation::IsSortedFactTime() const {
+  if (sorted_) return true;
   return std::is_sorted(tuples_.begin(), tuples_.end(), FactTimeOrder());
 }
 

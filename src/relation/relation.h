@@ -65,7 +65,16 @@ class TpRelation {
   std::size_t size() const { return tuples_.size(); }
   bool empty() const { return tuples_.empty(); }
   const std::vector<TpTuple>& tuples() const { return tuples_; }
-  std::vector<TpTuple>& mutable_tuples() { return tuples_; }
+  /// Direct tuple access for bulk algorithms. Conservatively clears the
+  /// sortedness flag (the caller may reorder arbitrarily); producers that
+  /// append in order should re-assert with MarkSortedUnchecked(). The flag
+  /// is cleared at *call* time only — do not retain the reference across a
+  /// later SortFactTime/MarkSortedUnchecked and then mutate through it, or
+  /// the witness goes stale and the zero-sort fast path reads unsorted data.
+  std::vector<TpTuple>& mutable_tuples() {
+    sorted_ = false;
+    return tuples_;
+  }
   const TpTuple& operator[](std::size_t i) const { return tuples_[i]; }
 
   /// Adds a base tuple: interns the fact, registers a fresh Boolean variable
@@ -84,8 +93,25 @@ class TpRelation {
   /// Sorts tuples into the (fact, start) order required by LAWA.
   void SortFactTime();
 
-  /// True iff tuples are in (fact, start) order.
+  /// True iff tuples are in (fact, start) order. Deliberately does NOT
+  /// memoize into the witness: relations are read concurrently by the
+  /// parallel engine, and a write-through-const would race. Callers that
+  /// verified order and own the relation arm the witness explicitly
+  /// (MarkSortedUnchecked), as QueryExecutor::Register does for its
+  /// catalog copy.
   bool IsSortedFactTime() const;
+
+  /// O(1) sortedness witness: true guarantees (fact, start, end) order —
+  /// maintained incrementally by the Add* methods, set by SortFactTime /
+  /// MarkSortedUnchecked, cleared by mutable_tuples(). False only means
+  /// "unknown"; set operations use this to skip the per-operation copy +
+  /// sort entirely (the §VI-B sort step) for inputs known sorted.
+  bool known_sorted() const { return sorted_; }
+
+  /// Asserts sortedness without the O(n) check. For algorithm outputs that
+  /// are produced in (fact, start) order by construction (LAWA emits windows
+  /// in fact order with increasing starts); the caller vouches for order.
+  void MarkSortedUnchecked() { sorted_ = true; }
 
   /// Probability of tuple i under the chosen method. Monte-Carlo uses
   /// `samples` draws from `rng` (required for kMonteCarlo only).
@@ -104,10 +130,24 @@ class TpRelation {
   }
 
  private:
+  /// Incremental sortedness maintenance: appending a tuple that extends the
+  /// (fact, start, end) order keeps the flag; one out-of-order append clears
+  /// it until the next SortFactTime / IsSortedFactTime.
+  void NoteAppended() {
+    if (sorted_ && tuples_.size() > 1 &&
+        FactTimeOrder()(tuples_.back(), tuples_[tuples_.size() - 2])) {
+      sorted_ = false;
+    }
+  }
+
   std::shared_ptr<TpContext> ctx_;
   Schema schema_;
   std::string name_;
   std::vector<TpTuple> tuples_;
+  /// True ⟹ tuples_ is in (fact, start, end) order; empty relations are
+  /// vacuously sorted. Written only by non-const methods, so concurrent
+  /// readers of a non-mutated relation are race-free.
+  bool sorted_ = true;
 };
 
 /// Order-insensitive equivalence of two relations sharing one context:

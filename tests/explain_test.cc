@@ -61,5 +61,35 @@ TEST_F(ExplainTest, ErrorsPropagate) {
   EXPECT_FALSE(ExplainQuery(exec_, "a &").ok());
 }
 
+TEST_F(ExplainTest, ParallelOptionsAnnotatePhaseTimings) {
+  ExecOptions options;
+  options.num_threads = 4;
+  Result<std::string> plan = ExplainQuery(exec_, "c - (a | b)", options);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const std::string& text = *plan;
+  EXPECT_NE(text.find("parallel: threads=4 apply=bit-identical"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("sort="), std::string::npos) << text;
+  EXPECT_NE(text.find("split="), std::string::npos) << text;
+  std::size_t advance_pos = text.find("advance=");
+  ASSERT_NE(advance_pos, std::string::npos) << text;
+  // The per-node apply timing, not the "apply=bit-identical" header.
+  EXPECT_NE(text.find("apply=", advance_pos), std::string::npos) << text;
+  EXPECT_NE(text.find("except  [out=5"), std::string::npos) << text;
+
+  options.apply_mode = ApplyMode::kStaged;
+  Result<std::string> staged = ExplainQuery(exec_, "c - (a | b)", options);
+  ASSERT_TRUE(staged.ok());
+  EXPECT_NE(staged->find("parallel: threads=4 apply=staged"),
+            std::string::npos) << *staged;
+  EXPECT_NE(staged->find("except  [out=5"), std::string::npos) << *staged;
+
+  // num_threads <= 1 falls back to the plain sequential explain.
+  options.num_threads = 1;
+  Result<std::string> seq = ExplainQuery(exec_, "c - (a | b)", options);
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(seq->find("parallel:"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tpset
