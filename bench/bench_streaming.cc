@@ -1,0 +1,180 @@
+// Incremental continuous-query maintenance vs full recompute.
+//
+// Sweeps relation size (0.1x and 1x of 1M tuples/relation, scaled by
+// TPSET_BENCH_SCALE) and delta size (0.01% / 0.1% / 1% of the relation) for
+// the continuous query `r - s`. For each point it measures:
+//   * inc/1, inc/8 — mean per-epoch latency of QueryExecutor::Append with
+//     the query maintained sequentially / with the 8-thread staged apply
+//     (epochs alternate r and s appends, so both the pure-resume and the
+//     retraction-heavy path are in the mean);
+//   * full — one-shot Execute over the grown relations (best of 3), i.e.
+//     what serving the query without the subsystem would cost per batch.
+// The headline number is speedup = full / inc-1; the acceptance bar is
+// >= 5x for deltas <= 1% of a 1M-tuple relation.
+//
+// Output: harness CSV rows, one "# json {...}" line per point, and a
+// machine-readable summary in BENCH_streaming.json (--json <path>).
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/random.h"
+#include "datagen/stream.h"
+#include "incremental/continuous_query.h"
+#include "query/executor.h"
+
+using namespace tpset;
+using namespace tpset::bench;
+
+namespace {
+
+using Cursors = std::vector<TimePoint>;
+
+// Seeds and registers one relation of per-fact chains.
+void SeedRelation(QueryExecutor* exec, const std::shared_ptr<TpContext>& ctx,
+                  const char* name, std::size_t n, Cursors* cursors, Rng* rng) {
+  TpRelation rel(ctx, Schema::SingleInt("fact"), name);
+  SeedFactChains(&rel, n, cursors, rng);
+  Status st = exec->Register(rel);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+struct Point {
+  std::size_t n;
+  std::size_t delta_rows;
+  double inc1_ms;
+  double inc8_ms;
+  double full_ms;
+  double speedup;  // full / inc1
+};
+
+// One sweep point: fresh context, seeded pair, continuous `r - s`,
+// `epochs` appends alternating sides.
+Point Measure(std::size_t n, double delta_frac, std::size_t num_threads,
+              double* out_full_ms) {
+  auto ctx = std::make_shared<TpContext>();
+  QueryExecutor exec(ctx);
+  Rng rng(0x57AE4417);
+  const std::size_t num_facts = n >= 1000 ? n / 1000 : 1;
+  std::vector<Cursors> cursors(2, Cursors(num_facts, 0));
+  SeedRelation(&exec, ctx, "r", n, &cursors[0], &rng);
+  SeedRelation(&exec, ctx, "s", n, &cursors[1], &rng);
+
+  ContinuousOptions options;
+  options.num_threads = num_threads;
+  Result<ContinuousQuery*> cq = exec.RegisterContinuous("diff", "r - s", options);
+  if (!cq.ok()) {
+    std::fprintf(stderr, "%s\n", cq.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  const std::size_t delta_rows =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   static_cast<double>(n) * delta_frac));
+  const int epochs = 6;
+  double inc_total = 0.0;
+  for (int e = 0; e < epochs; ++e) {
+    const std::size_t side = static_cast<std::size_t>(e) % 2;
+    DeltaBatch batch = NextChainBatch(&cursors[side], delta_rows, &rng);
+    const char* rel = side == 0 ? "r" : "s";
+    inc_total += TimeMs([&]() {
+      Result<EpochId> epoch = exec.Append(rel, batch);
+      if (!epoch.ok()) {
+        std::fprintf(stderr, "%s\n", epoch.status().ToString().c_str());
+        std::exit(1);
+      }
+    });
+  }
+
+  // Full recompute over the grown relations (what each batch would cost
+  // without incremental maintenance), best of 3.
+  double full = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    double ms = TimeMs([&]() {
+      Result<TpRelation> out = exec.Execute("r - s");
+      if (!out.ok()) std::exit(1);
+    });
+    if (i == 0 || ms < full) full = ms;
+  }
+  if (out_full_ms != nullptr) *out_full_ms = full;
+
+  Point p{};
+  p.n = n;
+  p.delta_rows = delta_rows;
+  p.inc1_ms = inc_total / epochs;
+  p.full_ms = full;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = ScaleFactor(argc, argv);
+  const char* json_path = "BENCH_streaming.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+
+  std::printf("# streaming: continuous `r - s` append epochs vs full "
+              "recompute; 1M tuples/relation (scale=%.3g), per-fact chains, "
+              "deltas alternate r/s\n", scale);
+  PrintHeader("streaming");
+
+  const std::size_t sizes[] = {Scaled(100000, scale), Scaled(1000000, scale)};
+  const double fracs[] = {0.0001, 0.001, 0.01};
+
+  std::string json = "{\n  \"experiment\": \"streaming\",\n";
+  {
+    char head[128];
+    std::snprintf(head, sizeof(head), "  \"scale\": %.4g,\n  \"points\": [\n",
+                  scale);
+    json += head;
+  }
+
+  bool first = true;
+  for (std::size_t n : sizes) {
+    for (double frac : fracs) {
+      Point p1 = Measure(n, frac, /*num_threads=*/1, nullptr);
+      Point p8 = Measure(n, frac, /*num_threads=*/8, nullptr);
+      p1.inc8_ms = p8.inc1_ms;
+      p1.speedup = p1.inc1_ms > 0 ? p1.full_ms / p1.inc1_ms : 0.0;
+
+      const std::string label = "delta=" + std::to_string(p1.delta_rows);
+      PrintRow("streaming", "except", "incremental/1 " + label, n, p1.inc1_ms);
+      PrintRow("streaming", "except", "incremental/8 " + label, n, p1.inc8_ms);
+      PrintRow("streaming", "except", "full-recompute " + label, n, p1.full_ms);
+
+      char line[320];
+      std::snprintf(line, sizeof(line),
+                    "{\"n\": %zu, \"delta_rows\": %zu, \"delta_frac\": %.4g, "
+                    "\"incremental_ms_t1\": %.3f, \"incremental_ms_t8\": %.3f, "
+                    "\"full_recompute_ms\": %.3f, \"speedup_t1\": %.2f}",
+                    p1.n, p1.delta_rows, frac, p1.inc1_ms, p1.inc8_ms,
+                    p1.full_ms, p1.speedup);
+      std::printf("# json %s\n", line);
+      if (!first) json += ",\n";
+      first = false;
+      json += std::string("    ") + line;
+    }
+  }
+  json += "\n  ]\n}\n";
+
+  if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("# wrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "bench_streaming: cannot write %s\n", json_path);
+    return 1;
+  }
+  return 0;
+}

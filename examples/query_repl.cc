@@ -10,18 +10,27 @@
 // run on the partitioned parallel engine: N pool threads per set operation
 // and concurrent sibling subtrees, bit-identical to sequential evaluation.
 // Commands:
-//   \list            show registered relations
-//   \show <name>     print a relation
-//   \threads [N]     show or set the thread count (1 = sequential)
-//   \quit            exit
-// (.list/.show/.threads/.quit are accepted as aliases.)
+//   \list                               show registered relations and watches
+//   \show <name>                        print a relation
+//   \threads [N]                        show or set the thread count
+//   \append <rel> <fact> <ts> <te> <p>  append one tuple (one epoch); every
+//                                       watch reading <rel> prints its delta
+//   \watch <name> <query>               register a continuous query; appends
+//                                       then stream (inserted, retracted)
+//                                       deltas per epoch
+//   \explain <name>                     continuous plan with resume/resweep
+//                                       counters
+//   \quit                               exit
+// (.list/.show/.threads/.append/.watch/.explain/.quit are accepted too.)
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "lineage/eval.h"
 #include "query/analyzer.h"
 #include "query/executor.h"
+#include "query/explain.h"
 #include "query/parser.h"
 #include "relation/io.h"
 
@@ -67,6 +76,51 @@ void AddSupermarketRelations(const std::shared_ptr<TpContext>& ctx,
   }
   std::cout << "Loaded demo relations a, b, c (paper Fig. 1a). Try:\n"
                "  c - (a | b)\n";
+}
+
+// Parses a single-attribute fact value against the relation's schema.
+// Numeric attributes are parsed strictly: trailing garbage is an error, not
+// a silent fact 0.
+Result<Fact> ParseFact(const Schema& schema, const std::string& text) {
+  if (schema.num_attributes() != 1) {
+    return Status::NotSupported(
+        "\\append handles single-attribute schemas only");
+  }
+  char* end = nullptr;
+  switch (schema.types()[0]) {
+    case ValueType::kInt64: {
+      const long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("'" + text + "' is not an integer");
+      }
+      return Fact{Value(static_cast<std::int64_t>(v))};
+    }
+    case ValueType::kDouble: {
+      const double v = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("'" + text + "' is not a number");
+      }
+      return Fact{Value(v)};
+    }
+    case ValueType::kString:
+      return Fact{Value(text)};
+  }
+  return Status::InvalidArgument("unknown attribute type");
+}
+
+void PrintDelta(const std::string& watch_name, const EpochDelta& d,
+                const TpContext& ctx) {
+  std::cout << "[" << watch_name << "] epoch " << d.epoch << ": +"
+            << d.delta.inserted.size() << " -" << d.delta.retracted.size()
+            << '\n';
+  auto print_tuple = [&](char sign, const TpTuple& t) {
+    std::cout << "  " << sign << ' ' << ToString(ctx.facts().Get(t.fact))
+              << "  T=[" << t.t.start << ',' << t.t.end << ")  p="
+              << ProbabilityReadOnce(ctx.lineage(), t.lineage, ctx.vars())
+              << '\n';
+  };
+  for (const TpTuple& t : d.delta.retracted) print_tuple('-', t);
+  for (const TpTuple& t : d.delta.inserted) print_tuple('+', t);
 }
 
 }  // namespace
@@ -134,6 +188,70 @@ int main(int argc, char** argv) {
     }
     if (line == "\\list") {
       for (const std::string& n : names) std::cout << "  " << n << '\n';
+      for (const auto& [wname, cq] : exec.continuous()) {
+        std::cout << "  watch " << wname << ": " << cq->text() << "  (epoch "
+                  << cq->last_epoch() << ", " << cq->size() << " tuples)\n";
+      }
+    } else if (line.rfind("\\append ", 0) == 0) {
+      std::istringstream args(line.substr(8));
+      std::string rel, fact_text;
+      TimePoint ts = 0, te = 0;
+      double p = 0.0;
+      if (!(args >> rel >> fact_text >> ts >> te >> p)) {
+        std::cout << "usage: \\append <rel> <fact> <ts> <te> <p>\n";
+      } else {
+        Result<const TpRelation*> target = exec.Find(rel);
+        if (!target.ok()) {
+          std::cout << target.status().ToString() << '\n';
+        } else {
+          Result<Fact> fact = ParseFact((*target)->schema(), fact_text);
+          if (!fact.ok()) {
+            std::cout << fact.status().ToString() << '\n';
+          } else {
+            DeltaBatch batch;
+            batch.Add(*fact, Interval(ts, te), p);
+            Result<EpochId> epoch = exec.Append(rel, batch);
+            if (!epoch.ok()) {
+              std::cout << epoch.status().ToString() << '\n';
+            } else {
+              std::cout << "epoch " << *epoch << ": " << rel << " += "
+                        << ToString(*fact) << " T=[" << ts << ',' << te
+                        << ")\n";
+            }
+          }
+        }
+      }
+    } else if (line.rfind("\\watch ", 0) == 0) {
+      std::istringstream args(line.substr(7));
+      std::string wname;
+      args >> wname;
+      std::string query;
+      std::getline(args, query);
+      if (wname.empty() || query.find_first_not_of(' ') == std::string::npos) {
+        std::cout << "usage: \\watch <name> <query>\n";
+      } else {
+        ContinuousOptions copt;  // reuse the repl thread setting for deltas
+        copt.num_threads = num_threads;
+        Result<ContinuousQuery*> cq = exec.RegisterContinuous(wname, query, copt);
+        if (!cq.ok()) {
+          std::cout << cq.status().ToString() << '\n';
+        } else {
+          const std::string registered_name = wname;
+          const TpContext* ctx_ptr = ctx.get();
+          (*cq)->Subscribe([registered_name, ctx_ptr](const EpochDelta& d) {
+            PrintDelta(registered_name, d, *ctx_ptr);
+          });
+          std::cout << "watching " << registered_name << ": " << (*cq)->text()
+                    << "  (" << (*cq)->size() << " tuples)\n";
+        }
+      }
+    } else if (line.rfind("\\explain ", 0) == 0) {
+      Result<std::string> plan = ExplainContinuous(exec, line.substr(9));
+      if (plan.ok()) {
+        std::cout << *plan;
+      } else {
+        std::cout << plan.status().ToString() << '\n';
+      }
     } else if (line == "\\threads") {
       std::cout << "threads: " << num_threads << '\n';
     } else if (line.rfind("\\threads ", 0) == 0) {

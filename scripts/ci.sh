@@ -20,3 +20,12 @@ TPSET_BENCH_SCALE=0.002 "$BUILD_DIR/bench/bench_parallel" \
 test -s "$BUILD_DIR/BENCH_parallel.json"
 grep -q '"operations"' "$BUILD_DIR/BENCH_parallel.json"
 echo "bench_parallel smoke OK"
+
+# Streaming smoke: tiny relations, verifies the incremental-vs-recompute
+# sweep and its BENCH_streaming.json emitter still run end to end (the
+# committed BENCH_streaming.json comes from a full-scale manual run).
+TPSET_BENCH_SCALE=0.002 "$BUILD_DIR/bench/bench_streaming" \
+  --json "$BUILD_DIR/BENCH_streaming.json" > "$BUILD_DIR/bench_streaming.out"
+test -s "$BUILD_DIR/BENCH_streaming.json"
+grep -q '"points"' "$BUILD_DIR/BENCH_streaming.json"
+echo "bench_streaming smoke OK"

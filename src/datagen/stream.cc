@@ -1,0 +1,48 @@
+#include "datagen/stream.h"
+
+#include <cassert>
+
+namespace tpset {
+
+namespace {
+
+double DrawProbability(Rng* rng, const ChainWorkloadSpec& spec) {
+  return spec.min_p + (spec.max_p - spec.min_p) * rng->NextDouble();
+}
+
+}  // namespace
+
+void SeedFactChains(TpRelation* rel, std::size_t num_tuples,
+                    std::vector<TimePoint>* cursors, Rng* rng,
+                    const ChainWorkloadSpec& spec) {
+  assert(rel->context() != nullptr && !cursors->empty());
+  FactDictionary& facts = rel->context()->facts();
+  const std::size_t num_facts = cursors->size();
+  for (std::size_t k = 0; k < num_tuples; ++k) {
+    const std::size_t fact = k % num_facts;
+    TimePoint& cur = (*cursors)[fact];
+    cur += rng->Uniform(0, spec.max_gap);
+    const TimePoint len = rng->Uniform(1, spec.max_len);
+    FactId f = facts.Intern({Value(static_cast<std::int64_t>(fact))});
+    rel->AddBaseFast(f, Interval(cur, cur + len), DrawProbability(rng, spec));
+    cur += len;
+  }
+  rel->SortFactTime();
+}
+
+DeltaBatch NextChainBatch(std::vector<TimePoint>* cursors, std::size_t rows,
+                          Rng* rng, const ChainWorkloadSpec& spec) {
+  DeltaBatch batch;
+  for (std::size_t k = 0; k < rows; ++k) {
+    const std::size_t fact = rng->Below(cursors->size());
+    TimePoint& cur = (*cursors)[fact];
+    cur += rng->Uniform(0, spec.max_gap);
+    const TimePoint len = rng->Uniform(1, spec.max_len);
+    batch.Add({Value(static_cast<std::int64_t>(fact))},
+              Interval(cur, cur + len), DrawProbability(rng, spec));
+    cur += len;
+  }
+  return batch;
+}
+
+}  // namespace tpset

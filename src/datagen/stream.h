@@ -1,0 +1,45 @@
+// Append-only streaming workload: per-fact interval chains with tracked
+// cursors.
+//
+// The AppendLog contract (incremental/append_log.h) requires every appended
+// tuple to extend its fact's timeline. This generator keeps one cursor per
+// fact — where the fact's chain currently ends — so a seeded relation and
+// every later delta batch form valid, non-overlapping chains. Shared by
+// examples/streaming.cc and bench/bench_streaming.cc so both exercise the
+// same workload shape.
+#ifndef TPSET_DATAGEN_STREAM_H_
+#define TPSET_DATAGEN_STREAM_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "incremental/delta.h"
+#include "relation/relation.h"
+
+namespace tpset {
+
+/// Shape of one chain workload. Gaps between consecutive intervals of a
+/// fact are uniform in [0, max_gap], lengths in [1, max_len], probabilities
+/// in [min_p, max_p].
+struct ChainWorkloadSpec {
+  TimePoint max_gap = 3;
+  TimePoint max_len = 10;
+  double min_p = 0.1;
+  double max_p = 0.9;
+};
+
+/// Seeds `rel` (schema: single int64 attribute) with `num_tuples` tuples
+/// spread round-robin over `cursors->size()` facts, advancing the cursors.
+/// The relation is left sorted by (fact, start).
+void SeedFactChains(TpRelation* rel, std::size_t num_tuples,
+                    std::vector<TimePoint>* cursors, Rng* rng,
+                    const ChainWorkloadSpec& spec = {});
+
+/// Builds a delta batch of `rows` tuples continuing random facts' chains
+/// past their cursors — always a valid append for the seeded relation.
+DeltaBatch NextChainBatch(std::vector<TimePoint>* cursors, std::size_t rows,
+                          Rng* rng, const ChainWorkloadSpec& spec = {});
+
+}  // namespace tpset
+
+#endif  // TPSET_DATAGEN_STREAM_H_

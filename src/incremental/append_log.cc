@@ -1,0 +1,113 @@
+#include "incremental/append_log.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/interval.h"
+
+namespace tpset {
+
+namespace {
+
+// Last stored interval end of `fact` in a (fact, start)-sorted relation, or
+// nullopt-style pair {false, 0} when the fact has no tuples. Sorted order +
+// duplicate-freeness make the last tuple of the fact's run the one with the
+// maximal end.
+std::pair<bool, TimePoint> FactTailEnd(const TpRelation& rel, FactId fact) {
+  const std::vector<TpTuple>& tuples = rel.tuples();
+  auto it = std::upper_bound(
+      tuples.begin(), tuples.end(), fact,
+      [](FactId f, const TpTuple& t) { return f < t.fact; });
+  if (it == tuples.begin() || std::prev(it)->fact != fact) return {false, 0};
+  return {true, std::prev(it)->t.end};
+}
+
+}  // namespace
+
+Result<EpochId> AppendLog::Append(TpRelation* rel, const DeltaBatch& batch,
+                                  std::vector<TpTuple>* applied) {
+  assert(rel != nullptr && rel->context() != nullptr);
+  if (!rel->known_sorted()) {
+    return Status::InvalidArgument(
+        "appends require the sortedness witness; register the relation or "
+        "call SortFactTime first");
+  }
+  TpContext& ctx = *rel->context();
+
+  // ---- Validation (no side effects on the context until it all passes) ---
+  std::set<std::string> batch_vars;
+  for (const DeltaRow& row : batch.rows) {
+    TPSET_RETURN_NOT_OK(rel->schema().Validate(row.fact));
+    if (!row.t.IsValid()) {
+      return Status::InvalidArgument("empty interval " + ToString(row.t));
+    }
+    if (!(row.p > 0.0 && row.p <= 1.0)) {
+      return Status::InvalidArgument("probability must be in (0,1]");
+    }
+    if (!row.var.empty()) {
+      if (!batch_vars.insert(row.var).second ||
+          ctx.vars().Find(row.var).ok()) {
+        return Status::InvalidArgument("variable '" + row.var +
+                                       "' already exists");
+      }
+    }
+  }
+
+  // Group row indices by fact value and check each fact's chain: start
+  // ordered, non-overlapping, beginning at or after the stored tail.
+  std::map<Fact, std::vector<std::size_t>> by_fact;
+  for (std::size_t i = 0; i < batch.rows.size(); ++i) {
+    by_fact[batch.rows[i].fact].push_back(i);
+  }
+  for (auto& [fact, rows] : by_fact) {
+    std::stable_sort(rows.begin(), rows.end(), [&](std::size_t a, std::size_t b) {
+      const Interval& ta = batch.rows[a].t;
+      const Interval& tb = batch.rows[b].t;
+      return ta.start != tb.start ? ta.start < tb.start : ta.end < tb.end;
+    });
+    TimePoint tail = 0;
+    bool have_tail = false;
+    Result<FactId> existing = ctx.facts().Find(fact);
+    if (existing.ok()) {
+      auto [found, end] = FactTailEnd(*rel, *existing);
+      have_tail = found;
+      tail = end;
+    }
+    for (std::size_t idx : rows) {
+      const Interval& t = batch.rows[idx].t;
+      if (have_tail && t.start < tail) {
+        return Status::InvalidArgument(
+            "append violates fact-time order: " + ToString(fact) + " " +
+            ToString(t) + " starts before the fact's tail (t=" +
+            std::to_string(tail) + ")");
+      }
+      tail = t.end;
+      have_tail = true;
+    }
+  }
+
+  // ---- Apply: intern variables and facts, merge, stamp the epoch --------
+  std::vector<TpTuple> tuples;
+  tuples.reserve(batch.rows.size());
+  for (const DeltaRow& row : batch.rows) {
+    VarId v;
+    if (row.var.empty()) {
+      v = ctx.vars().Add(row.p);
+    } else {
+      Result<VarId> named = ctx.vars().AddNamed(row.var, row.p);
+      assert(named.ok() && "name collisions were rejected above");
+      v = *named;
+    }
+    FactId f = ctx.facts().Intern(row.fact);
+    tuples.push_back({f, row.t, ctx.lineage().MakeVar(v)});
+  }
+  std::sort(tuples.begin(), tuples.end(), FactTimeOrder());
+  if (applied != nullptr) *applied = tuples;
+  rel->MergeSortedAppend(std::move(tuples));
+  return next_epoch_++;
+}
+
+}  // namespace tpset

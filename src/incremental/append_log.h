@@ -1,0 +1,54 @@
+// Validated delta appends on registered relations, with epoch assignment.
+//
+// A TP relation's tuples are sorted by (fact, start) and duplicate-free; the
+// append contract that preserves both — and the one that makes per-fact
+// sweep resume possible at all — is *fact-time order per fact*: a new tuple
+// of fact f must start at or after the end of f's last stored interval. The
+// AppendLog enforces that contract per batch, interns the new facts and
+// Boolean variables, merges the tuples into the relation in O(n + batch)
+// (TpRelation::MergeSortedAppend, which keeps the known_sorted witness
+// armed), and stamps the batch with the next monotone epoch id. The applied
+// tuples come back sorted by (fact, start) — they are the leaf delta the
+// continuous-query DAG consumes.
+#ifndef TPSET_INCREMENTAL_APPEND_LOG_H_
+#define TPSET_INCREMENTAL_APPEND_LOG_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "incremental/delta.h"
+#include "relation/relation.h"
+
+namespace tpset {
+
+/// Assigns epochs and applies append batches. One AppendLog serves all
+/// relations of one executor, so epoch ids are totally ordered across
+/// relations. Not thread-safe: appends are single-writer, like every other
+/// mutation of a shared context.
+class AppendLog {
+ public:
+  AppendLog() = default;
+  AppendLog(const AppendLog&) = delete;
+  AppendLog& operator=(const AppendLog&) = delete;
+
+  /// Validates `batch` against `rel` and applies it: every row must pass the
+  /// schema, carry a non-empty interval and a probability in (0,1], and per
+  /// fact the rows must form a start-ordered, non-overlapping chain starting
+  /// at or after the fact's last stored interval end. On success the new
+  /// tuples are merged into the relation (witness preserved), `*applied`
+  /// (optional) receives them sorted by (fact, start), and the assigned
+  /// epoch is returned. On failure the relation is untouched: all checks run
+  /// before any variable is registered.
+  Result<EpochId> Append(TpRelation* rel, const DeltaBatch& batch,
+                         std::vector<TpTuple>* applied = nullptr);
+
+  /// The most recently assigned epoch (0 before any append).
+  EpochId last_epoch() const { return next_epoch_ - 1; }
+
+ private:
+  EpochId next_epoch_ = 1;
+};
+
+}  // namespace tpset
+
+#endif  // TPSET_INCREMENTAL_APPEND_LOG_H_

@@ -1,0 +1,231 @@
+#include "incremental/continuous_query.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/setop.h"
+
+namespace tpset {
+
+namespace {
+
+// Deep copy of a query tree (ContinuousQuery keeps its own).
+QueryPtr CloneQuery(const QueryNode& q) {
+  if (q.kind == QueryNode::Kind::kRelation) {
+    return QueryNode::Relation(q.relation_name);
+  }
+  return QueryNode::SetOp(q.op, CloneQuery(*q.left), CloneQuery(*q.right));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ContinuousQuery>> ContinuousQuery::Compile(
+    std::string name, const QueryNode& query,
+    const std::function<Result<const TpRelation*>(const std::string&)>& resolve,
+    std::shared_ptr<TpContext> ctx, const ContinuousOptions& options,
+    ThreadPool* pool) {
+  std::unique_ptr<ContinuousQuery> cq(new ContinuousQuery());
+  cq->name_ = std::move(name);
+  cq->query_ = CloneQuery(query);
+  cq->ctx_ = std::move(ctx);
+  cq->options_ = options;
+  cq->pool_ = pool;
+  if (cq->options_.num_threads == 0) cq->options_.num_threads = 1;
+  if (cq->options_.partitions_per_thread == 0) {
+    cq->options_.partitions_per_thread = 1;
+  }
+  assert((cq->options_.num_threads <= 1 || pool != nullptr) &&
+         "parallel continuous queries need the shared pool");
+
+  std::map<std::string, int> memo;
+  Status status = Status::OK();
+  int root = cq->CompileNode(*cq->query_, resolve, &memo, &status);
+  TPSET_RETURN_NOT_OK(status);
+  assert(root == static_cast<int>(cq->nodes_.size()) - 1 && "root is last");
+  (void)root;
+
+  // Schema of the leftmost leaf (set operations preserve it).
+  {
+    const PlanNode* n = &cq->nodes_.back();
+    while (!n->leaf) n = &cq->nodes_[static_cast<std::size_t>(n->left)];
+    cq->schema_ = n->relation->schema();
+  }
+
+  // Initial full computation: every leaf's current content as one
+  // insert-only delta. Per fact this is an in-order append onto empty
+  // state, so each operator does one fresh per-fact sweep — the same work
+  // a one-shot Execute would do.
+  std::map<std::string, DeltaMap> owned;
+  std::map<std::string, const DeltaMap*> leaf_deltas;
+  for (const PlanNode& n : cq->nodes_) {
+    if (n.leaf && !n.relation->empty()) {
+      auto [it, fresh] = owned.emplace(n.relation_name,
+                                       GroupInsertsByFact(n.relation->tuples()));
+      if (fresh) leaf_deltas.emplace(n.relation_name, &it->second);
+    }
+  }
+  if (!leaf_deltas.empty()) cq->Propagate(leaf_deltas);
+  return cq;
+}
+
+int ContinuousQuery::CompileNode(
+    const QueryNode& q,
+    const std::function<Result<const TpRelation*>(const std::string&)>& resolve,
+    std::map<std::string, int>* memo, Status* status) {
+  if (!status->ok()) return -1;
+  // Common subtrees collapse onto one operator node: the plan is a DAG and
+  // each distinct subexpression absorbs a delta exactly once per epoch.
+  const std::string key = QueryToString(q);
+  auto it = memo->find(key);
+  if (it != memo->end()) return it->second;
+
+  PlanNode node;
+  if (q.kind == QueryNode::Kind::kRelation) {
+    Result<const TpRelation*> rel = resolve(q.relation_name);
+    if (!rel.ok()) {
+      *status = rel.status();
+      return -1;
+    }
+    node.leaf = true;
+    node.relation_name = q.relation_name;
+    node.relation = *rel;
+    leaves_.insert(q.relation_name);
+  } else {
+    node.left = CompileNode(*q.left, resolve, memo, status);
+    node.right = CompileNode(*q.right, resolve, memo, status);
+    if (!status->ok()) return -1;
+    node.op = q.op;
+    node.state = std::make_unique<IncrementalSetOp>(q.op);
+  }
+  const int index = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  memo->emplace(key, index);
+  return index;
+}
+
+TupleDelta ContinuousQuery::Propagate(
+    const std::map<std::string, const DeltaMap*>& leaf_deltas) {
+  ThreadPool* pool = options_.num_threads > 1 ? pool_ : nullptr;
+  const std::size_t max_groups =
+      pool != nullptr ? options_.num_threads * options_.partitions_per_thread
+                      : 0;
+
+  // Interior deltas are owned; leaf slots alias the caller's (shared) maps.
+  static const DeltaMap kEmpty;
+  std::vector<DeltaMap> owned(nodes_.size());
+  std::vector<const DeltaMap*> node_deltas(nodes_.size(), &kEmpty);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const PlanNode& n = nodes_[i];
+    if (n.leaf) {
+      auto it = leaf_deltas.find(n.relation_name);
+      if (it != leaf_deltas.end()) node_deltas[i] = it->second;
+    } else {
+      const DeltaMap& left = *node_deltas[static_cast<std::size_t>(n.left)];
+      const DeltaMap& right = *node_deltas[static_cast<std::size_t>(n.right)];
+      owned[i] = n.state->Apply(left, right, ctx_->lineage(), pool, max_groups);
+      node_deltas[i] = &owned[i];
+    }
+  }
+
+  TupleDelta root;
+  for (const auto& [fact, d] : *node_deltas.back()) {
+    (void)fact;
+    root.inserted.insert(root.inserted.end(), d.inserted.begin(),
+                         d.inserted.end());
+    root.retracted.insert(root.retracted.end(), d.retracted.begin(),
+                          d.retracted.end());
+  }
+  return root;
+}
+
+void ContinuousQuery::ApplyAppend(EpochId epoch,
+                                  const std::string& relation_name,
+                                  const DeltaMap& delta) {
+  assert(Reads(relation_name));
+  std::map<std::string, const DeltaMap*> leaf_deltas;
+  leaf_deltas.emplace(relation_name, &delta);
+  EpochDelta ed;
+  ed.epoch = epoch;
+  ed.delta = Propagate(leaf_deltas);
+  last_epoch_ = epoch;
+  // Snapshot the list: a callback may (un)subscribe on this query, which
+  // would otherwise mutate the vector mid-iteration.
+  const std::vector<std::pair<SubscriptionId, Callback>> subs = subscribers_;
+  for (const auto& [id, cb] : subs) {
+    (void)id;
+    cb(ed);
+  }
+}
+
+ContinuousQuery::SubscriptionId ContinuousQuery::Subscribe(Callback cb) {
+  const SubscriptionId id = next_subscription_++;
+  subscribers_.emplace_back(id, std::move(cb));
+  return id;
+}
+
+void ContinuousQuery::Unsubscribe(SubscriptionId id) {
+  subscribers_.erase(
+      std::remove_if(subscribers_.begin(), subscribers_.end(),
+                     [id](const auto& s) { return s.first == id; }),
+      subscribers_.end());
+}
+
+std::string ContinuousQuery::text() const { return QueryToString(*query_); }
+
+std::size_t ContinuousQuery::size() const {
+  const PlanNode& root = nodes_.back();
+  return root.leaf ? root.relation->size() : root.state->accumulated_size();
+}
+
+TpRelation ContinuousQuery::Current() const {
+  const PlanNode& root = nodes_.back();
+  if (root.leaf) {
+    TpRelation copy = *root.relation;
+    copy.set_name(text());
+    return copy;
+  }
+  TpRelation out(ctx_, schema_, text());
+  root.state->AppendAccumulated(&out);
+  return out;
+}
+
+void ContinuousQuery::DescribeNode(int index, int depth, std::set<int>* visited,
+                                   std::string* out) const {
+  const PlanNode& n = nodes_[static_cast<std::size_t>(index)];
+  out->append(static_cast<std::size_t>(depth) * 2, ' ');
+  if (n.leaf) {
+    *out += "relation " + n.relation_name + "  [" +
+            std::to_string(n.relation->size()) + " tuples]\n";
+    return;
+  }
+  if (!visited->insert(index).second) {
+    // Deduplicated common subexpression: applied once per epoch, rendered
+    // once; later references point back.
+    *out += std::string(SetOpName(n.op)) + "  [shared node #" +
+            std::to_string(index) + ", see above]\n";
+    return;
+  }
+  const LawaStats& st = n.state->stats();
+  *out += std::string(SetOpName(n.op)) + "  [acc=" +
+          std::to_string(n.state->accumulated_size()) +
+          ", epochs_applied=" + std::to_string(st.epochs_applied) +
+          ", facts_resumed=" + std::to_string(st.facts_resumed) +
+          ", facts_reswept=" + std::to_string(st.facts_reswept) +
+          ", windows=" + std::to_string(st.windows_produced) + "]\n";
+  DescribeNode(n.left, depth + 1, visited, out);
+  DescribeNode(n.right, depth + 1, visited, out);
+}
+
+std::string ContinuousQuery::Describe() const {
+  std::string out = "continuous query " + name_ + ": " + text() + "\n";
+  out += "epoch: " + std::to_string(last_epoch_) +
+         ", size: " + std::to_string(size()) +
+         ", threads: " + std::to_string(options_.num_threads) +
+         ", subscribers: " + std::to_string(subscriber_count()) + "\n";
+  std::set<int> visited;
+  DescribeNode(static_cast<int>(nodes_.size()) - 1, 1, &visited, &out);
+  return out;
+}
+
+}  // namespace tpset

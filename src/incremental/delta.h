@@ -1,0 +1,97 @@
+// Delta vocabulary of the incremental continuous-query subsystem.
+//
+// A DeltaBatch is what a producer appends to one registered relation: new
+// base tuples, each with its fact, interval and probability. Applying a
+// batch is one *epoch* — epochs are assigned monotonically across all
+// relations of one executor, so "state as of epoch e" is well defined. A
+// TupleDelta is what flows out of the maintenance DAG: the tuples a node's
+// accumulated result gained and lost at one epoch. Inserted and retracted
+// tuples carry their final lineage ids, so a subscriber that folds the
+// stream into a multiset reconstructs the node's accumulated relation
+// exactly.
+#ifndef TPSET_INCREMENTAL_DELTA_H_
+#define TPSET_INCREMENTAL_DELTA_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/types.h"
+#include "common/value.h"
+#include "relation/tuple.h"
+
+namespace tpset {
+
+/// Monotone id of one applied append batch. 0 means "before any append"
+/// (the initial full computation of a continuous query).
+using EpochId = std::uint64_t;
+
+/// One base tuple to append: fact values, interval, probability, optional
+/// variable name (anonymous if empty).
+struct DeltaRow {
+  Fact fact;
+  Interval t;
+  double p = 1.0;
+  std::string var;
+};
+
+/// An ordered batch of appends for one relation. Rows may interleave facts
+/// arbitrarily; per fact they must extend the relation's timeline (AppendLog
+/// validates start-ordered, non-overlapping intervals beginning at or after
+/// the fact's last stored end).
+struct DeltaBatch {
+  std::vector<DeltaRow> rows;
+
+  void Add(Fact fact, Interval t, double p, std::string var = "") {
+    rows.push_back({std::move(fact), t, p, std::move(var)});
+  }
+  std::size_t size() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+};
+
+/// Tuples one accumulated result gained / lost at one epoch. Both lists are
+/// sorted by (fact, start); a tuple never appears in both.
+struct TupleDelta {
+  std::vector<TpTuple> inserted;
+  std::vector<TpTuple> retracted;
+
+  bool empty() const { return inserted.empty() && retracted.empty(); }
+};
+
+/// What a Subscription receives per epoch: the epoch id and the root delta.
+struct EpochDelta {
+  EpochId epoch = 0;
+  TupleDelta delta;
+};
+
+/// Per-fact slice of a delta as it propagates through the DAG: the tuples
+/// added to / removed from one side of a set-op node for one fact, in
+/// (start, end) order. Inserted tuples of a resumable delta extend the
+/// fact's timeline; retracted tuples always name exact existing tuples.
+struct FactDelta {
+  std::vector<TpTuple> inserted;
+  std::vector<TpTuple> retracted;
+
+  bool empty() const { return inserted.empty() && retracted.empty(); }
+};
+
+/// A node-level delta keyed by fact, in FactId order (deterministic
+/// propagation and splice order).
+using DeltaMap = std::map<FactId, FactDelta>;
+
+/// Groups a (fact, start)-sorted tuple batch into a per-fact insert delta —
+/// the leaf delta the continuous-query DAG consumes.
+inline DeltaMap GroupInsertsByFact(const std::vector<TpTuple>& tuples) {
+  DeltaMap map;
+  for (const TpTuple& t : tuples) {
+    map[t.fact].inserted.push_back(t);
+  }
+  return map;
+}
+
+}  // namespace tpset
+
+#endif  // TPSET_INCREMENTAL_DELTA_H_

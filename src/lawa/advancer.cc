@@ -15,6 +15,36 @@ LineageAwareWindowAdvancer::LineageAwareWindowAdvancer(const TpTuple* r,
                                                        std::size_t ns)
     : r_(r), s_(s), nr_(nr), ns_(ns) {}
 
+AdvancerCheckpoint LineageAwareWindowAdvancer::Checkpoint() const {
+  AdvancerCheckpoint ckpt;
+  ckpt.ri = ri_;
+  ckpt.si = si_;
+  ckpt.r_valid = r_valid_;
+  ckpt.s_valid = s_valid_;
+  ckpt.r_valid_tuple = r_valid_tuple_;
+  ckpt.s_valid_tuple = s_valid_tuple_;
+  ckpt.have_fact = have_fact_;
+  ckpt.curr_fact = curr_fact_;
+  ckpt.prev_win_te = prev_win_te_;
+  ckpt.windows_produced = windows_produced_;
+  return ckpt;
+}
+
+void LineageAwareWindowAdvancer::Restore(const AdvancerCheckpoint& ckpt) {
+  assert(ckpt.ri <= nr_ && ckpt.si <= ns_ &&
+         "checkpoint cursors must lie within the (grown) inputs");
+  ri_ = ckpt.ri;
+  si_ = ckpt.si;
+  r_valid_ = ckpt.r_valid;
+  s_valid_ = ckpt.s_valid;
+  r_valid_tuple_ = ckpt.r_valid_tuple;
+  s_valid_tuple_ = ckpt.s_valid_tuple;
+  have_fact_ = ckpt.have_fact;
+  curr_fact_ = ckpt.curr_fact;
+  prev_win_te_ = ckpt.prev_win_te;
+  windows_produced_ = ckpt.windows_produced;
+}
+
 bool LineageAwareWindowAdvancer::Next(LineageAwareWindow* w) {
   const bool pend_r = HasPendingR();
   const bool pend_s = HasPendingS();

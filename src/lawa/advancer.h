@@ -10,6 +10,29 @@
 
 namespace tpset {
 
+/// The advancer's complete status, detached from the input arrays. Because
+/// one LAWA sweep visits (fact, time) in increasing order, this status is a
+/// natural checkpoint: the incremental engine (src/incremental/) persists it
+/// per fact after each epoch and later resumes the sweep over grown inputs —
+/// provided the new tuples append in (start) order on their side and start
+/// at or after `prev_win_te` (the fact's sweep frontier), the resumed window
+/// stream equals the tail of a from-scratch sweep over the combined input.
+/// Cursors are indices, not pointers, so the checkpoint survives input
+/// vectors reallocating as they grow. A default-constructed checkpoint is
+/// the state of a fresh advancer (resuming from it is a full sweep).
+struct AdvancerCheckpoint {
+  std::size_t ri = 0;
+  std::size_t si = 0;
+  bool r_valid = false;
+  bool s_valid = false;
+  TpTuple r_valid_tuple{};
+  TpTuple s_valid_tuple{};
+  bool have_fact = false;
+  FactId curr_fact = kInvalidFact;
+  TimePoint prev_win_te = -1;
+  std::size_t windows_produced = 0;
+};
+
 /// Produces the stream of lineage-aware temporal windows for two
 /// duplicate-free inputs sorted by (fact, start).
 ///
@@ -56,6 +79,16 @@ class LineageAwareWindowAdvancer {
 
   /// Windows emitted so far (for Proposition 1 checks and benchmarks).
   std::size_t windows_produced() const { return windows_produced_; }
+
+  /// Snapshots the full status (see AdvancerCheckpoint).
+  AdvancerCheckpoint Checkpoint() const;
+
+  /// Restores a status saved from an earlier advancer over a *prefix* of
+  /// this advancer's inputs: the first ckpt.ri / ckpt.si tuples of each side
+  /// must be unchanged (new tuples only appended after them). Subsequent
+  /// Next() calls then continue the sweep exactly where the checkpointed one
+  /// stopped.
+  void Restore(const AdvancerCheckpoint& ckpt);
 
  private:
   const TpTuple* r_;

@@ -26,6 +26,17 @@ struct LawaStats {
   /// relations (Register validates order) and set-operation outputs
   /// (emitted in order) take the zero-sort fast path.
   std::size_t sort_skipped = 0;
+
+  // Continuous-query maintenance counters (src/incremental/, cumulative per
+  // operator node). One-shot runs leave them zero.
+  /// Facts whose sweep continued from the persisted AdvancerCheckpoint (the
+  /// delta landed at/after the fact's frontier; closed prefix reused).
+  std::size_t facts_resumed = 0;
+  /// Facts reswept from scratch (delta straddled the frontier or carried
+  /// retractions); unchanged windows still reuse their old lineage.
+  std::size_t facts_reswept = 0;
+  /// Delta epochs that reached this operator with a non-empty input delta.
+  std::size_t epochs_applied = 0;
 };
 
 /// Computes r opTp s with LAWA. Inputs must satisfy ValidateSetOpInputs

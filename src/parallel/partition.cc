@@ -68,4 +68,34 @@ std::vector<FactPartition> PartitionByFactRange(const TpTuple* r,
   return parts;
 }
 
+std::vector<WeightRange> PartitionByWeight(const std::vector<std::size_t>& weights,
+                                           std::size_t max_groups) {
+  std::vector<WeightRange> groups;
+  const std::size_t n = weights.size();
+  if (n == 0) return groups;
+  if (max_groups == 0) max_groups = 1;
+
+  std::size_t total = 0;
+  for (std::size_t w : weights) total += w;
+
+  // Greedy target walk, mirroring PartitionByFactRange: the k-th cut falls
+  // where the running weight first reaches k/max_groups of the total.
+  std::size_t begin = 0;
+  std::size_t running = 0;
+  std::size_t emitted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    running += weights[i];
+    const std::size_t remaining_groups = max_groups - emitted;
+    if (remaining_groups <= 1) continue;
+    const std::size_t target = total * (emitted + 1) / max_groups;
+    if (running >= target && i + 1 < n) {
+      groups.push_back({begin, i + 1});
+      begin = i + 1;
+      ++emitted;
+    }
+  }
+  groups.push_back({begin, n});
+  return groups;
+}
+
 }  // namespace tpset

@@ -46,6 +46,21 @@ std::vector<FactPartition> PartitionByFactRange(const TpTuple* r,
                                                 std::size_t ns,
                                                 std::size_t max_partitions);
 
+/// One contiguous index range [begin, end) of a weighted item sequence.
+struct WeightRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Cuts [0, weights.size()) into at most `max_groups` non-empty contiguous
+/// ranges balanced by total weight (an item is never split, so a single
+/// heavy item ends up alone in its range). The incremental engine uses this
+/// to partition the facts touched by a delta batch into fact ranges — the
+/// items are touched facts in FactId order, weighted by their sweep cost —
+/// before fanning the per-fact delta apply out to the pool.
+std::vector<WeightRange> PartitionByWeight(const std::vector<std::size_t>& weights,
+                                           std::size_t max_groups);
+
 }  // namespace tpset
 
 #endif  // TPSET_PARALLEL_PARTITION_H_

@@ -44,6 +44,67 @@ Result<const TpRelation*> QueryExecutor::Find(const std::string& name) const {
   return &it->second;
 }
 
+Result<EpochId> QueryExecutor::Append(const std::string& relation,
+                                      const DeltaBatch& batch) {
+  auto it = catalog_.find(relation);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no relation named '" + relation +
+                            "' is registered");
+  }
+  std::vector<TpTuple> applied;
+  Result<EpochId> epoch = append_log_.Append(&it->second, batch, &applied);
+  if (!epoch.ok()) return epoch;
+  const DeltaMap grouped = GroupInsertsByFact(applied);  // shared, not copied
+  for (auto& [name, cq] : continuous_) {
+    (void)name;
+    if (cq->Reads(relation)) cq->ApplyAppend(*epoch, relation, grouped);
+  }
+  return epoch;
+}
+
+Result<ContinuousQuery*> QueryExecutor::RegisterContinuous(
+    const std::string& name, const std::string& query,
+    const ContinuousOptions& options) {
+  Result<QueryPtr> parsed = ParseQuery(query);
+  if (!parsed.ok()) return parsed.status();
+  return RegisterContinuous(name, **parsed, options);
+}
+
+Result<ContinuousQuery*> QueryExecutor::RegisterContinuous(
+    const std::string& name, const QueryNode& query,
+    const ContinuousOptions& options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("continuous queries must be named");
+  }
+  if (continuous_.count(name) > 0) {
+    return Status::InvalidArgument("continuous query '" + name +
+                                   "' is already registered");
+  }
+  ThreadPool* pool = nullptr;
+  if (options.num_threads > 1) {
+    std::unique_ptr<ThreadPool>& slot = continuous_pools_[options.num_threads];
+    if (slot == nullptr) slot = std::make_unique<ThreadPool>(options.num_threads);
+    pool = slot.get();
+  }
+  Result<std::unique_ptr<ContinuousQuery>> cq = ContinuousQuery::Compile(
+      name, query, [this](const std::string& rel) { return Find(rel); }, ctx_,
+      options, pool);
+  if (!cq.ok()) return cq.status();
+  ContinuousQuery* ptr = cq->get();
+  continuous_.emplace(name, std::move(*cq));
+  return ptr;
+}
+
+Result<ContinuousQuery*> QueryExecutor::FindContinuous(
+    const std::string& name) const {
+  auto it = continuous_.find(name);
+  if (it == continuous_.end()) {
+    return Status::NotFound("no continuous query named '" + name +
+                            "' is registered");
+  }
+  return it->second.get();
+}
+
 Result<TpRelation> QueryExecutor::Execute(const std::string& query,
                                           const SetOpAlgorithm* algorithm) const {
   Result<QueryPtr> parsed = ParseQuery(query);

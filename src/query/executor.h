@@ -10,6 +10,8 @@
 
 #include "baselines/algorithm.h"
 #include "common/status.h"
+#include "incremental/append_log.h"
+#include "incremental/continuous_query.h"
 #include "parallel/parallel_set_op.h"
 #include "query/ast.h"
 #include "relation/relation.h"
@@ -75,6 +77,40 @@ class QueryExecutor {
   /// Looks up a registered relation.
   Result<const TpRelation*> Find(const std::string& name) const;
 
+  // ---- Incremental continuous queries (src/incremental/) ----------------
+
+  /// Appends a validated delta batch to a registered relation: one epoch.
+  /// The relation stays sorted, duplicate-free and witness-armed (one-shot
+  /// Execute keeps working on the grown relation), and the delta propagates
+  /// through every registered continuous query that reads the relation,
+  /// delivering an EpochDelta to its subscribers. Returns the assigned
+  /// monotone epoch id. Single-writer: must not race with Execute.
+  Result<EpochId> Append(const std::string& relation, const DeltaBatch& batch);
+
+  /// Compiles `query` into a DAG of incremental operators over the catalog,
+  /// runs the initial full computation, and registers it under `name`
+  /// (unique among continuous queries). Subsequent Append calls maintain it
+  /// incrementally; subscribe on the returned query to receive per-epoch
+  /// (inserted, retracted) deltas.
+  Result<ContinuousQuery*> RegisterContinuous(
+      const std::string& name, const std::string& query,
+      const ContinuousOptions& options = {});
+  Result<ContinuousQuery*> RegisterContinuous(
+      const std::string& name, const QueryNode& query,
+      const ContinuousOptions& options = {});
+
+  /// Looks up a registered continuous query.
+  Result<ContinuousQuery*> FindContinuous(const std::string& name) const;
+
+  /// All registered continuous queries, by name.
+  const std::map<std::string, std::unique_ptr<ContinuousQuery>>& continuous()
+      const {
+    return continuous_;
+  }
+
+  /// The most recently assigned append epoch (0 before any append).
+  EpochId last_epoch() const { return append_log_.last_epoch(); }
+
   const std::shared_ptr<TpContext>& context() const { return ctx_; }
 
   /// The executor-owned parallel algorithm for a (thread count, apply mode)
@@ -92,7 +128,14 @@ class QueryExecutor {
                                        const SetOpAlgorithm* algorithm) const;
 
   std::shared_ptr<TpContext> ctx_;
+  // Node-based map: TpRelation addresses stay stable across Register and
+  // Append, which is what lets continuous-query leaves hold plain pointers.
   std::map<std::string, TpRelation> catalog_;
+  AppendLog append_log_;
+  std::map<std::string, std::unique_ptr<ContinuousQuery>> continuous_;
+  // Continuous queries with the same thread count share one worker pool
+  // (Append applies them one at a time, so at most one pool is ever busy).
+  std::map<std::size_t, std::unique_ptr<ThreadPool>> continuous_pools_;
   mutable std::mutex parallel_mu_;
   mutable std::map<std::pair<std::size_t, ApplyMode>,
                    std::unique_ptr<ParallelSetOpAlgorithm>>

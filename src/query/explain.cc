@@ -117,4 +117,11 @@ Result<std::string> ExplainQuery(const QueryExecutor& exec,
   return ExplainQuery(exec, **parsed, options);
 }
 
+Result<std::string> ExplainContinuous(const QueryExecutor& exec,
+                                      const std::string& name) {
+  Result<ContinuousQuery*> cq = exec.FindContinuous(name);
+  if (!cq.ok()) return cq.status();
+  return (*cq)->Describe();
+}
+
 }  // namespace tpset

@@ -47,6 +47,23 @@ Result<std::string> ExplainQuery(const QueryExecutor& exec,
                                  const std::string& query,
                                  const ExecOptions& options);
 
+/// EXPLAIN for a registered continuous plan: the incremental operator DAG
+/// with each node's cumulative maintenance counters —
+///
+///   continuous query diff: (r - s)
+///   epoch: 42, size: 102394, threads: 8, subscribers: 1
+///     except  [acc=102394, epochs_applied=42, facts_resumed=40,
+///              facts_reswept=2, windows=204810]
+///       relation r  [1000000 tuples]
+///       relation s  [1000000 tuples]
+///
+/// facts_resumed counts per-fact sweeps continued from their checkpoint
+/// (closed prefix reused); facts_reswept counts frontier-straddling deltas
+/// that re-swept a fact and diffed the window stream. Unlike the one-shot
+/// overloads this does not execute anything — it reports the live state.
+Result<std::string> ExplainContinuous(const QueryExecutor& exec,
+                                      const std::string& name);
+
 }  // namespace tpset
 
 #endif  // TPSET_QUERY_EXPLAIN_H_

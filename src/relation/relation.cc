@@ -48,6 +48,17 @@ void TpRelation::AddDerived(FactId fact, Interval iv, LineageId lineage) {
   NoteAppended();
 }
 
+void TpRelation::MergeSortedAppend(std::vector<TpTuple> batch) {
+  assert(sorted_ && "MergeSortedAppend requires the sortedness witness");
+  assert(std::is_sorted(batch.begin(), batch.end(), FactTimeOrder()));
+  if (batch.empty()) return;
+  const std::size_t old_size = tuples_.size();
+  tuples_.insert(tuples_.end(), batch.begin(), batch.end());
+  std::inplace_merge(tuples_.begin(), tuples_.begin() + old_size,
+                     tuples_.end(), FactTimeOrder());
+  sorted_ = true;  // merging two sorted runs preserves the witness
+}
+
 void TpRelation::SortFactTime() {
   std::sort(tuples_.begin(), tuples_.end(), FactTimeOrder());
   sorted_ = true;

@@ -90,6 +90,15 @@ class TpRelation {
   /// Adds a derived tuple with an existing lineage (algorithm output path).
   void AddDerived(FactId fact, Interval iv, LineageId lineage);
 
+  /// Merges a (fact, start, end)-sorted batch into the relation in O(n + m),
+  /// preserving the sortedness witness — the append path of the incremental
+  /// engine (AppendLog), where new tuples land mid-vector because their fact
+  /// is not the maximum. Requires the relation to carry the witness (catalog
+  /// relations always do) and the batch to be sorted; both are asserted, not
+  /// re-checked. Duplicate-freeness against existing tuples is the caller's
+  /// contract (AppendLog validates it per fact before building the batch).
+  void MergeSortedAppend(std::vector<TpTuple> batch);
+
   /// Sorts tuples into the (fact, start) order required by LAWA.
   void SortFactTime();
 
