@@ -19,9 +19,15 @@
 //                                       then stream (inserted, retracted)
 //                                       deltas per epoch
 //   \explain <name>                     continuous plan with resume/resweep
-//                                       counters
+//                                       and storage counters
+//   \retain <rel> <watermark>           advance the relation's retention
+//                                       watermark and compact: tuples whose
+//                                       interval ends at or below it are
+//                                       retired, continuous queries rebase
+//   \compact <rel>                      fold pending append runs into the
+//                                       base level (applies the watermark)
 //   \quit                               exit
-// (.list/.show/.threads/.append/.watch/.explain/.quit are accepted too.)
+// (.cmd spellings of every command are accepted too.)
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -187,7 +193,19 @@ int main(int argc, char** argv) {
       continue;
     }
     if (line == "\\list") {
-      for (const std::string& n : names) std::cout << "  " << n << '\n';
+      for (const std::string& n : names) {
+        std::cout << "  " << n;
+        Result<const StoredRelation*> stored = exec.FindStored(n);
+        if (stored.ok()) {
+          std::cout << "  (" << (*stored)->size() << " tuples, runs="
+                    << (*stored)->run_count();
+          if ((*stored)->has_watermark()) {
+            std::cout << ", watermark=" << (*stored)->watermark();
+          }
+          std::cout << ")";
+        }
+        std::cout << '\n';
+      }
       for (const auto& [wname, cq] : exec.continuous()) {
         std::cout << "  watch " << wname << ": " << cq->text() << "  (epoch "
                   << cq->last_epoch() << ", " << cq->size() << " tuples)\n";
@@ -251,6 +269,36 @@ int main(int argc, char** argv) {
         std::cout << *plan;
       } else {
         std::cout << plan.status().ToString() << '\n';
+      }
+    } else if (line.rfind("\\retain ", 0) == 0) {
+      std::istringstream args(line.substr(8));
+      std::string rel;
+      TimePoint watermark = 0;
+      if (!(args >> rel >> watermark)) {
+        std::cout << "usage: \\retain <rel> <watermark>\n";
+      } else {
+        Result<std::size_t> retired = exec.Retain(rel, watermark);
+        if (!retired.ok()) {
+          std::cout << retired.status().ToString() << '\n';
+        } else {
+          const StoredRelation* stored = exec.FindStored(rel).value();
+          std::cout << "retained " << rel << " to watermark " << watermark
+                    << ": retired " << *retired << " tuples, "
+                    << stored->size() << " resident\n";
+        }
+      }
+    } else if (line.rfind("\\compact ", 0) == 0) {
+      const std::string rel = line.substr(9);
+      Status st = exec.Compact(rel);
+      if (!st.ok()) {
+        std::cout << st.ToString() << '\n';
+      } else {
+        const StoredRelation* stored = exec.FindStored(rel).value();
+        const StorageStats& ss = stored->stats();
+        std::cout << "compacted " << rel << ": " << stored->size()
+                  << " tuples, runs=" << stored->run_count()
+                  << ", runs_merged=" << ss.runs_merged
+                  << ", tuples_retired=" << ss.tuples_retired << '\n';
       }
     } else if (line == "\\threads") {
       std::cout << "threads: " << num_threads << '\n';

@@ -29,3 +29,13 @@ TPSET_BENCH_SCALE=0.002 "$BUILD_DIR/bench/bench_streaming" \
 test -s "$BUILD_DIR/BENCH_streaming.json"
 grep -q '"points"' "$BUILD_DIR/BENCH_streaming.json"
 echo "bench_streaming smoke OK"
+
+# Storage smoke: run-index append path vs MergeSortedAppend, compaction and
+# the retention-bounds-resident-state sweep, plus the BENCH_storage.json
+# emitter (the committed BENCH_storage.json comes from a full-scale run).
+TPSET_BENCH_SCALE=0.002 "$BUILD_DIR/bench/bench_storage" \
+  --json "$BUILD_DIR/BENCH_storage.json" > "$BUILD_DIR/bench_storage.out"
+test -s "$BUILD_DIR/BENCH_storage.json"
+grep -q '"append"' "$BUILD_DIR/BENCH_storage.json"
+grep -q '"retention"' "$BUILD_DIR/BENCH_storage.json"
+echo "bench_storage smoke OK"

@@ -28,6 +28,12 @@ using LineageId = std::uint32_t;
 /// time point. kNullLineage is that null.
 inline constexpr LineageId kNullLineage = std::numeric_limits<LineageId>::max();
 
+/// Monotone id of one applied append batch (see incremental/delta.h). 0
+/// means "before any append". Lives here so the storage layer can stamp
+/// sorted runs with the epoch that created them without depending on the
+/// incremental subsystem.
+using EpochId = std::uint64_t;
+
 /// Sentinel for "no fact".
 inline constexpr FactId kInvalidFact = std::numeric_limits<FactId>::max();
 

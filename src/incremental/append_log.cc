@@ -10,31 +10,10 @@
 
 namespace tpset {
 
-namespace {
-
-// Last stored interval end of `fact` in a (fact, start)-sorted relation, or
-// nullopt-style pair {false, 0} when the fact has no tuples. Sorted order +
-// duplicate-freeness make the last tuple of the fact's run the one with the
-// maximal end.
-std::pair<bool, TimePoint> FactTailEnd(const TpRelation& rel, FactId fact) {
-  const std::vector<TpTuple>& tuples = rel.tuples();
-  auto it = std::upper_bound(
-      tuples.begin(), tuples.end(), fact,
-      [](FactId f, const TpTuple& t) { return f < t.fact; });
-  if (it == tuples.begin() || std::prev(it)->fact != fact) return {false, 0};
-  return {true, std::prev(it)->t.end};
-}
-
-}  // namespace
-
-Result<EpochId> AppendLog::Append(TpRelation* rel, const DeltaBatch& batch,
+Result<EpochId> AppendLog::Append(StoredRelation* rel, const DeltaBatch& batch,
                                   std::vector<TpTuple>* applied) {
   assert(rel != nullptr && rel->context() != nullptr);
-  if (!rel->known_sorted()) {
-    return Status::InvalidArgument(
-        "appends require the sortedness witness; register the relation or "
-        "call SortFactTime first");
-  }
+  std::lock_guard<std::mutex> fence(fence_);
   TpContext& ctx = *rel->context();
 
   // ---- Validation (no side effects on the context until it all passes) ---
@@ -57,7 +36,8 @@ Result<EpochId> AppendLog::Append(TpRelation* rel, const DeltaBatch& batch,
   }
 
   // Group row indices by fact value and check each fact's chain: start
-  // ordered, non-overlapping, beginning at or after the stored tail.
+  // ordered, non-overlapping, beginning at or after the stored tail (an
+  // O(1) lookup in the relation's fact-tail map).
   std::map<Fact, std::vector<std::size_t>> by_fact;
   for (std::size_t i = 0; i < batch.rows.size(); ++i) {
     by_fact[batch.rows[i].fact].push_back(i);
@@ -72,7 +52,7 @@ Result<EpochId> AppendLog::Append(TpRelation* rel, const DeltaBatch& batch,
     bool have_tail = false;
     Result<FactId> existing = ctx.facts().Find(fact);
     if (existing.ok()) {
-      auto [found, end] = FactTailEnd(*rel, *existing);
+      auto [found, end] = rel->FactTail(*existing);
       have_tail = found;
       tail = end;
     }
@@ -89,7 +69,7 @@ Result<EpochId> AppendLog::Append(TpRelation* rel, const DeltaBatch& batch,
     }
   }
 
-  // ---- Apply: intern variables and facts, merge, stamp the epoch --------
+  // ---- Apply: intern variables and facts, stamp the ticket, land the run --
   std::vector<TpTuple> tuples;
   tuples.reserve(batch.rows.size());
   for (const DeltaRow& row : batch.rows) {
@@ -106,8 +86,12 @@ Result<EpochId> AppendLog::Append(TpRelation* rel, const DeltaBatch& batch,
   }
   std::sort(tuples.begin(), tuples.end(), FactTimeOrder());
   if (applied != nullptr) *applied = tuples;
-  rel->MergeSortedAppend(std::move(tuples));
-  return next_epoch_++;
+  const EpochId epoch = next_epoch_.load(std::memory_order_relaxed);
+  Status stored = rel->AppendRun(std::move(tuples), epoch);
+  assert(stored.ok() && "chain and epoch were validated above");
+  (void)stored;
+  next_epoch_.store(epoch + 1, std::memory_order_release);
+  return epoch;
 }
 
 }  // namespace tpset

@@ -1,30 +1,40 @@
-// Validated delta appends on registered relations, with epoch assignment.
+// Validated delta appends on stored relations, with epoch assignment.
 //
 // A TP relation's tuples are sorted by (fact, start) and duplicate-free; the
 // append contract that preserves both — and the one that makes per-fact
 // sweep resume possible at all — is *fact-time order per fact*: a new tuple
 // of fact f must start at or after the end of f's last stored interval. The
 // AppendLog enforces that contract per batch, interns the new facts and
-// Boolean variables, merges the tuples into the relation in O(n + batch)
-// (TpRelation::MergeSortedAppend, which keeps the known_sorted witness
-// armed), and stamps the batch with the next monotone epoch id. The applied
-// tuples come back sorted by (fact, start) — they are the leaf delta the
-// continuous-query DAG consumes.
+// Boolean variables, stamps the batch with the next monotone epoch ticket,
+// and hands it to the relation's run index in O(batch) amortized
+// (StoredRelation::AppendRun — the O(n) MergeSortedAppend of the pre-storage
+// engine is gone from the append path). The applied tuples come back sorted
+// by (fact, start) — they are the leaf delta the continuous-query DAG
+// consumes.
+//
+// Multi-writer epoch fence: Append serializes internally (one mutex + the
+// monotone ticket), so concurrent writers through one AppendLog get distinct,
+// gapless epochs and never interleave their context mutations (variable and
+// fact interning). Writers through *different* AppendLogs on one context are
+// still undefined, as is racing Append against query execution — the
+// executor adds its own fence that additionally keeps continuous-query
+// propagation in epoch order (see QueryExecutor::Append).
 #ifndef TPSET_INCREMENTAL_APPEND_LOG_H_
 #define TPSET_INCREMENTAL_APPEND_LOG_H_
 
+#include <atomic>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
 #include "incremental/delta.h"
-#include "relation/relation.h"
+#include "storage/stored_relation.h"
 
 namespace tpset {
 
 /// Assigns epochs and applies append batches. One AppendLog serves all
 /// relations of one executor, so epoch ids are totally ordered across
-/// relations. Not thread-safe: appends are single-writer, like every other
-/// mutation of a shared context.
+/// relations.
 class AppendLog {
  public:
   AppendLog() = default;
@@ -34,19 +44,23 @@ class AppendLog {
   /// Validates `batch` against `rel` and applies it: every row must pass the
   /// schema, carry a non-empty interval and a probability in (0,1], and per
   /// fact the rows must form a start-ordered, non-overlapping chain starting
-  /// at or after the fact's last stored interval end. On success the new
-  /// tuples are merged into the relation (witness preserved), `*applied`
-  /// (optional) receives them sorted by (fact, start), and the assigned
-  /// epoch is returned. On failure the relation is untouched: all checks run
-  /// before any variable is registered.
-  Result<EpochId> Append(TpRelation* rel, const DeltaBatch& batch,
+  /// at or after the fact's last stored interval end (an O(1) tail-map
+  /// lookup per fact). On success the tuples land as one epoch-stamped
+  /// sorted run, `*applied` (optional) receives them sorted by
+  /// (fact, start), and the assigned epoch is returned. On failure the
+  /// relation and context are untouched: all checks run before any variable
+  /// is registered. Thread-safe (the epoch fence).
+  Result<EpochId> Append(StoredRelation* rel, const DeltaBatch& batch,
                          std::vector<TpTuple>* applied = nullptr);
 
   /// The most recently assigned epoch (0 before any append).
-  EpochId last_epoch() const { return next_epoch_ - 1; }
+  EpochId last_epoch() const {
+    return next_epoch_.load(std::memory_order_acquire) - 1;
+  }
 
  private:
-  EpochId next_epoch_ = 1;
+  std::mutex fence_;
+  std::atomic<EpochId> next_epoch_{1};
 };
 
 }  // namespace tpset

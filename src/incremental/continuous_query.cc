@@ -22,7 +22,8 @@ QueryPtr CloneQuery(const QueryNode& q) {
 
 Result<std::unique_ptr<ContinuousQuery>> ContinuousQuery::Compile(
     std::string name, const QueryNode& query,
-    const std::function<Result<const TpRelation*>(const std::string&)>& resolve,
+    const std::function<Result<const StoredRelation*>(const std::string&)>&
+        resolve,
     std::shared_ptr<TpContext> ctx, const ContinuousOptions& options,
     ThreadPool* pool) {
   std::unique_ptr<ContinuousQuery> cq(new ContinuousQuery());
@@ -53,16 +54,21 @@ Result<std::unique_ptr<ContinuousQuery>> ContinuousQuery::Compile(
   }
 
   // Initial full computation: every leaf's current content as one
-  // insert-only delta. Per fact this is an in-order append onto empty
-  // state, so each operator does one fresh per-fact sweep — the same work
-  // a one-shot Execute would do.
+  // insert-only delta, streamed through the run-merge iterator (no view
+  // materialization — the leaf may carry pending tail runs). Per fact this
+  // is an in-order append onto empty state, so each operator does one fresh
+  // per-fact sweep — the same work a one-shot Execute would do.
   std::map<std::string, DeltaMap> owned;
   std::map<std::string, const DeltaMap*> leaf_deltas;
   for (const PlanNode& n : cq->nodes_) {
     if (n.leaf && !n.relation->empty()) {
-      auto [it, fresh] = owned.emplace(n.relation_name,
-                                       GroupInsertsByFact(n.relation->tuples()));
-      if (fresh) leaf_deltas.emplace(n.relation_name, &it->second);
+      auto [it, fresh] = owned.try_emplace(n.relation_name);
+      if (fresh) {
+        DeltaMap& map = it->second;
+        n.relation->ForEachTuple(
+            [&map](const TpTuple& t) { map[t.fact].inserted.push_back(t); });
+        leaf_deltas.emplace(n.relation_name, &map);
+      }
     }
   }
   if (!leaf_deltas.empty()) cq->Propagate(leaf_deltas);
@@ -71,7 +77,8 @@ Result<std::unique_ptr<ContinuousQuery>> ContinuousQuery::Compile(
 
 int ContinuousQuery::CompileNode(
     const QueryNode& q,
-    const std::function<Result<const TpRelation*>(const std::string&)>& resolve,
+    const std::function<Result<const StoredRelation*>(const std::string&)>&
+        resolve,
     std::map<std::string, int>* memo, Status* status) {
   if (!status->ok()) return -1;
   // Common subtrees collapse onto one operator node: the plan is a DAG and
@@ -82,7 +89,7 @@ int ContinuousQuery::CompileNode(
 
   PlanNode node;
   if (q.kind == QueryNode::Kind::kRelation) {
-    Result<const TpRelation*> rel = resolve(q.relation_name);
+    Result<const StoredRelation*> rel = resolve(q.relation_name);
     if (!rel.ok()) {
       *status = rel.status();
       return -1;
@@ -181,7 +188,7 @@ std::size_t ContinuousQuery::size() const {
 TpRelation ContinuousQuery::Current() const {
   const PlanNode& root = nodes_.back();
   if (root.leaf) {
-    TpRelation copy = *root.relation;
+    TpRelation copy = root.relation->Materialize();
     copy.set_name(text());
     return copy;
   }
@@ -190,13 +197,41 @@ TpRelation ContinuousQuery::Current() const {
   return out;
 }
 
+std::size_t ContinuousQuery::Rebase() {
+  TimePoint w = kNoWatermark;
+  bool first = true;
+  for (const PlanNode& n : nodes_) {
+    if (!n.leaf) continue;
+    const TimePoint leaf_w =
+        n.relation->has_watermark() ? n.relation->watermark() : kNoWatermark;
+    w = first ? leaf_w : std::min(w, leaf_w);
+    first = false;
+  }
+  if (w == kNoWatermark || w <= rebased_watermark_) return 0;
+  rebased_watermark_ = w;
+  std::size_t retired = 0;
+  for (const PlanNode& n : nodes_) {
+    if (!n.leaf) retired += n.state->Rebase(w);
+  }
+  return retired;
+}
+
 void ContinuousQuery::DescribeNode(int index, int depth, std::set<int>* visited,
                                    std::string* out) const {
   const PlanNode& n = nodes_[static_cast<std::size_t>(index)];
   out->append(static_cast<std::size_t>(depth) * 2, ' ');
   if (n.leaf) {
+    const StorageStats& ss = n.relation->stats();
     *out += "relation " + n.relation_name + "  [" +
-            std::to_string(n.relation->size()) + " tuples]\n";
+            std::to_string(n.relation->size()) + " tuples, runs=" +
+            std::to_string(n.relation->run_count()) + ", tail_hits=" +
+            std::to_string(ss.tail_hits) + ", runs_merged=" +
+            std::to_string(ss.runs_merged) + ", tuples_retired=" +
+            std::to_string(ss.tuples_retired);
+    if (n.relation->has_watermark()) {
+      *out += ", watermark=" + std::to_string(n.relation->watermark());
+    }
+    *out += "]\n";
     return;
   }
   if (!visited->insert(index).second) {
@@ -212,7 +247,11 @@ void ContinuousQuery::DescribeNode(int index, int depth, std::set<int>* visited,
           ", epochs_applied=" + std::to_string(st.epochs_applied) +
           ", facts_resumed=" + std::to_string(st.facts_resumed) +
           ", facts_reswept=" + std::to_string(st.facts_reswept) +
-          ", windows=" + std::to_string(st.windows_produced) + "]\n";
+          ", windows=" + std::to_string(st.windows_produced);
+  if (st.tuples_retired > 0) {
+    *out += ", tuples_retired=" + std::to_string(st.tuples_retired);
+  }
+  *out += "]\n";
   DescribeNode(n.left, depth + 1, visited, out);
   DescribeNode(n.right, depth + 1, visited, out);
 }
@@ -222,7 +261,11 @@ std::string ContinuousQuery::Describe() const {
   out += "epoch: " + std::to_string(last_epoch_) +
          ", size: " + std::to_string(size()) +
          ", threads: " + std::to_string(options_.num_threads) +
-         ", subscribers: " + std::to_string(subscriber_count()) + "\n";
+         ", subscribers: " + std::to_string(subscriber_count());
+  if (rebased_watermark_ != kNoWatermark) {
+    out += ", watermark: " + std::to_string(rebased_watermark_);
+  }
+  out += "\n";
   std::set<int> visited;
   DescribeNode(static_cast<int>(nodes_.size()) - 1, 1, &visited, &out);
   return out;

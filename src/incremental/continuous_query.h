@@ -29,6 +29,7 @@
 #include "parallel/thread_pool.h"
 #include "query/ast.h"
 #include "relation/relation.h"
+#include "storage/stored_relation.h"
 
 namespace tpset {
 
@@ -54,16 +55,18 @@ class ContinuousQuery {
   using SubscriptionId = std::size_t;
 
   /// Compiles `query` over the catalog. `resolve` maps a relation name to
-  /// the executor's catalog entry (whose address must stay stable, which the
-  /// executor's node-based map guarantees). `pool` is the shared worker pool
-  /// for the parallel staged apply (required when options.num_threads > 1,
-  /// must outlive the query; the executor shares one pool per thread count
-  /// across its continuous queries). Runs the initial full computation —
-  /// every leaf's current content applied as one insert-only delta — so the
+  /// the executor's stored catalog entry (whose address must stay stable,
+  /// which the executor's node-based map guarantees). `pool` is the shared
+  /// worker pool for the parallel staged apply (required when
+  /// options.num_threads > 1, must outlive the query; the executor shares
+  /// one pool per thread count across its continuous queries). Runs the
+  /// initial full computation — every leaf's current content, read through
+  /// the run-merge iterator, applied as one insert-only delta — so the
   /// query is ready to absorb appends.
   static Result<std::unique_ptr<ContinuousQuery>> Compile(
       std::string name, const QueryNode& query,
-      const std::function<Result<const TpRelation*>(const std::string&)>& resolve,
+      const std::function<Result<const StoredRelation*>(const std::string&)>&
+          resolve,
       std::shared_ptr<TpContext> ctx, const ContinuousOptions& options,
       ThreadPool* pool);
 
@@ -86,6 +89,20 @@ class ContinuousQuery {
     return leaves_.count(relation_name) > 0;
   }
 
+  /// Retention rebase: recomputes the query's *effective watermark* — the
+  /// minimum of its leaves' storage watermarks (a query only forgets what
+  /// every input has forgotten; a single unretained leaf pins it at
+  /// "nothing") — and, when it advanced, drops every interior node's state
+  /// at or below it (IncrementalSetOp::Rebase). Called by
+  /// QueryExecutor::Retain after compacting a leaf's storage; no deltas are
+  /// emitted (retention forgets, it does not retract). Returns the output
+  /// windows retired across the DAG.
+  std::size_t Rebase();
+
+  /// The watermark the operator states were last rebased to (kNoWatermark
+  /// before any retention reached this query).
+  TimePoint effective_watermark() const { return rebased_watermark_; }
+
   const std::string& name() const { return name_; }
   std::string text() const;
   const ContinuousOptions& options() const { return options_; }
@@ -106,18 +123,20 @@ class ContinuousQuery {
  private:
   struct PlanNode {
     bool leaf = false;
-    std::string relation_name;               // leaf
-    const TpRelation* relation = nullptr;    // leaf
-    SetOpKind op = SetOpKind::kUnion;        // interior
-    int left = -1, right = -1;               // interior: child plan indices
-    std::unique_ptr<IncrementalSetOp> state; // interior
+    std::string relation_name;                  // leaf
+    const StoredRelation* relation = nullptr;   // leaf
+    SetOpKind op = SetOpKind::kUnion;           // interior
+    int left = -1, right = -1;                  // interior: child plan indices
+    std::unique_ptr<IncrementalSetOp> state;    // interior
   };
 
   ContinuousQuery() = default;
 
-  int CompileNode(const QueryNode& q,
-                  const std::function<Result<const TpRelation*>(const std::string&)>& resolve,
-                  std::map<std::string, int>* memo, Status* status);
+  int CompileNode(
+      const QueryNode& q,
+      const std::function<Result<const StoredRelation*>(const std::string&)>&
+          resolve,
+      std::map<std::string, int>* memo, Status* status);
 
   /// Propagates leaf deltas bottom-up; returns the root's output delta.
   TupleDelta Propagate(const std::map<std::string, const DeltaMap*>& leaf_deltas);
@@ -133,6 +152,7 @@ class ContinuousQuery {
   std::set<std::string> leaves_;
   Schema schema_;
   EpochId last_epoch_ = 0;
+  TimePoint rebased_watermark_ = kNoWatermark;
   std::vector<std::pair<SubscriptionId, Callback>> subscribers_;
   SubscriptionId next_subscription_ = 1;
   ThreadPool* pool_ = nullptr;  // shared, executor-owned; null = sequential

@@ -25,9 +25,9 @@
 
 namespace tpset {
 
-/// Monotone id of one applied append batch. 0 means "before any append"
-/// (the initial full computation of a continuous query).
-using EpochId = std::uint64_t;
+// EpochId (the monotone id of one applied append batch; 0 means "before any
+// append", i.e. the initial full computation of a continuous query) lives in
+// common/types.h so the storage layer can stamp runs with it.
 
 /// One base tuple to append: fact values, interval, probability, optional
 /// variable name (anonymous if empty).

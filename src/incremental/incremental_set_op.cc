@@ -299,6 +299,51 @@ DeltaMap IncrementalSetOp::Apply(const DeltaMap& left, const DeltaMap& right,
   return out;
 }
 
+std::size_t IncrementalSetOp::Rebase(TimePoint watermark) {
+  std::size_t retired = 0;
+  for (auto it = facts_.begin(); it != facts_.end();) {
+    FactState& st = it->second;
+
+    // Per-fact side inputs and output windows are start-ordered and
+    // non-overlapping (base-relation chains by the append contract, child
+    // window streams by construction), so their interval ends increase and
+    // "ends at or below the watermark" is a contiguous prefix.
+    auto trim_side = [watermark](std::vector<TpTuple>* side, std::size_t* cursor) {
+      std::size_t k = 0;
+      while (k < side->size() && (*side)[k].t.end <= watermark) ++k;
+      if (k == 0) return;
+      side->erase(side->begin(), side->begin() + static_cast<std::ptrdiff_t>(k));
+      // The checkpoint cursor indexes this array; dropping k leading tuples
+      // shifts it. A cursor inside the retired prefix clamps to 0: the
+      // still-pending retired tuples could only have produced windows ending
+      // at or below the watermark, which retention forgets anyway.
+      *cursor = *cursor > k ? *cursor - k : 0;
+    };
+    trim_side(&st.r, &st.ckpt.ri);
+    trim_side(&st.s, &st.ckpt.si);
+
+    std::size_t ko = 0;
+    while (ko < st.out.size() && st.out[ko].t.end <= watermark) ++ko;
+    if (ko > 0) {
+      st.out.erase(st.out.begin(), st.out.begin() + static_cast<std::ptrdiff_t>(ko));
+      retired += ko;
+    }
+
+    // A fact whose whole history fell below the watermark is forgotten;
+    // its next delta starts from a fresh checkpoint (windows_produced = 0,
+    // so resume admissibility imposes no stale frontier).
+    if (st.r.empty() && st.s.empty() && st.out.empty()) {
+      it = facts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  accumulated_ -= retired;
+  stats_.output_tuples = accumulated_;
+  stats_.tuples_retired += retired;
+  return retired;
+}
+
 void IncrementalSetOp::AppendAccumulated(TpRelation* out) const {
   for (const auto& [fact, st] : facts_) {
     for (const OutTuple& t : st.out) {

@@ -71,9 +71,26 @@ class IncrementalSetOp {
                  LineageManager& mgr, ThreadPool* pool = nullptr,
                  std::size_t max_groups = 0);
 
+  /// Retention rebase. After the leaves' storage retired every tuple ending
+  /// at or below `watermark` (StoredRelation::Compact), the persisted sweep
+  /// state must lose the same prefix or its checkpoints go stale: per fact,
+  /// drops the side-input prefix and the emitted-window prefix whose
+  /// intervals end at or below the watermark (per-fact inputs and windows
+  /// are non-overlapping start-ordered chains, so "ends at or below" is a
+  /// prefix), shifts the advancer checkpoint cursors down by the dropped
+  /// input counts (the checkpoint's valid tuples are held by value, so a
+  /// retired-but-still-valid tuple keeps influencing the window it is part
+  /// of — exactly the straddling-window semantics), and erases facts whose
+  /// state empties entirely. No retractions are emitted: retention forgets,
+  /// it does not retract — subscribers compare state above the watermark
+  /// (the clip-equivalence pinned by tests/retention_test.cc). Returns the
+  /// number of output windows retired (also added to stats().tuples_retired).
+  std::size_t Rebase(TimePoint watermark);
+
   /// Cumulative maintenance counters: epochs_applied / facts_resumed /
   /// facts_reswept, windows_produced (advancer invocations, including
-  /// resweeps), output_tuples (current accumulated size).
+  /// resweeps), output_tuples (current accumulated size), tuples_retired
+  /// (output windows dropped by retention rebase).
   const LawaStats& stats() const { return stats_; }
 
   /// Current accumulated output size.

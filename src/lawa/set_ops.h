@@ -37,6 +37,19 @@ struct LawaStats {
   std::size_t facts_reswept = 0;
   /// Delta epochs that reached this operator with a non-empty input delta.
   std::size_t epochs_applied = 0;
+
+  // Storage counters (run-indexed stream storage, src/storage/). Operator
+  // nodes fill tuples_retired when a retention rebase drops output windows
+  // below the watermark (incremental_set_op.h Rebase); leaf relations
+  // surface their StorageStats (runs_merged / tail_hits / tuples_retired)
+  // through the same ExplainContinuous plan rendering.
+  /// Source runs consumed by storage merges (tail rolls + compactions).
+  std::size_t runs_merged = 0;
+  /// Tuples dropped below the retention watermark (storage compactions for
+  /// leaves; output windows dropped by checkpoint rebase for operators).
+  std::size_t tuples_retired = 0;
+  /// O(1) fact-tail lookups served by the storage tail map.
+  std::size_t tail_hits = 0;
 };
 
 /// Computes r opTp s with LAWA. Inputs must satisfy ValidateSetOpInputs

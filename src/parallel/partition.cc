@@ -1,6 +1,7 @@
 #include "parallel/partition.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/types.h"
 
@@ -31,18 +32,39 @@ std::vector<FactPartition> PartitionByFactRange(const TpTuple* r,
                                                 const TpTuple* s,
                                                 std::size_t ns,
                                                 std::size_t max_partitions) {
-  const std::size_t total = nr + ns;
-  std::vector<FactPartition> parts;
+  // The two-input partitioner is the 2-run special case of the generalized
+  // cut search — one copy of the subtle boundary logic to maintain.
+  const std::vector<RunPartition> parts =
+      PartitionRunsByFact({{r, nr}, {s, ns}}, max_partitions);
+  std::vector<FactPartition> out;
+  out.reserve(parts.size());
+  for (const RunPartition& p : parts) {
+    out.push_back({p.slices[0].first, p.slices[0].second, p.slices[1].first,
+                   p.slices[1].second});
+  }
+  return out;
+}
+
+std::vector<RunPartition> PartitionRunsByFact(
+    const std::vector<std::pair<const TpTuple*, std::size_t>>& runs,
+    std::size_t max_partitions) {
+  std::size_t total = 0;
+  for (const auto& [data, n] : runs) {
+    (void)data;
+    total += n;
+  }
+  std::vector<RunPartition> parts;
   if (total == 0) return parts;
   if (max_partitions == 0) max_partitions = 1;
 
-  // Combined count of tuples with fact < f; monotone in f, so the i-th cut is
-  // the smallest fact bringing the running count to at least i/k of the total.
   auto count_below = [&](FactId f) {
-    return FactLowerBound(r, nr, f) + FactLowerBound(s, ns, f);
+    std::size_t count = 0;
+    for (const auto& [data, n] : runs) count += FactLowerBound(data, n, f);
+    return count;
   };
 
-  std::size_t prev_r = 0, prev_s = 0;
+  std::vector<std::size_t> prev(runs.size(), 0);
+  std::size_t prev_total = 0;
   for (std::size_t i = 1; i < max_partitions; ++i) {
     const std::size_t target = total * i / max_partitions;
     FactId lo = 0, hi = kInvalidFact;  // no real fact is kInvalidFact
@@ -54,16 +76,29 @@ std::vector<FactPartition> PartitionByFactRange(const TpTuple* r,
         lo = mid + 1;
       }
     }
-    const std::size_t r_cut = FactLowerBound(r, nr, lo);
-    const std::size_t s_cut = FactLowerBound(s, ns, lo);
-    if (r_cut == prev_r && s_cut == prev_s) continue;  // skewed fact: no split
-    parts.push_back({prev_r, r_cut, prev_s, s_cut});
-    prev_r = r_cut;
-    prev_s = s_cut;
-    if (prev_r == nr && prev_s == ns) break;
+    RunPartition part;
+    part.slices.reserve(runs.size());
+    std::size_t cut_total = 0;
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      const std::size_t cut = FactLowerBound(runs[r].first, runs[r].second, lo);
+      part.slices.emplace_back(prev[r], cut);
+      cut_total += cut;
+    }
+    if (cut_total == prev_total) continue;  // skewed fact: no split
+    part.size = cut_total - prev_total;
+    for (std::size_t r = 0; r < runs.size(); ++r) prev[r] = part.slices[r].second;
+    prev_total = cut_total;
+    parts.push_back(std::move(part));
+    if (prev_total == total) break;
   }
-  if (prev_r < nr || prev_s < ns) {
-    parts.push_back({prev_r, nr, prev_s, ns});
+  if (prev_total < total) {
+    RunPartition part;
+    part.slices.reserve(runs.size());
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      part.slices.emplace_back(prev[r], runs[r].second);
+    }
+    part.size = total - prev_total;
+    parts.push_back(std::move(part));
   }
   return parts;
 }

@@ -10,6 +10,7 @@
 #define TPSET_PARALLEL_PARTITION_H_
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "relation/tuple.h"
@@ -45,6 +46,25 @@ std::vector<FactPartition> PartitionByFactRange(const TpTuple* r,
                                                 const TpTuple* s,
                                                 std::size_t ns,
                                                 std::size_t max_partitions);
+
+/// One partition of several parallel sorted runs: slices[i] is the index
+/// range [begin, end) of run i covering the partition's fact range. As with
+/// FactPartition, all tuples of a fact land in exactly one partition and the
+/// fact ranges of successive partitions are disjoint and increasing.
+struct RunPartition {
+  std::vector<std::pair<std::size_t, std::size_t>> slices;
+  std::size_t size = 0;  ///< combined tuple count (the balancing weight)
+};
+
+/// Generalizes PartitionByFactRange to any number of (fact, start)-sorted
+/// runs: cuts all runs at common fact boundaries into at most
+/// `max_partitions` non-empty partitions balanced by combined tuple count
+/// (a single heavy fact is never split). The run-indexed storage engine
+/// uses this to parallelize compaction — each partition k-way-merges its
+/// slices independently and the outputs concatenate in fact order.
+std::vector<RunPartition> PartitionRunsByFact(
+    const std::vector<std::pair<const TpTuple*, std::size_t>>& runs,
+    std::size_t max_partitions);
 
 /// One contiguous index range [begin, end) of a weighted item sequence.
 struct WeightRange {

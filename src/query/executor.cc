@@ -29,14 +29,25 @@ Status QueryExecutor::Register(const TpRelation& rel) {
   // ValidateSortedFactTime just proved the order, so the catalog copy gets
   // the sortedness witness — every query leaf then takes the zero-sort
   // fast path. Armed here, on the copy we own, rather than memoized
-  // through the caller's const reference (which could race).
+  // through the caller's const reference (which could race). The copy
+  // becomes the base level of the relation's run-indexed storage.
   TpRelation copy = rel;
   copy.MarkSortedUnchecked();
-  catalog_.emplace(rel.name(), std::move(copy));
+  catalog_.emplace(std::piecewise_construct, std::forward_as_tuple(rel.name()),
+                   std::forward_as_tuple(std::move(copy)));
   return Status::OK();
 }
 
 Result<const TpRelation*> QueryExecutor::Find(const std::string& name) const {
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no relation named '" + name + "' is registered");
+  }
+  return &it->second.View();
+}
+
+Result<const StoredRelation*> QueryExecutor::FindStored(
+    const std::string& name) const {
   auto it = catalog_.find(name);
   if (it == catalog_.end()) {
     return Status::NotFound("no relation named '" + name + "' is registered");
@@ -46,6 +57,7 @@ Result<const TpRelation*> QueryExecutor::Find(const std::string& name) const {
 
 Result<EpochId> QueryExecutor::Append(const std::string& relation,
                                       const DeltaBatch& batch) {
+  std::lock_guard<std::mutex> fence(write_fence_);
   auto it = catalog_.find(relation);
   if (it == catalog_.end()) {
     return Status::NotFound("no relation named '" + relation +
@@ -60,6 +72,44 @@ Result<EpochId> QueryExecutor::Append(const std::string& relation,
     if (cq->Reads(relation)) cq->ApplyAppend(*epoch, relation, grouped);
   }
   return epoch;
+}
+
+Result<std::size_t> QueryExecutor::Retain(const std::string& relation,
+                                          TimePoint watermark) {
+  std::lock_guard<std::mutex> fence(write_fence_);
+  auto it = catalog_.find(relation);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no relation named '" + relation +
+                            "' is registered");
+  }
+  StoredRelation& stored = it->second;
+  TPSET_RETURN_NOT_OK(stored.SetWatermark(watermark));
+  const std::size_t retired_before = stored.stats().tuples_retired;
+  stored.Compact(CompactionPool());
+  for (auto& [name, cq] : continuous_) {
+    (void)name;
+    if (cq->Reads(relation)) cq->Rebase();
+  }
+  return stored.stats().tuples_retired - retired_before;
+}
+
+Status QueryExecutor::Compact(const std::string& relation) {
+  std::lock_guard<std::mutex> fence(write_fence_);
+  auto it = catalog_.find(relation);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no relation named '" + relation +
+                            "' is registered");
+  }
+  it->second.Compact(CompactionPool());
+  return Status::OK();
+}
+
+ThreadPool* QueryExecutor::CompactionPool() const {
+  // Compactions run under the write fence, so no continuous query is
+  // propagating and its pool is idle — reuse the widest one for the
+  // fact-range-parallel merge instead of compacting sequentially.
+  return continuous_pools_.empty() ? nullptr
+                                   : continuous_pools_.rbegin()->second.get();
 }
 
 Result<ContinuousQuery*> QueryExecutor::RegisterContinuous(
@@ -87,8 +137,8 @@ Result<ContinuousQuery*> QueryExecutor::RegisterContinuous(
     pool = slot.get();
   }
   Result<std::unique_ptr<ContinuousQuery>> cq = ContinuousQuery::Compile(
-      name, query, [this](const std::string& rel) { return Find(rel); }, ctx_,
-      options, pool);
+      name, query, [this](const std::string& rel) { return FindStored(rel); },
+      ctx_, options, pool);
   if (!cq.ok()) return cq.status();
   ContinuousQuery* ptr = cq->get();
   continuous_.emplace(name, std::move(*cq));

@@ -15,6 +15,7 @@
 #include "parallel/parallel_set_op.h"
 #include "query/ast.h"
 #include "relation/relation.h"
+#include "storage/stored_relation.h"
 
 namespace tpset {
 
@@ -74,18 +75,44 @@ class QueryExecutor {
   Result<TpRelation> Execute(const QueryNode& query, const ExecOptions& options,
                              const SetOpAlgorithm* algorithm = nullptr) const;
 
-  /// Looks up a registered relation.
+  /// Looks up a registered relation as its one logical sorted view
+  /// (StoredRelation::View — pending append runs are folded into the base
+  /// level first, so the returned relation is (fact, start)-sorted and
+  /// witness-armed regardless of the physical run count).
   Result<const TpRelation*> Find(const std::string& name) const;
 
-  // ---- Incremental continuous queries (src/incremental/) ----------------
+  /// Looks up a relation's storage engine (run counts, watermark, storage
+  /// stats) without folding anything.
+  Result<const StoredRelation*> FindStored(const std::string& name) const;
 
-  /// Appends a validated delta batch to a registered relation: one epoch.
-  /// The relation stays sorted, duplicate-free and witness-armed (one-shot
-  /// Execute keeps working on the grown relation), and the delta propagates
-  /// through every registered continuous query that reads the relation,
-  /// delivering an EpochDelta to its subscribers. Returns the assigned
-  /// monotone epoch id. Single-writer: must not race with Execute.
+  // ---- Incremental continuous queries (src/incremental/, src/storage/) --
+
+  /// Appends a validated delta batch to a registered relation: one epoch,
+  /// O(batch) amortized into the relation's run index (no O(n) merge — the
+  /// one logical sorted view is re-folded lazily by the next Find). The
+  /// delta propagates through every registered continuous query that reads
+  /// the relation, delivering an EpochDelta to its subscribers. Returns the
+  /// assigned monotone epoch id. Thread-safe: concurrent Append calls
+  /// serialize on the epoch fence (distinct gapless epochs, propagation in
+  /// epoch order); appends still must not race with Execute. Subscriber
+  /// callbacks fire inside the fence — they must not call back into
+  /// Append/Retain/Compact on this executor.
   Result<EpochId> Append(const std::string& relation, const DeltaBatch& batch);
+
+  /// Retention: advances the relation's watermark (monotone), compacts its
+  /// storage — retiring every tuple whose interval ends at or below the
+  /// watermark — and rebases the state of every continuous query that reads
+  /// the relation (IncrementalSetOp::Rebase; a query forgets only below the
+  /// minimum watermark across all its leaves). Subscribers receive no
+  /// deltas: retention forgets, it does not retract — above the watermark
+  /// the accumulated state still folds to a from-scratch Execute (the
+  /// clip-equivalence pinned by tests/retention_test.cc). Returns the
+  /// number of stored tuples retired by the compaction.
+  Result<std::size_t> Retain(const std::string& relation, TimePoint watermark);
+
+  /// Explicitly compacts a relation's storage: folds all pending append
+  /// runs into the base level, applying the current watermark (if any).
+  Status Compact(const std::string& relation);
 
   /// Compiles `query` into a DAG of incremental operators over the catalog,
   /// runs the initial full computation, and registers it under `name`
@@ -127,11 +154,21 @@ class QueryExecutor {
                                        const ExecOptions& options,
                                        const SetOpAlgorithm* algorithm) const;
 
+  /// The widest idle continuous-query pool for parallel compaction (null
+  /// when no parallel continuous query ever registered — compact
+  /// sequentially then).
+  ThreadPool* CompactionPool() const;
+
   std::shared_ptr<TpContext> ctx_;
-  // Node-based map: TpRelation addresses stay stable across Register and
-  // Append, which is what lets continuous-query leaves hold plain pointers.
-  std::map<std::string, TpRelation> catalog_;
+  // Node-based map: StoredRelation addresses stay stable across Register
+  // and Append, which is what lets continuous-query leaves hold plain
+  // pointers.
+  std::map<std::string, StoredRelation> catalog_;
   AppendLog append_log_;
+  // Serializes Append/Retain/Compact: epoch assignment, storage mutation
+  // and continuous-query propagation happen atomically per epoch, so
+  // concurrent writers observe a total epoch order end to end.
+  std::mutex write_fence_;
   std::map<std::string, std::unique_ptr<ContinuousQuery>> continuous_;
   // Continuous queries with the same thread count share one worker pool
   // (Append applies them one at a time, so at most one pool is ever busy).

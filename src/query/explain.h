@@ -51,16 +51,22 @@ Result<std::string> ExplainQuery(const QueryExecutor& exec,
 /// with each node's cumulative maintenance counters —
 ///
 ///   continuous query diff: (r - s)
-///   epoch: 42, size: 102394, threads: 8, subscribers: 1
+///   epoch: 42, size: 102394, threads: 8, subscribers: 1, watermark: 310
 ///     except  [acc=102394, epochs_applied=42, facts_resumed=40,
-///              facts_reswept=2, windows=204810]
-///       relation r  [1000000 tuples]
-///       relation s  [1000000 tuples]
+///              facts_reswept=2, windows=204810, tuples_retired=5012]
+///       relation r  [1000000 tuples, runs=3, tail_hits=210,
+///                    runs_merged=18, tuples_retired=8000, watermark=310]
+///       relation s  [1000000 tuples, runs=1, tail_hits=195,
+///                    runs_merged=12, tuples_retired=7500, watermark=310]
 ///
 /// facts_resumed counts per-fact sweeps continued from their checkpoint
 /// (closed prefix reused); facts_reswept counts frontier-straddling deltas
-/// that re-swept a fact and diffed the window stream. Unlike the one-shot
-/// overloads this does not execute anything — it reports the live state.
+/// that re-swept a fact and diffed the window stream. Leaf lines carry the
+/// relation's storage counters (run count, O(1) tail-map hits, runs
+/// consumed by merges, tuples retired by retention, watermark if set);
+/// operator tuples_retired counts output windows dropped by checkpoint
+/// rebase. Unlike the one-shot overloads this does not execute anything —
+/// it reports the live state.
 Result<std::string> ExplainContinuous(const QueryExecutor& exec,
                                       const std::string& name);
 

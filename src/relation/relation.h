@@ -91,12 +91,14 @@ class TpRelation {
   void AddDerived(FactId fact, Interval iv, LineageId lineage);
 
   /// Merges a (fact, start, end)-sorted batch into the relation in O(n + m),
-  /// preserving the sortedness witness — the append path of the incremental
-  /// engine (AppendLog), where new tuples land mid-vector because their fact
-  /// is not the maximum. Requires the relation to carry the witness (catalog
+  /// preserving the sortedness witness. This was the append path of the
+  /// incremental engine before the run-indexed storage (src/storage/) moved
+  /// appends off the O(n) merge — it remains the reference merge for
+  /// StoredRelation's view fold and the baseline bench_storage measures the
+  /// run index against. Requires the relation to carry the witness (catalog
   /// relations always do) and the batch to be sorted; both are asserted, not
   /// re-checked. Duplicate-freeness against existing tuples is the caller's
-  /// contract (AppendLog validates it per fact before building the batch).
+  /// contract (callers validate per fact before building the batch).
   void MergeSortedAppend(std::vector<TpTuple> batch);
 
   /// Sorts tuples into the (fact, start) order required by LAWA.

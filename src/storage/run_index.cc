@@ -1,0 +1,102 @@
+#include "storage/run_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace tpset {
+
+RunMergeIterator::RunMergeIterator(const std::vector<TupleSpan>& spans) {
+  heap_.reserve(spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].empty()) continue;
+    heap_.push_back({spans[i].begin(), spans[i].end(), i});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), After);
+}
+
+bool RunMergeIterator::After(const Cursor& a, const Cursor& b) {
+  FactTimeOrder lt;
+  if (lt(*b.cur, *a.cur)) return true;
+  if (lt(*a.cur, *b.cur)) return false;
+  return a.run > b.run;
+}
+
+void RunMergeIterator::Next() {
+  assert(Valid());
+  std::pop_heap(heap_.begin(), heap_.end(), After);
+  Cursor& c = heap_.back();
+  if (++c.cur == c.end) {
+    heap_.pop_back();
+  } else {
+    std::push_heap(heap_.begin(), heap_.end(), After);
+  }
+}
+
+std::size_t MergeRuns(const std::vector<TupleSpan>& spans, TimePoint watermark,
+                      std::vector<TpTuple>* out) {
+  std::size_t total = 0;
+  for (const TupleSpan& s : spans) total += s.size;
+  out->reserve(out->size() + total);
+  std::size_t dropped = 0;
+  for (RunMergeIterator it(spans); it.Valid(); it.Next()) {
+    const TpTuple& t = it.Get();
+    if (t.t.end <= watermark) {
+      ++dropped;
+      continue;
+    }
+    out->push_back(t);
+  }
+  return dropped;
+}
+
+Status RunIndex::Append(std::vector<TpTuple> batch, EpochId epoch,
+                        StorageStats* stats) {
+  if (epoch <= last_epoch_) {
+    return Status::InvalidArgument(
+        "stale or duplicate epoch " + std::to_string(epoch) +
+        " (run index is at epoch " + std::to_string(last_epoch_) + ")");
+  }
+  assert(std::is_sorted(batch.begin(), batch.end(), FactTimeOrder()) &&
+         "runs must be (fact, start, end)-sorted");
+  last_epoch_ = epoch;
+  if (batch.empty()) return Status::OK();
+
+  total_ += batch.size();
+  runs_.push_back({std::move(batch), epoch});
+
+  // Size-tiered roll: fold the youngest run into its predecessor while the
+  // predecessor is less than twice its size. Every tuple is re-merged
+  // O(log(appended / batch)) times before a compaction claims it, and the
+  // run count stays logarithmic — the classic binary-counter amortization.
+  while (runs_.size() >= 2) {
+    SortedRun& a = runs_[runs_.size() - 2];
+    SortedRun& b = runs_.back();
+    if (a.tuples.size() >= 2 * b.tuples.size()) break;
+    const std::size_t mid = a.tuples.size();
+    a.tuples.insert(a.tuples.end(), b.tuples.begin(), b.tuples.end());
+    std::inplace_merge(a.tuples.begin(),
+                       a.tuples.begin() + static_cast<std::ptrdiff_t>(mid),
+                       a.tuples.end(), FactTimeOrder());
+    a.epoch = b.epoch;
+    runs_.pop_back();
+    if (stats != nullptr) stats->runs_merged += 2;
+  }
+  return Status::OK();
+}
+
+std::vector<TupleSpan> RunIndex::spans() const {
+  std::vector<TupleSpan> out;
+  out.reserve(runs_.size());
+  for (const SortedRun& r : runs_) {
+    if (!r.tuples.empty()) out.push_back({r.tuples.data(), r.tuples.size()});
+  }
+  return out;
+}
+
+void RunIndex::Clear() {
+  runs_.clear();
+  total_ = 0;
+}
+
+}  // namespace tpset

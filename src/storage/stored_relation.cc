@@ -1,0 +1,195 @@
+#include "storage/stored_relation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <future>
+#include <string>
+
+#include "common/interval.h"
+#include "parallel/partition.h"
+#include "parallel/thread_pool.h"
+
+namespace tpset {
+
+StoredRelation::StoredRelation(TpRelation base) : base_(std::move(base)) {
+  assert(base_.known_sorted() &&
+         "the base level must carry the sortedness witness");
+  for (const TpTuple& t : base_.tuples()) {
+    // (fact, start, end) order makes the last tuple of a fact's run the one
+    // with the maximal end, so plain assignment leaves the tail map right.
+    fact_tails_[t.fact] = t.t.end;
+  }
+}
+
+std::size_t StoredRelation::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_.size() + tail_.size();
+}
+
+Status StoredRelation::AppendRun(std::vector<TpTuple> batch, EpochId epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(std::is_sorted(batch.begin(), batch.end(), FactTimeOrder()));
+  // Validate the whole batch against a scratch copy of the affected tails
+  // before mutating anything (all-or-nothing, like AppendLog).
+  // (These internal defense-in-depth lookups are not counted as tail_hits —
+  // that counter tracks lookups *served* to callers, i.e. FactTail.)
+  std::unordered_map<FactId, TimePoint> new_tails;
+  for (const TpTuple& t : batch) {
+    auto scratch = new_tails.find(t.fact);
+    TimePoint tail = 0;
+    bool have_tail = false;
+    if (scratch != new_tails.end()) {
+      tail = scratch->second;
+      have_tail = true;
+    } else {
+      auto stored = fact_tails_.find(t.fact);
+      if (stored != fact_tails_.end()) {
+        tail = stored->second;
+        have_tail = true;
+      }
+    }
+    if (have_tail && t.t.start < tail) {
+      return Status::InvalidArgument(
+          "append violates fact-time order: " + ToString(t.t) +
+          " starts before the fact's tail (t=" + std::to_string(tail) + ")");
+    }
+    new_tails[t.fact] = t.t.end;
+  }
+  TPSET_RETURN_NOT_OK(tail_.Append(std::move(batch), epoch, &stats_));
+  for (const auto& [fact, end] : new_tails) fact_tails_[fact] = end;
+  ++stats_.appends;
+  return Status::OK();
+}
+
+std::pair<bool, TimePoint> StoredRelation::FactTail(FactId fact) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.tail_hits;
+  auto it = fact_tails_.find(fact);
+  if (it == fact_tails_.end()) return {false, 0};
+  return {true, it->second};
+}
+
+Status StoredRelation::SetWatermark(TimePoint watermark) {
+  if (has_watermark() && watermark < watermark_) {
+    return Status::InvalidArgument(
+        "retention watermark must be monotone: " + std::to_string(watermark) +
+        " < " + std::to_string(watermark_));
+  }
+  watermark_ = watermark;
+  return Status::OK();
+}
+
+std::vector<TupleSpan> StoredRelation::SpansLocked() const {
+  std::vector<TupleSpan> spans;
+  spans.reserve(1 + tail_.run_count());
+  if (!base_.empty()) {
+    spans.push_back({base_.tuples().data(), base_.size()});
+  }
+  std::vector<TupleSpan> tail_spans = tail_.spans();
+  spans.insert(spans.end(), tail_spans.begin(), tail_spans.end());
+  return spans;
+}
+
+void StoredRelation::CompactLocked(TimePoint watermark,
+                                   ThreadPool* pool) const {
+  const std::vector<TupleSpan> spans = SpansLocked();
+  std::vector<TpTuple> merged;
+  std::size_t dropped = 0;
+
+  if (pool != nullptr && spans.size() > 1) {
+    // Fact-range parallel merge: each partition k-way-merges its slices of
+    // every span independently; outputs concatenate in fact order.
+    std::vector<std::pair<const TpTuple*, std::size_t>> run_args;
+    run_args.reserve(spans.size());
+    for (const TupleSpan& s : spans) run_args.emplace_back(s.data, s.size);
+    const std::vector<RunPartition> parts =
+        PartitionRunsByFact(run_args, pool->size() * 2);
+
+    struct PartResult {
+      std::vector<TpTuple> tuples;
+      std::size_t dropped = 0;
+    };
+    std::vector<std::future<PartResult>> futures;
+    futures.reserve(parts.size());
+    for (const RunPartition& part : parts) {
+      futures.push_back(pool->Submit([&spans, &part, watermark]() {
+        std::vector<TupleSpan> slices;
+        slices.reserve(part.slices.size());
+        for (std::size_t r = 0; r < part.slices.size(); ++r) {
+          const auto& [begin, end] = part.slices[r];
+          if (begin < end) slices.push_back({spans[r].data + begin, end - begin});
+        }
+        PartResult res;
+        res.dropped = MergeRuns(slices, watermark, &res.tuples);
+        return res;
+      }));
+    }
+    std::size_t total = 0;
+    for (const TupleSpan& s : spans) total += s.size;
+    merged.reserve(total);
+    for (std::future<PartResult>& fut : futures) {
+      PartResult res = fut.get();
+      merged.insert(merged.end(), res.tuples.begin(), res.tuples.end());
+      dropped += res.dropped;
+    }
+  } else {
+    dropped = MergeRuns(spans, watermark, &merged);
+  }
+
+  if (spans.size() > 1) stats_.runs_merged += spans.size();
+  stats_.tuples_retired += dropped;
+  ++stats_.compactions;
+  base_.mutable_tuples() = std::move(merged);
+  base_.MarkSortedUnchecked();
+  tail_.Clear();
+}
+
+void StoredRelation::Compact(ThreadPool* pool) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Skip the O(n) re-merge when it cannot change anything: no pending
+  // tails, the watermark already applied to the base, and no View fold
+  // snuck unretained tuples in since.
+  if (tail_.run_count() == 0 && watermark_ == compacted_watermark_ &&
+      !base_unretained_) {
+    return;
+  }
+  CompactLocked(watermark_, pool);
+  compacted_watermark_ = watermark_;
+  base_unretained_ = false;
+}
+
+const TpRelation& StoredRelation::View() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Fold tails without retention: a read must not change logical content
+  // (retiring below the watermark is Compact's explicit job).
+  if (tail_.run_count() > 0) {
+    CompactLocked(kNoWatermark, nullptr);
+    if (has_watermark()) base_unretained_ = true;
+  }
+  return base_;
+}
+
+TpRelation StoredRelation::Materialize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TpRelation out(base_.context(), base_.schema(), base_.name());
+  MergeRuns(SpansLocked(), kNoWatermark, &out.mutable_tuples());
+  out.MarkSortedUnchecked();
+  return out;
+}
+
+std::size_t StoredRelation::run_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tail_.run_count();
+}
+
+EpochId StoredRelation::last_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tail_.last_epoch();
+}
+
+StorageStats StoredRelation::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace tpset

@@ -1,0 +1,155 @@
+// StoredRelation: a catalog relation backed by the run index.
+//
+// The executor's catalog used to hold a plain TpRelation, so every append
+// epoch paid an O(n) MergeSortedAppend into it. A StoredRelation splits the
+// physical layout into a *base level* (one big sorted TpRelation, the
+// product of the last compaction) and a *tail* of sorted runs (run_index.h):
+//
+//  * AppendRun — O(batch) amortized. Validates the per-fact chain contract
+//    against an O(1) fact-tail map (no binary search over n tuples), stamps
+//    the run with its epoch (stale/duplicate epochs rejected) and hands it
+//    to the RunIndex roll policy.
+//  * View — the one logical sorted relation. Folds pending tail runs into
+//    the base level (a merge through RunMergeIterator, witness re-armed) and
+//    returns it; O(1) when no tails are pending. Query-side code — the
+//    sequential and parallel sweep engines behind QueryExecutor::Find — sees
+//    a single (fact, start)-sorted TpRelation regardless of how many
+//    physical runs the appends left behind.
+//  * ForEachTuple / Materialize — streaming and copying reads through the
+//    merge iterator without folding anything (used by continuous-query
+//    registration and Current()).
+//  * Compact — explicit full merge of base + tails applying *retention*: a
+//    monotone per-relation watermark retires every tuple whose interval ends
+//    at or below it (a tuple straddling the watermark survives intact).
+//    With a thread pool, the merge fans out over PartitionRunsByFact
+//    fact-range partitions. Continuous queries that read the relation must
+//    rebase their checkpoints afterwards (QueryExecutor::Retain drives
+//    both; see incremental_set_op.h Rebase).
+//
+// The fact-tail map deliberately survives retention: the stream contract
+// stays monotone per fact — forgetting history does not rewind time, so an
+// append below an already-seen tail is still rejected.
+//
+// Thread safety: mutations (AppendRun, Compact, SetWatermark) follow the
+// global single-writer contract, like every other context mutation. Reads
+// are safe to run concurrently with each other: View's fold of tail runs
+// into the base is a physical re-layout of identical logical content,
+// guarded by an internal lock (the members it touches are mutable for
+// exactly this reason). ForEachTuple holds that lock across the callback —
+// the callback must not reenter the same StoredRelation.
+#ifndef TPSET_STORAGE_STORED_RELATION_H_
+#define TPSET_STORAGE_STORED_RELATION_H_
+
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/relation.h"
+#include "storage/run_index.h"
+
+namespace tpset {
+
+class ThreadPool;
+
+/// A run-indexed catalog relation. See the file comment.
+class StoredRelation {
+ public:
+  StoredRelation() = default;
+  /// Takes ownership of `base` as the base level. The relation must be
+  /// (fact, start, end)-sorted with the witness armed (the executor
+  /// validates at Register); the per-fact tail map is built in one O(n)
+  /// scan.
+  explicit StoredRelation(TpRelation base);
+
+  StoredRelation(const StoredRelation&) = delete;
+  StoredRelation& operator=(const StoredRelation&) = delete;
+
+  const std::shared_ptr<TpContext>& context() const { return base_.context(); }
+  const Schema& schema() const { return base_.schema(); }
+  const std::string& name() const { return base_.name(); }
+
+  /// Total logical tuple count (base + tail runs).
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// Appends one (fact, start, end)-sorted batch as a run: O(batch)
+  /// amortized. Every tuple must extend its fact's timeline (start at or
+  /// after the fact's stored tail end — checked against the O(1) tail map,
+  /// nothing is mutated on failure) and `epoch` must exceed every previously
+  /// accepted epoch. Duplicate-freeness within the batch follows from the
+  /// chain check; AppendLog validates the richer row-level contract first.
+  Status AppendRun(std::vector<TpTuple> batch, EpochId epoch);
+
+  /// Last stored interval end of `fact` across base and tails, or
+  /// {false, 0} when the fact was never appended. O(1); counts a tail hit.
+  std::pair<bool, TimePoint> FactTail(FactId fact) const;
+
+  /// Sets the retention watermark (monotone: lowering it is rejected).
+  /// Takes effect at the next Compact(); QueryExecutor::Retain couples the
+  /// two and rebases dependent continuous queries.
+  Status SetWatermark(TimePoint watermark);
+  TimePoint watermark() const { return watermark_; }
+  bool has_watermark() const { return watermark_ != kNoWatermark; }
+
+  /// Merges base + tail runs into a fresh base level, retiring tuples at or
+  /// below the watermark. O(n); with `pool`, fact-range partitions merge
+  /// concurrently (PartitionRunsByFact) and concatenate in order.
+  void Compact(ThreadPool* pool = nullptr);
+
+  /// The one logical sorted relation, witness armed. Folds pending tail
+  /// runs into the base level first (no retention — that is Compact's job);
+  /// O(1) when the tail is empty. The reference stays valid for the
+  /// StoredRelation's lifetime; its tuple storage may move on later folds,
+  /// like any appended-to relation.
+  const TpRelation& View() const;
+
+  /// Streams every tuple in (fact, start, end) order through the merge
+  /// iterator without folding or copying. `fn` must not reenter this
+  /// StoredRelation (the internal lock is held).
+  template <typename Fn>
+  void ForEachTuple(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TupleSpan> spans = SpansLocked();
+    for (RunMergeIterator it(spans); it.Valid(); it.Next()) fn(it.Get());
+  }
+
+  /// Materializes the logical content into a fresh TpRelation (same context,
+  /// schema and name; witness armed) without mutating the storage layout.
+  TpRelation Materialize() const;
+
+  /// Pending tail runs (0 right after a compaction or View fold).
+  std::size_t run_count() const;
+  /// Latest accepted append epoch (0 before any append).
+  EpochId last_epoch() const;
+  /// Counter snapshot, by value: concurrent reads may fold (View) and bump
+  /// the counters under the lock, so handing out a reference would race.
+  StorageStats stats() const;
+
+ private:
+  /// Spans of the base level plus every tail run, oldest first.
+  std::vector<TupleSpan> SpansLocked() const;
+  /// Merges all spans into a fresh base honoring `watermark`; requires mu_.
+  void CompactLocked(TimePoint watermark, ThreadPool* pool) const;
+
+  // base_ and tail_ describe one logical relation in two physical layouts;
+  // View() folds the second into the first under mu_, which is why they are
+  // mutable (see the thread-safety note above).
+  mutable TpRelation base_;
+  mutable RunIndex tail_;
+  mutable StorageStats stats_;
+  mutable std::mutex mu_;
+  std::unordered_map<FactId, TimePoint> fact_tails_;
+  TimePoint watermark_ = kNoWatermark;
+  /// Watermark the base level was last retention-compacted to; lets
+  /// Compact() skip the O(n) re-merge when nothing changed.
+  TimePoint compacted_watermark_ = kNoWatermark;
+  /// True when a View() fold moved tuples into the base without applying a
+  /// set watermark — the next Compact() must not skip.
+  mutable bool base_unretained_ = false;
+};
+
+}  // namespace tpset
+
+#endif  // TPSET_STORAGE_STORED_RELATION_H_
