@@ -12,20 +12,40 @@
 // arena has not seen, so a warm-arena rerun — where every intern degrades
 // to a cache hit — would systematically understate the apply phase.
 //
+// A second section benchmarks the morsel scheduler under *fact skew* —
+// zipf(s=1.2) and a single 90%-weight fact — against the legacy static
+// partitioner (MorselOptions{.enabled = false}). Each configuration runs
+// for real (per-phase breakdown via ComputeTimed) and is additionally
+// *modeled* at 8 workers: per-unit staged sweep and splice times are
+// measured in isolation (this is exact — units run back to back on one
+// core), then list-scheduled greedily onto 8 idealized workers. The model
+// exists because wall-clock speedup at N threads saturates at the host's
+// core count (CI containers often pin 1-2 cores); the modeled makespan
+// isolates the scheduling effect the morsel design targets: static
+// apply+sweep = makespan + serial apply (barrier), morsel apply+sweep =
+// max(makespan, apply) (overlapped splice). Both real and modeled numbers
+// land in the JSON.
+//
 // Output: the harness CSV rows, one "# json {...}" summary line per
 // operation, and a machine-readable summary written to BENCH_parallel.json
 // (override with --json <path>) so the perf trajectory is tracked across
 // PRs.
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "bench/harness.h"
 #include "datagen/synthetic.h"
+#include "lawa/advancer.h"
 #include "lawa/set_ops.h"
+#include "lineage/staging.h"
 #include "parallel/parallel_set_op.h"
+#include "parallel/partition.h"
+#include "parallel/scheduler.h"
 
 using namespace tpset;
 using namespace tpset::bench;
@@ -87,6 +107,115 @@ void AppendPhaseJson(std::string* out, std::size_t threads, const Sample& s) {
                 threads, s.wall_ms, s.phases.sort_ms, s.phases.split_ms,
                 s.phases.advance_ms, s.phases.apply_ms);
   *out += buf;
+}
+
+// ---- Skewed scenarios (morsel scheduler vs static partitioner) ------------
+
+constexpr std::size_t kSkewThreads = 8;
+constexpr std::size_t kSkewPartitionsPerThread = 4;
+
+// Fresh skewed pair, deterministic across calls.
+std::pair<TpRelation, TpRelation> FreshSkewPair(const SkewedPairSpec& spec) {
+  auto ctx = std::make_shared<TpContext>(/*hash_consing=*/true);
+  Rng rng(0x5EED5EED);
+  return GenerateSkewedPair(ctx, spec, &rng);
+}
+
+struct SkewSample {
+  Sample run;
+  LawaStats stats;
+};
+
+// Best-of-reps real execution with the given morsel config, cold arenas.
+SkewSample BestSkewCold(int reps, const SkewedPairSpec& spec,
+                        const MorselOptions& morsel, SetOpKind op) {
+  SkewSample best;
+  for (int i = 0; i < reps; ++i) {
+    auto [r, s] = FreshSkewPair(spec);
+    ParallelSetOpAlgorithm algo(kSkewThreads, SortMode::kComparison,
+                                kSkewPartitionsPerThread, ApplyMode::kStaged,
+                                morsel);
+    PhaseTimings t;
+    LawaStats stats;
+    double ms = TimeMs([&]() {
+      TpRelation out = algo.ComputeTimed(op, r, s, &t, &stats);
+      (void)out;
+    });
+    if (i == 0 || ms < best.run.wall_ms) best = SkewSample{{ms, t}, stats};
+  }
+  return best;
+}
+
+// Per-unit staged sweep and serial splice times, measured in isolation (one
+// unit at a time, which single-core hosts make exact). Mutates the pair's
+// context — callers pass a fresh pair.
+struct UnitTimes {
+  std::vector<double> sweep_ms;  // per plan unit, plan order
+  double apply_ms = 0.0;         // total serial splice + remap time
+};
+
+UnitTimes MeasureStagedUnits(SetOpKind op, const TpRelation& r,
+                             const TpRelation& s,
+                             const std::vector<FactPartition>& units) {
+  const TpTuple* rdata = r.tuples().data();
+  const TpTuple* sdata = s.tuples().data();
+  LineageId frozen = 2;
+  for (const TpTuple& t : r.tuples()) {
+    if (t.lineage != kNullLineage && t.lineage >= frozen) frozen = t.lineage + 1;
+  }
+  for (const TpTuple& t : s.tuples()) {
+    if (t.lineage != kNullLineage && t.lineage >= frozen) frozen = t.lineage + 1;
+  }
+  LineageManager& mgr = r.context()->lineage();
+  UnitTimes out;
+  out.sweep_ms.reserve(units.size());
+  std::vector<LineageId> remap;
+  for (const FactPartition& part : units) {
+    StagingArena arena(frozen, mgr.hash_consing());
+    std::vector<TpTuple> tuples;
+    out.sweep_ms.push_back(TimeMs([&]() {
+      LineageAwareWindowAdvancer adv(
+          rdata + part.r_begin, part.r_end - part.r_begin,
+          sdata + part.s_begin, part.s_end - part.s_begin);
+      ForEachSurvivingWindow(op, adv, [&](const LineageAwareWindow& w) {
+        LineageId lin = kNullLineage;
+        switch (op) {
+          case SetOpKind::kIntersect:
+            lin = arena.ConcatAnd(w.lr, w.ls);
+            break;
+          case SetOpKind::kUnion:
+            lin = arena.ConcatOr(w.lr, w.ls);
+            break;
+          case SetOpKind::kExcept:
+            lin = arena.ConcatAndNot(w.lr, w.ls);
+            break;
+        }
+        tuples.push_back({w.fact, w.t, lin});
+      });
+    }));
+    out.apply_ms += TimeMs([&]() {
+      mgr.SpliceStaged(arena, &remap);
+      for (TpTuple& t : tuples) {
+        if (t.lineage != kNullLineage && t.lineage >= frozen) {
+          t.lineage = remap[t.lineage - frozen];
+        }
+      }
+    });
+  }
+  return out;
+}
+
+// Greedy list scheduling of the units in plan order onto `workers`
+// idealized workers (each unit lands on the least-loaded one) — what the
+// stealing deques approximate. For the static plan this models the legacy
+// pool; a single heavy unit dominates the result exactly as it pins a
+// worker in practice.
+double Makespan(const std::vector<double>& durations, std::size_t workers) {
+  std::vector<double> load(workers, 0.0);
+  for (double d : durations) {
+    *std::min_element(load.begin(), load.end()) += d;
+  }
+  return *std::max_element(load.begin(), load.end());
 }
 
 }  // namespace
@@ -196,6 +325,142 @@ int main(int argc, char** argv) {
                       ? staged_at[1].wall_ms / staged_at[8].wall_ms
                       : 0.0);
     json += optail;
+  }
+  json += "\n  ],\n";
+
+  // ---- Skewed scenarios: morsel scheduler vs static partitioner ----------
+  std::printf("# skew: zipf(s=1.2) and one-hot(90%%) facts, staged apply, "
+              "threads=%zu; real walls + modeled 8-worker makespan\n",
+              kSkewThreads);
+  PrintHeader("parallel-skew");
+
+  struct SkewScenario {
+    const char* name;
+    SkewedPairSpec spec;
+  };
+  std::vector<SkewScenario> scenarios(2);
+  scenarios[0].name = "zipf_1.2";
+  scenarios[0].spec.zipf_s = 1.2;
+  scenarios[0].spec.num_facts = 64;
+  scenarios[1].name = "one_hot_90";
+  scenarios[1].spec.hot_fact_share = 0.9;
+  scenarios[1].spec.num_facts = 16;
+  for (SkewScenario& sc : scenarios) sc.spec.num_tuples = n;
+
+  {
+    char head[64];
+    std::snprintf(head, sizeof(head), "  \"host_cpus\": %u,\n",
+                  std::thread::hardware_concurrency());
+    json += head;
+  }
+  json += "  \"skew\": [\n";
+  const int skew_reps = 2;
+  bool first_skew = true;
+  for (const SkewScenario& sc : scenarios) {
+    for (SetOpKind op : kAllSetOps) {
+      const char* op_name = SetOpName(op);
+      const std::string tag = std::string(sc.name) + "/" + op_name;
+
+      double seq_ms = 0.0;
+      for (int i = 0; i < skew_reps; ++i) {
+        auto [r, s] = FreshSkewPair(sc.spec);
+        double ms = TimeMs([&]() {
+          TpRelation out = LawaSetOp(op, r, s);
+          (void)out;
+        });
+        if (i == 0 || ms < seq_ms) seq_ms = ms;
+      }
+      PrintRow("parallel-skew", tag.c_str(), "LAWA", n, seq_ms);
+
+      MorselOptions static_sched;
+      static_sched.enabled = false;
+      MorselOptions nosteal;
+      nosteal.steal = false;
+      SkewSample st = BestSkewCold(skew_reps, sc.spec, static_sched, op);
+      SkewSample ns = BestSkewCold(skew_reps, sc.spec, nosteal, op);
+      SkewSample mo = BestSkewCold(skew_reps, sc.spec, MorselOptions{}, op);
+      PrintRow("parallel-skew", tag.c_str(), "static/8", n, st.run.wall_ms);
+      PrintRow("parallel-skew", tag.c_str(), "morsel-nosteal/8", n,
+               ns.run.wall_ms);
+      PrintRow("parallel-skew", tag.c_str(), "morsel/8", n, mo.run.wall_ms);
+
+      // Modeled 8-worker makespans from per-unit measurements.
+      std::size_t units_static = 0, units_morsel = 0;
+      double static_sweep8 = 0.0, static_apply = 0.0;
+      double morsel_sweep8 = 0.0, morsel_apply = 0.0;
+      {
+        auto [r, s] = FreshSkewPair(sc.spec);
+        const std::vector<FactPartition> parts = PartitionByFactRange(
+            r.tuples().data(), r.tuples().size(), s.tuples().data(),
+            s.tuples().size(), kSkewThreads * kSkewPartitionsPerThread);
+        units_static = parts.size();
+        UnitTimes ut = MeasureStagedUnits(op, r, s, parts);
+        static_sweep8 = Makespan(ut.sweep_ms, kSkewThreads);
+        static_apply = ut.apply_ms;
+      }
+      {
+        auto [r, s] = FreshSkewPair(sc.spec);
+        const std::vector<FactPartition> parts = PartitionByFactRange(
+            r.tuples().data(), r.tuples().size(), s.tuples().data(),
+            s.tuples().size(), kSkewThreads * kSkewPartitionsPerThread);
+        MorselPlan plan = BuildMorsels(
+            r.tuples().data(), s.tuples().data(), parts,
+            MorselAutoBudget(r.tuples().size() + s.tuples().size(),
+                             kSkewThreads, kSkewPartitionsPerThread));
+        units_morsel = plan.morsels.size();
+        UnitTimes ut = MeasureStagedUnits(op, r, s, plan.morsels);
+        morsel_sweep8 = Makespan(ut.sweep_ms, kSkewThreads);
+        morsel_apply = ut.apply_ms;
+      }
+      // Static: barrier, then serial apply. Morsel: splices overlap the
+      // sweeps, so the phase pair costs max(makespan, total apply).
+      const double static_total = static_sweep8 + static_apply;
+      const double morsel_total = std::max(morsel_sweep8, morsel_apply);
+      const double model_speedup =
+          morsel_total > 0 ? static_total / morsel_total : 0.0;
+      PrintRow("parallel-skew", tag.c_str(), "modeled-static/8", n,
+               static_total);
+      PrintRow("parallel-skew", tag.c_str(), "modeled-morsel/8", n,
+               morsel_total);
+      std::printf(
+          "# json {\"experiment\":\"parallel-skew\",\"scenario\":\"%s\","
+          "\"operation\":\"%s\",\"modeled8_apply_sweep_speedup\":%.3f,"
+          "\"morsels\":%zu,\"stolen\":%zu,\"facts_split\":%zu}\n",
+          sc.name, op_name, model_speedup, mo.stats.morsels_run,
+          mo.stats.morsels_stolen, mo.stats.facts_split);
+
+      if (!first_skew) json += ",\n";
+      first_skew = false;
+      char buf[1024];
+      std::snprintf(
+          buf, sizeof(buf),
+          "    {\"scenario\": \"%s\", \"operation\": \"%s\", \"n\": %zu,\n"
+          "     \"lawa_ms\": %.3f,\n     \"real\": {",
+          sc.name, op_name, n, seq_ms);
+      json += buf;
+      json += "\"static\": {";
+      AppendPhaseJson(&json, kSkewThreads, st.run);
+      json += "}, \"morsel_nosteal\": {";
+      AppendPhaseJson(&json, kSkewThreads, ns.run);
+      json += "}, \"morsel\": {";
+      AppendPhaseJson(&json, kSkewThreads, mo.run);
+      json += "}},\n";
+      std::snprintf(
+          buf, sizeof(buf),
+          "     \"morsels_run\": %zu, \"morsels_stolen\": %zu, "
+          "\"facts_split\": %zu,\n"
+          "     \"modeled8\": {\"units_static\": %zu, \"units_morsel\": %zu,\n"
+          "       \"static_sweep_ms\": %.3f, \"static_apply_ms\": %.3f, "
+          "\"static_total_ms\": %.3f,\n"
+          "       \"morsel_sweep_ms\": %.3f, \"morsel_apply_ms\": %.3f, "
+          "\"morsel_total_ms\": %.3f,\n"
+          "       \"apply_sweep_speedup\": %.3f}}",
+          mo.stats.morsels_run, mo.stats.morsels_stolen, mo.stats.facts_split,
+          units_static, units_morsel, static_sweep8, static_apply,
+          static_total, morsel_sweep8, morsel_apply, morsel_total,
+          model_speedup);
+      json += buf;
+    }
   }
   json += "\n  ]\n}\n";
 

@@ -2,12 +2,35 @@
 # Tier-1 verification, as CI runs it: configure with warnings-as-errors,
 # build everything (library, tests, benches, examples), run ctest, then
 # smoke-run bench_parallel at a tiny scale so the bench binary and its
-# BENCH_parallel.json emitter cannot bitrot.
+# BENCH_parallel.json emitter cannot bitrot. A second build under
+# ThreadSanitizer reruns the concurrency-labelled test subset (morsel
+# scheduler, staged/overlapped apply, incremental staged delta apply,
+# storage epoch fence).
+#
+# Env knobs: TPSET_TSAN_ONLY=1 runs just the TSan stage (the dedicated CI
+# job); TPSET_SKIP_TSAN=1 skips it (the main job, which runs everything
+# else).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build-ci}"
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
+
+run_tsan() {
+  # ThreadSanitizer over the concurrency subset: a data race in the
+  # work-stealing deques, the overlapped splices or the epoch fence fails
+  # CI here, not in production.
+  cmake -B "$TSAN_BUILD_DIR" -S . -DTPSET_TSAN=ON
+  cmake --build "$TSAN_BUILD_DIR" -j "$JOBS"
+  ctest --test-dir "$TSAN_BUILD_DIR" -L concurrency --output-on-failure -j "$JOBS"
+  echo "tsan concurrency suite OK"
+}
+
+if [[ "${TPSET_TSAN_ONLY:-0}" == "1" ]]; then
+  run_tsan
+  exit 0
+fi
 
 cmake -B "$BUILD_DIR" -S . -DTPSET_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
@@ -19,6 +42,7 @@ TPSET_BENCH_SCALE=0.002 "$BUILD_DIR/bench/bench_parallel" \
   --json "$BUILD_DIR/BENCH_parallel.json" > "$BUILD_DIR/bench_parallel.out"
 test -s "$BUILD_DIR/BENCH_parallel.json"
 grep -q '"operations"' "$BUILD_DIR/BENCH_parallel.json"
+grep -q '"skew"' "$BUILD_DIR/BENCH_parallel.json"
 echo "bench_parallel smoke OK"
 
 # Streaming smoke: tiny relations, verifies the incremental-vs-recompute
@@ -39,3 +63,7 @@ test -s "$BUILD_DIR/BENCH_storage.json"
 grep -q '"append"' "$BUILD_DIR/BENCH_storage.json"
 grep -q '"retention"' "$BUILD_DIR/BENCH_storage.json"
 echo "bench_storage smoke OK"
+
+if [[ "${TPSET_SKIP_TSAN:-0}" != "1" ]]; then
+  run_tsan
+fi

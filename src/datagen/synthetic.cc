@@ -1,5 +1,6 @@
 #include "datagen/synthetic.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <vector>
@@ -91,6 +92,59 @@ std::pair<TpRelation, TpRelation> GenerateSyntheticPair(
   }
   TpRelation r = GenerateSynthetic(ctx, r_spec, "r", rng, &offsets);
   TpRelation s = GenerateSynthetic(ctx, s_spec, "s", rng, &offsets);
+  return {std::move(r), std::move(s)};
+}
+
+std::vector<std::size_t> SkewedFactCounts(const SkewedPairSpec& spec) {
+  assert(spec.num_facts > 0);
+  std::vector<double> weight(spec.num_facts, 1.0);
+  if (spec.zipf_s > 0.0) {
+    for (std::size_t f = 0; f < spec.num_facts; ++f) {
+      weight[f] = 1.0 / std::pow(static_cast<double>(f + 1), spec.zipf_s);
+    }
+  } else if (spec.hot_fact_share > 0.0 && spec.num_facts > 1) {
+    weight[0] = spec.hot_fact_share;
+    for (std::size_t f = 1; f < spec.num_facts; ++f) {
+      weight[f] = (1.0 - spec.hot_fact_share) /
+                  static_cast<double>(spec.num_facts - 1);
+    }
+  }
+  double norm = 0.0;
+  for (double w : weight) norm += w;
+  std::vector<std::size_t> counts(spec.num_facts);
+  for (std::size_t f = 0; f < spec.num_facts; ++f) {
+    counts[f] = std::max<std::size_t>(
+        1, static_cast<std::size_t>(weight[f] / norm *
+                                    static_cast<double>(spec.num_tuples)));
+  }
+  return counts;
+}
+
+std::pair<TpRelation, TpRelation> GenerateSkewedPair(
+    std::shared_ptr<TpContext> ctx, const SkewedPairSpec& spec, Rng* rng) {
+  const std::vector<std::size_t> counts = SkewedFactCounts(spec);
+  std::vector<FactId> facts;
+  facts.reserve(spec.num_facts);
+  for (std::size_t f = 0; f < spec.num_facts; ++f) {
+    facts.push_back(ctx->facts().Intern({Value(static_cast<std::int64_t>(f))}));
+  }
+  auto generate = [&](const std::string& name, TimePoint max_len) {
+    TpRelation rel(ctx, Schema::SingleInt("fact"), name);
+    for (std::size_t f = 0; f < spec.num_facts; ++f) {
+      TimePoint cursor = 0;
+      for (std::size_t i = 0; i < counts[f]; ++i) {
+        TimePoint start = cursor + rng->Uniform(0, spec.max_time_distance);
+        TimePoint end = start + rng->Uniform(1, max_len);
+        rel.AddBaseFast(facts[f], Interval(start, end),
+                        0.1 + 0.8 * rng->NextDouble());
+        cursor = end;
+      }
+    }
+    rel.SortFactTime();
+    return rel;
+  };
+  TpRelation r = generate("r", spec.max_interval_length_r);
+  TpRelation s = generate("s", spec.max_interval_length_s);
   return {std::move(r), std::move(s)};
 }
 

@@ -65,6 +65,33 @@ std::pair<TpRelation, TpRelation> GenerateSyntheticPair(
 /// preset is chosen). num_tuples/num_facts are left at their defaults.
 SyntheticPairSpec TableIIIPreset(double nominal_overlapping_factor);
 
+/// Parameters of a fact-skewed (r, s) pair — the workloads the fact-range
+/// partitioner cannot balance (a heavy fact is never cut at fact
+/// granularity) and the morsel scheduler exists for. Exactly one of
+/// `zipf_s` / `hot_fact_share` should be set.
+struct SkewedPairSpec {
+  std::size_t num_tuples = 1000;  ///< per relation
+  std::size_t num_facts = 16;
+  /// > 0: fact f gets weight 1/(f+1)^zipf_s (zipf over fact ranks).
+  double zipf_s = 0.0;
+  /// > 0: fact 0 carries this share of the tuples; the rest spread evenly.
+  double hot_fact_share = 0.0;
+  TimePoint max_interval_length_r = 3;
+  TimePoint max_interval_length_s = 9;
+  TimePoint max_time_distance = 3;
+};
+
+/// Per-fact tuple counts for `spec` (each fact gets at least one tuple);
+/// exposed so benchmarks can report the realized skew.
+std::vector<std::size_t> SkewedFactCounts(const SkewedPairSpec& spec);
+
+/// Generates the skewed pair in one shared context: per-fact chains of
+/// non-overlapping intervals on both sides (all chains of a fact start near
+/// time 0, so the r and s chains of a fact overlap), duplicate-free and
+/// sorted by (fact, start). Deterministic given the rng state.
+std::pair<TpRelation, TpRelation> GenerateSkewedPair(
+    std::shared_ptr<TpContext> ctx, const SkewedPairSpec& spec, Rng* rng);
+
 }  // namespace tpset
 
 #endif  // TPSET_DATAGEN_SYNTHETIC_H_

@@ -251,6 +251,11 @@ void ContinuousQuery::DescribeNode(int index, int depth, std::set<int>* visited,
   if (st.tuples_retired > 0) {
     *out += ", tuples_retired=" + std::to_string(st.tuples_retired);
   }
+  if (st.morsels_run > 0) {
+    // Parallel staged delta applies ran on the morsel scheduler.
+    *out += ", morsels=" + std::to_string(st.morsels_run) +
+            ", stolen=" + std::to_string(st.morsels_stolen);
+  }
   *out += "]\n";
   DescribeNode(n.left, depth + 1, visited, out);
   DescribeNode(n.right, depth + 1, visited, out);

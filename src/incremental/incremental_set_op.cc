@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
-#include <future>
 #include <limits>
 #include <tuple>
 #include <utility>
 
 #include "parallel/partition.h"
+#include "parallel/scheduler.h"
 
 namespace tpset {
 
@@ -247,9 +247,14 @@ DeltaMap IncrementalSetOp::Apply(const DeltaMap& left, const DeltaMap& right,
 
   // Parallel staged apply: fact ranges balanced by per-fact sweep cost (the
   // resweep worst case: stored inputs + delta), one StagingArena per range,
-  // spliced in fact order afterwards. Every lineage id a staged cell can
-  // reference was interned before this epoch's apply began, so the frozen
-  // snapshot is simply the arena size.
+  // spliced in fact order. The ranges run as morsels on the work-stealing
+  // batch (a hot fact's range no longer pins one worker while the others
+  // idle — an idle worker steals the remaining ranges), and each range is
+  // spliced as soon as it and its predecessors finish, overlapping the
+  // remaining sweeps. Every lineage id a staged cell can reference was
+  // interned before this epoch's apply began, so the frozen snapshot is
+  // simply the arena size — and splicing range i while range i+1 is still
+  // staging is safe, because staging arenas never read the base arena.
   std::vector<std::size_t> weights;
   weights.reserve(touched.size());
   for (FactId f : touched) {
@@ -268,27 +273,28 @@ DeltaMap IncrementalSetOp::Apply(const DeltaMap& left, const DeltaMap& right,
   const bool hash_consing = mgr.hash_consing();
 
   struct GroupResult {
-    StagingArena arena;
+    StagingArena arena{2, false};
     std::vector<std::pair<FactId, FactApplyResult>> facts;
   };
-  std::vector<std::future<GroupResult>> futures;
-  futures.reserve(groups.size());
-  for (const WeightRange& g : groups) {
-    futures.push_back(pool->Submit([this, g, &touched, &left, &right, frozen,
-                                    hash_consing, &side_of]() {
-      GroupResult gr{StagingArena(frozen, hash_consing), {}};
-      gr.facts.reserve(g.end - g.begin);
-      for (std::size_t i = g.begin; i < g.end; ++i) {
-        FactId f = touched[i];
-        gr.facts.emplace_back(
-            f, ApplyFact(f, side_of(left, f), side_of(right, f), gr.arena));
-      }
-      return gr;
-    }));
-  }
+  std::vector<GroupResult> group_results(groups.size());
+  MorselBatch batch(
+      pool, groups.size(),
+      [this, &groups, &group_results, &touched, &left, &right, frozen,
+       hash_consing, &side_of](std::size_t gi) {
+        const WeightRange& g = groups[gi];
+        GroupResult gr{StagingArena(frozen, hash_consing), {}};
+        gr.facts.reserve(g.end - g.begin);
+        for (std::size_t i = g.begin; i < g.end; ++i) {
+          FactId f = touched[i];
+          gr.facts.emplace_back(
+              f, ApplyFact(f, side_of(left, f), side_of(right, f), gr.arena));
+        }
+        group_results[gi] = std::move(gr);
+      });
   std::vector<LineageId> remap;
-  for (std::future<GroupResult>& fut : futures) {
-    GroupResult gr = fut.get();
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    batch.WaitMorsel(gi);
+    GroupResult& gr = group_results[gi];
     mgr.SpliceStaged(gr.arena, &remap);
     for (auto& [fact, res] : gr.facts) {
       RemapFact(fact, res.out_new_begin, frozen, remap, &res.delta);
@@ -296,6 +302,8 @@ DeltaMap IncrementalSetOp::Apply(const DeltaMap& left, const DeltaMap& right,
       if (!res.delta.empty()) out.emplace(fact, std::move(res.delta));
     }
   }
+  stats_.morsels_run += batch.morsels_run();
+  stats_.morsels_stolen += batch.morsels_stolen();
   return out;
 }
 

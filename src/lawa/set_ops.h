@@ -27,6 +27,18 @@ struct LawaStats {
   /// (emitted in order) take the zero-sort fast path.
   std::size_t sort_skipped = 0;
 
+  // Morsel-scheduler counters (src/parallel/scheduler.h; cumulative for
+  // continuous-query operators). Sequential runs leave them zero.
+  /// Morsels executed by the work-stealing batch (= plan size; the legacy
+  /// static mode counts its partitions here).
+  std::size_t morsels_run = 0;
+  /// Morsels a worker took from another worker's deque. The one
+  /// scheduling-dependent counter — everything else is deterministic.
+  std::size_t morsels_stolen = 0;
+  /// Facts heavier than the morsel budget that were split at clean time
+  /// boundaries into sub-morsels.
+  std::size_t facts_split = 0;
+
   // Continuous-query maintenance counters (src/incremental/, cumulative per
   // operator node). One-shot runs leave them zero.
   /// Facts whose sweep continued from the persisted AdvancerCheckpoint (the

@@ -81,6 +81,9 @@ void LineageManager::SpliceStaged(const StagingArena& staged,
   // it), bounded by the cross-partition sharing rate, and accepted as the
   // memory cost of an O(cells) mostly-memcpy merge.
   const LineageId base = static_cast<LineageId>(nodes_.size());
+  // No reserve here: an exact-size reserve per splice would defeat the
+  // vector's geometric growth — with many small morsel splices that turns
+  // into a full arena copy per splice, O(nodes · splices).
   auto resolve = [&](LineageId id) -> LineageId {
     if (id == kNullLineage || id < frozen) return id;
     return id - frozen + base;

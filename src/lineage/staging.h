@@ -15,7 +15,15 @@
 // Safety: staging runs on pool threads while *other* query subtrees may be
 // appending to the shared arena (their sequencer turn). A StagingArena
 // therefore never reads base-arena nodes — it only compares ids against the
-// frozen snapshot size and the constant ids. Consequence: the ¬¬-fold of
+// frozen snapshot size and the constant ids. The same property is what
+// makes the morsel scheduler's *overlapped* splices sound: SpliceStaged for
+// morsel i may append to the shared arena while morsels > i are still
+// staging on pool threads — those arenas reference only ids below their
+// common frozen snapshot, never the nodes the splice is appending. The
+// splice-readiness handoff is the scheduler's completion plane
+// (MorselBatch::WaitMorsel): a morsel's cells become splice-ready exactly
+// when its done flag flips under the batch mutex, which also publishes the
+// cell vector to the splicing thread. Consequence: the ¬¬-fold of
 // LineageManager::MakeNot is applied only when the operand is a staged cell
 // (whose node the arena owns); a base-id operand whose node happens to be a
 // negation is wrapped as ¬¬x instead of folding to x. This never arises

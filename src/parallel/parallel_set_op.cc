@@ -10,6 +10,7 @@
 #include "lawa/advancer.h"
 #include "lineage/staging.h"
 #include "parallel/partition.h"
+#include "parallel/scheduler.h"
 #include "relation/validate.h"
 
 namespace tpset {
@@ -74,9 +75,10 @@ void ApplyPartition(SetOpKind op, const PartitionSweep& sweep,
 
 // One partition's result under ApplyMode::kStaged: output tuples whose
 // lineage ids may be partition-local (>= arena.frozen_size()), resolved at
-// splice time.
+// splice time. Default-constructible so a morsel batch can pre-size its
+// result slots; workers move the real sweep in.
 struct StagedSweep {
-  StagingArena arena;
+  StagingArena arena{2, false};
   std::vector<TpTuple> tuples;
   std::size_t windows_produced = 0;
 };
@@ -193,12 +195,14 @@ void ParallelSortTuples(std::vector<TpTuple>* tuples, SortMode mode,
 ParallelSetOpAlgorithm::ParallelSetOpAlgorithm(std::size_t num_threads,
                                                SortMode sort_mode,
                                                std::size_t partitions_per_thread,
-                                               ApplyMode apply_mode)
+                                               ApplyMode apply_mode,
+                                               MorselOptions morsel)
     : num_threads_(num_threads),
       sort_mode_(sort_mode),
       partitions_per_thread_(
           partitions_per_thread == 0 ? 1 : partitions_per_thread),
-      apply_mode_(apply_mode) {}
+      apply_mode_(apply_mode),
+      morsel_(morsel) {}
 
 ParallelSetOpAlgorithm::~ParallelSetOpAlgorithm() = default;
 
@@ -292,12 +296,26 @@ TpRelation ParallelSetOpAlgorithm::ComputeSequenced(SetOpKind op,
   double sort_ms = MsSince(t0);
   t0 = Clock::now();
 
-  // Phase 2: cut at fact boundaries, oversubscribed for balance. Staged
-  // mode also fixes the frozen arena snapshot here: one linear scan for the
-  // largest input lineage id — every id the staged cells may reference —
-  // without touching the (possibly concurrently growing) arena itself.
+  // Phase 2: cut at fact boundaries, oversubscribed for balance, then
+  // refine into morsels — facts heavier than the morsel budget are split at
+  // clean time boundaries (scheduler.h), so a one-hot-fact input no longer
+  // pins a single worker. Staged mode also fixes the frozen arena snapshot
+  // here: one linear scan for the largest input lineage id — every id the
+  // staged cells may reference — without touching the (possibly
+  // concurrently growing) arena itself.
   const std::vector<FactPartition> parts = PartitionByFactRange(
       rdata, rn, sdata, sn, num_threads_ * partitions_per_thread_);
+  MorselPlan plan;
+  if (morsel_.enabled) {
+    std::size_t budget = morsel_.morsel_size;
+    if (budget == 0) {
+      budget = MorselAutoBudget(rn + sn, num_threads_, partitions_per_thread_);
+    }
+    plan = BuildMorsels(rdata, sdata, parts, budget);
+  } else {
+    plan.morsels = parts;
+  }
+  const std::size_t n_morsels = plan.morsels.size();
   const bool staged = apply_mode_ == ApplyMode::kStaged;
   LineageId frozen = 2;  // constants stay below the snapshot
   if (staged) {
@@ -317,87 +335,114 @@ TpRelation ParallelSetOpAlgorithm::ComputeSequenced(SetOpKind op,
   double split_ms = MsSince(t0);
   t0 = Clock::now();
 
-  // Phase 3: sweep partitions concurrently. Collection order = fact order.
-  // In staged mode the sweeps also intern their concatenations thread-
-  // locally and build partition-local output tuples.
-  std::vector<std::future<PartitionSweep>> sweeps;
-  std::vector<std::future<StagedSweep>> staged_sweeps;
-  if (staged) {
-    staged_sweeps.reserve(parts.size());
-    for (const FactPartition& part : parts) {
-      staged_sweeps.push_back(
-          p->Submit([op, rdata, sdata, part, frozen, hash_consing]() {
-            return SweepPartitionStaged(
-                op, rdata + part.r_begin, part.r_end - part.r_begin,
-                sdata + part.s_begin, part.s_end - part.s_begin, frozen,
-                hash_consing);
-          }));
-    }
-  } else {
-    sweeps.reserve(parts.size());
-    for (const FactPartition& part : parts) {
-      sweeps.push_back(p->Submit([op, rdata, sdata, part]() {
-        return SweepPartition(op, rdata + part.r_begin,
-                              part.r_end - part.r_begin, sdata + part.s_begin,
-                              part.s_end - part.s_begin);
-      }));
-    }
-  }
+  // Phase 3: sweep morsels on the work-stealing batch; each result lands in
+  // its own slot, so the apply below can consume them strictly in morsel
+  // index order regardless of which worker ran what. In staged mode the
+  // sweeps also intern their concatenations thread-locally and build
+  // morsel-local output tuples.
   std::vector<PartitionSweep> results;
   std::vector<StagedSweep> staged_results;
-  results.reserve(sweeps.size());
-  staged_results.reserve(staged_sweeps.size());
-  for (std::future<PartitionSweep>& f : sweeps) results.push_back(f.get());
-  for (std::future<StagedSweep>& f : staged_sweeps) {
-    staged_results.push_back(f.get());
+  std::function<void(std::size_t)> body;
+  if (staged) {
+    staged_results.resize(n_morsels);
+    body = [op, rdata, sdata, frozen, hash_consing, &plan,
+            &staged_results](std::size_t i) {
+      const FactPartition& part = plan.morsels[i];
+      staged_results[i] = SweepPartitionStaged(
+          op, rdata + part.r_begin, part.r_end - part.r_begin,
+          sdata + part.s_begin, part.s_end - part.s_begin, frozen,
+          hash_consing);
+    };
+  } else {
+    results.resize(n_morsels);
+    body = [op, rdata, sdata, &plan, &results](std::size_t i) {
+      const FactPartition& part = plan.morsels[i];
+      results[i] = SweepPartition(op, rdata + part.r_begin,
+                                  part.r_end - part.r_begin,
+                                  sdata + part.s_begin,
+                                  part.s_end - part.s_begin);
+    };
   }
-  double advance_ms = MsSince(t0);
+  // Stealing applies in both scheduler modes: in the legacy static model it
+  // is what the old shared FIFO pool queue provided (any idle worker takes
+  // the next pending partition), so the static baseline stays faithful.
+  MorselBatch batch(p, n_morsels, std::move(body), morsel_.steal);
 
   // Phase 4: the sequential arena-mutating tail, gated when subtrees race.
   // kBitIdentical replays every deferred concatenation; kStaged only
-  // splices pre-interned cells and bulk-appends tuples.
-  turn.Wait();
-  t0 = Clock::now();
+  // splices pre-interned cells and bulk-appends tuples. With morsel
+  // scheduling the apply overlaps the sweeps: morsel i is applied as soon
+  // as morsels <= i finished, while later morsels are still advancing —
+  // apply order (and therefore the output) is unchanged, only the barrier
+  // is gone. The legacy static mode keeps the barrier for A/B benchmarks.
   LineageManager& mgr = r.context()->lineage();
   std::size_t total_windows = 0;
-  std::size_t total_out = 0;
-  if (staged) {
-    for (const StagedSweep& sweep : staged_results) {
+  std::vector<LineageId> remap;
+  auto apply_morsel = [&](std::size_t i) {
+    if (staged) {
+      const StagedSweep& sweep = staged_results[i];
       total_windows += sweep.windows_produced;
-      total_out += sweep.tuples.size();
-    }
-    std::vector<TpTuple>& out_tuples = out.mutable_tuples();
-    out_tuples.reserve(total_out);
-    std::vector<LineageId> remap;
-    for (const StagedSweep& sweep : staged_results) {
       mgr.SpliceStaged(sweep.arena, &remap);
+      std::vector<TpTuple>& out_tuples = out.mutable_tuples();
       const std::size_t base = out_tuples.size();
       out_tuples.insert(out_tuples.end(), sweep.tuples.begin(),
                         sweep.tuples.end());
-      for (std::size_t i = base; i < out_tuples.size(); ++i) {
-        LineageId& lin = out_tuples[i].lineage;
+      for (std::size_t j = base; j < out_tuples.size(); ++j) {
+        LineageId& lin = out_tuples[j].lineage;
         if (lin >= frozen) lin = remap[lin - frozen];
       }
-    }
-  } else {
-    for (const PartitionSweep& sweep : results) {
+    } else {
+      const PartitionSweep& sweep = results[i];
       total_windows += sweep.windows_produced;
-      total_out += sweep.windows.size();
-    }
-    out.mutable_tuples().reserve(total_out);
-    for (const PartitionSweep& sweep : results) {
       ApplyPartition(op, sweep, mgr, &out);
     }
+  };
+
+  double advance_ms, apply_ms;
+  if (!morsel_.enabled) {
+    batch.WaitAll();
+    advance_ms = MsSince(t0);
+    turn.Wait();
+    t0 = Clock::now();
+    // All sizes are known after the barrier: one exact reserve keeps vector
+    // growth out of the sequencer critical section. (The overlapped path
+    // below cannot know the total up front; its growth copies run on the
+    // caller thread while sweeps are still advancing, so they overlap too.)
+    std::size_t total_out = 0;
+    if (staged) {
+      for (const StagedSweep& sweep : staged_results) total_out += sweep.tuples.size();
+    } else {
+      for (const PartitionSweep& sweep : results) total_out += sweep.windows.size();
+    }
+    out.mutable_tuples().reserve(total_out);
+    for (std::size_t i = 0; i < n_morsels; ++i) apply_morsel(i);
+    apply_ms = MsSince(t0);
+  } else {
+    turn.Wait();
+    double apply_work_ms = 0.0;
+    for (std::size_t i = 0; i < n_morsels; ++i) {
+      batch.WaitMorsel(i);
+      Clock::time_point a0 = Clock::now();
+      apply_morsel(i);
+      apply_work_ms += MsSince(a0);
+    }
+    // Overlapped phases: report the splice work as apply and the rest of
+    // the combined span (sweeps + waits) as advance, so the sum still
+    // approximates the phase-3+4 wall time.
+    apply_ms = apply_work_ms;
+    advance_ms = MsSince(t0) - apply_work_ms;
   }
   // Windows come out in fact order with increasing starts per fact.
   out.MarkSortedUnchecked();
-  double apply_ms = MsSince(t0);
   turn.Release();
 
   if (stats != nullptr) {
     stats->windows_produced = total_windows;
     stats->output_tuples = out.size();
     stats->sort_skipped = sort_skipped;
+    stats->morsels_run = batch.morsels_run();
+    stats->morsels_stolen = batch.morsels_stolen();
+    stats->facts_split = plan.facts_split;
   }
   if (timings != nullptr) {
     timings->sort_ms = sort_ms;

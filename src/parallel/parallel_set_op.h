@@ -6,12 +6,21 @@
 //                carrying the sortedness witness (TpRelation::known_sorted —
 //                catalog relations, set-op outputs) is swept in place with
 //                no copy and no sort at all (the zero-sort fast path);
-//   2. split   — PartitionByFactRange cuts both inputs at fact boundaries;
-//   3. advance — each partition is swept by the sequential advancer on the
-//                pool; what happens to the surviving windows depends on the
-//                apply mode (below);
+//   2. split   — PartitionByFactRange cuts both inputs at fact boundaries,
+//                then BuildMorsels refines the plan into ~morsel_size
+//                chunks, time-splitting facts heavier than the budget at
+//                clean time boundaries (see parallel/scheduler.h);
+//   3. advance — morsels are swept by the sequential advancer on a
+//                MorselBatch (per-worker deques + work stealing); what
+//                happens to the surviving windows depends on the apply mode
+//                (below);
 //   4. apply   — the sequential, arena-mutating tail, gated by the
-//                ApplySequencer when query subtrees race.
+//                ApplySequencer when query subtrees race. With morsel
+//                scheduling enabled the apply overlaps phase 3: morsel i is
+//                applied as soon as morsels <= i finished sweeping, while
+//                later morsels are still advancing — apply *order* (the
+//                determinism invariant) is preserved, barrier completion is
+//                not required.
 //
 // Two apply modes trade strictness of the equivalence guarantee for the
 // size of the sequential term:
@@ -44,6 +53,7 @@
 #include "baselines/algorithm.h"
 #include "common/setop.h"
 #include "lawa/set_ops.h"
+#include "parallel/scheduler.h"
 #include "parallel/sequencer.h"
 #include "parallel/thread_pool.h"
 #include "relation/relation.h"
@@ -60,6 +70,10 @@ enum class ApplyMode {
 /// `advance_ms` includes staged-mode lineage staging (it runs inside the
 /// partition sweeps); `apply_ms` is the sequential arena-mutating tail —
 /// the sequencer critical section under concurrent subtree evaluation.
+/// With morsel scheduling enabled, apply overlaps the sweeps: `apply_ms`
+/// is then the time actually spent splicing/replaying and `advance_ms` the
+/// rest of the overlapped span (so the sum still approximates the combined
+/// wall time of phases 3+4).
 struct PhaseTimings {
   double sort_ms = 0.0;
   double split_ms = 0.0;
@@ -77,11 +91,14 @@ class ParallelSetOpAlgorithm final : public SetOpAlgorithm {
   /// created; `apply_mode` is then irrelevant — the sequential algorithm is
   /// bit-identical by definition). `partitions_per_thread` oversubscribes
   /// the split so stragglers even out; the pool itself is created lazily on
-  /// first use.
+  /// first use. `morsel` configures the work-stealing refinement of the
+  /// partition plan (scheduler.h); MorselOptions{.enabled = false} restores
+  /// the legacy one-task-per-partition model with a barrier before apply.
   explicit ParallelSetOpAlgorithm(std::size_t num_threads,
                                   SortMode sort_mode = SortMode::kComparison,
                                   std::size_t partitions_per_thread = 4,
-                                  ApplyMode apply_mode = ApplyMode::kBitIdentical);
+                                  ApplyMode apply_mode = ApplyMode::kBitIdentical,
+                                  MorselOptions morsel = {});
   ~ParallelSetOpAlgorithm() override;
 
   std::string name() const override { return "LAWA-P"; }
@@ -114,6 +131,7 @@ class ParallelSetOpAlgorithm final : public SetOpAlgorithm {
 
   std::size_t num_threads() const { return num_threads_; }
   ApplyMode apply_mode() const { return apply_mode_; }
+  const MorselOptions& morsel_options() const { return morsel_; }
 
  private:
   ThreadPool* pool() const;
@@ -122,6 +140,7 @@ class ParallelSetOpAlgorithm final : public SetOpAlgorithm {
   SortMode sort_mode_;
   std::size_t partitions_per_thread_;
   ApplyMode apply_mode_;
+  MorselOptions morsel_;
   mutable std::once_flag pool_once_;
   mutable std::unique_ptr<ThreadPool> pool_;
 };

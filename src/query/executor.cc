@@ -198,16 +198,28 @@ Result<TpRelation> QueryExecutor::Execute(const QueryNode& query,
 }
 
 const ParallelSetOpAlgorithm* QueryExecutor::ParallelAlgoFor(
-    std::size_t num_threads, ApplyMode apply_mode) const {
+    const ExecOptions& options) const {
   std::lock_guard<std::mutex> lock(parallel_mu_);
-  std::unique_ptr<ParallelSetOpAlgorithm>& slot =
-      parallel_algos_[{num_threads, apply_mode}];
+  std::unique_ptr<ParallelSetOpAlgorithm>& slot = parallel_algos_[{
+      options.num_threads, options.apply_mode, options.morsel_size,
+      options.steal}];
   if (slot == nullptr) {
+    MorselOptions morsel;
+    morsel.morsel_size = options.morsel_size;
+    morsel.steal = options.steal;
     slot = std::make_unique<ParallelSetOpAlgorithm>(
-        num_threads, SortMode::kComparison, /*partitions_per_thread=*/4,
-        apply_mode);
+        options.num_threads, SortMode::kComparison,
+        /*partitions_per_thread=*/4, options.apply_mode, morsel);
   }
   return slot.get();
+}
+
+const ParallelSetOpAlgorithm* QueryExecutor::ParallelAlgoFor(
+    std::size_t num_threads, ApplyMode apply_mode) const {
+  ExecOptions options;
+  options.num_threads = num_threads;
+  options.apply_mode = apply_mode;
+  return ParallelAlgoFor(options);
 }
 
 namespace {
@@ -237,7 +249,7 @@ Result<TpRelation> QueryExecutor::ExecuteConcurrent(
   // below), since only the partitioned algorithm can defer arena writes.
   const auto* parallel = dynamic_cast<const ParallelSetOpAlgorithm*>(algorithm);
   if (parallel == nullptr && algorithm->name() == "LAWA") {
-    parallel = ParallelAlgoFor(options.num_threads, options.apply_mode);
+    parallel = ParallelAlgoFor(options);
     algorithm = parallel;
   }
   TPSET_RETURN_NOT_OK(CheckSupported(query, *algorithm));

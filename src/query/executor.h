@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <tuple>
 #include <utility>
 
 #include "baselines/algorithm.h"
@@ -41,6 +42,18 @@ struct ExecOptions {
   /// probability-equal lineage but possibly different node ids (see
   /// DESIGN.md, "Staged apply").
   ApplyMode apply_mode = ApplyMode::kBitIdentical;
+
+  /// Combined (r + s) tuple budget per morsel for the work-stealing
+  /// scheduler (parallel/scheduler.h); 0 picks an automatic size. Only
+  /// meaningful with num_threads > 1. Results are unaffected — morsel
+  /// granularity changes scheduling, not output.
+  std::size_t morsel_size = 0;
+
+  /// Work stealing between the scheduler's per-worker deques. Off, each
+  /// worker drains only its round-robin share of the morsels (a skewed
+  /// input then pins a worker again — the knob exists to isolate the
+  /// stealing effect).
+  bool steal = true;
 };
 
 /// Evaluates TP set queries bottom-up with a pluggable set-operation
@@ -140,12 +153,13 @@ class QueryExecutor {
 
   const std::shared_ptr<TpContext>& context() const { return ctx_; }
 
-  /// The executor-owned parallel algorithm for a (thread count, apply mode)
-  /// config: lazily built, cached for the executor's lifetime (a handful of
-  /// distinct configs in practice; each retains its pool threads once first
-  /// used). Exposed so tools that execute plans themselves — EXPLAIN's
-  /// per-node phase timing — reuse the warm pools instead of paying thread
-  /// startup inside their measurements.
+  /// The executor-owned parallel algorithm for a (thread count, apply mode,
+  /// morsel config) combination: lazily built, cached for the executor's
+  /// lifetime (a handful of distinct configs in practice; each retains its
+  /// pool threads once first used). Exposed so tools that execute plans
+  /// themselves — EXPLAIN's per-node phase timing — reuse the warm pools
+  /// instead of paying thread startup inside their measurements.
+  const ParallelSetOpAlgorithm* ParallelAlgoFor(const ExecOptions& options) const;
   const ParallelSetOpAlgorithm* ParallelAlgoFor(std::size_t num_threads,
                                                 ApplyMode apply_mode) const;
 
@@ -174,7 +188,7 @@ class QueryExecutor {
   // (Append applies them one at a time, so at most one pool is ever busy).
   std::map<std::size_t, std::unique_ptr<ThreadPool>> continuous_pools_;
   mutable std::mutex parallel_mu_;
-  mutable std::map<std::pair<std::size_t, ApplyMode>,
+  mutable std::map<std::tuple<std::size_t, ApplyMode, std::size_t, bool>,
                    std::unique_ptr<ParallelSetOpAlgorithm>>
       parallel_algos_;
 };

@@ -50,11 +50,13 @@ Result<TpRelation> Explain(const QueryExecutor& exec, const QueryNode& q,
   *out << indent << SetOpName(q.op) << "  [out=" << result.size()
        << ", windows=" << stats.windows_produced << "/" << bound << "(bound)";
   if (parallel != nullptr) {
-    char phases[128];
+    char phases[192];
     std::snprintf(phases, sizeof(phases),
-                  ", sort=%.2fms split=%.2fms advance=%.2fms apply=%.2fms",
+                  ", sort=%.2fms split=%.2fms advance=%.2fms apply=%.2fms"
+                  ", morsels=%zu stolen=%zu facts_split=%zu",
                   timings.sort_ms, timings.split_ms, timings.advance_ms,
-                  timings.apply_ms);
+                  timings.apply_ms, stats.morsels_run, stats.morsels_stolen,
+                  stats.facts_split);
     *out << phases;
   }
   *out << "]\n";
@@ -69,8 +71,20 @@ Result<std::string> ExplainWith(const QueryExecutor& exec,
   if (parallel != nullptr) {
     out << "parallel: threads=" << parallel->num_threads() << " apply="
         << (parallel->apply_mode() == ApplyMode::kStaged ? "staged"
-                                                         : "bit-identical")
-        << "\n";
+                                                         : "bit-identical");
+    const MorselOptions& morsel = parallel->morsel_options();
+    if (morsel.enabled) {
+      out << " scheduler=morsel(size=";
+      if (morsel.morsel_size == 0) {
+        out << "auto";
+      } else {
+        out << morsel.morsel_size;
+      }
+      out << (morsel.steal ? ", steal" : ", no-steal") << ")";
+    } else {
+      out << " scheduler=static";
+    }
+    out << "\n";
   }
   Result<TpRelation> result = Explain(exec, query, 0, &out, parallel);
   if (!result.ok()) return result.status();
@@ -105,8 +119,7 @@ Result<std::string> ExplainQuery(const QueryExecutor& exec,
   // so no sequencer needed); each node runs the partitioned algorithm to
   // surface its true phase profile. The executor's cached instance keeps
   // pool-thread startup out of the first node's timings.
-  return ExplainWith(
-      exec, query, exec.ParallelAlgoFor(options.num_threads, options.apply_mode));
+  return ExplainWith(exec, query, exec.ParallelAlgoFor(options));
 }
 
 Result<std::string> ExplainQuery(const QueryExecutor& exec,

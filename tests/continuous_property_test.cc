@@ -26,6 +26,7 @@
 #include "incremental/continuous_query.h"
 #include "query/executor.h"
 #include "relation/relation.h"
+#include "tests/test_util.h"
 
 namespace tpset {
 namespace {
@@ -160,13 +161,13 @@ void RunSchedule(const ScheduleSpec& spec, std::size_t num_threads,
 }
 
 TEST(ContinuousPropertyTest, MixedScheduleSequential) {
-  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+  for (std::uint64_t seed : testing::PropertySeeds({1, 2, 3, 4, 5})) {
     RunSchedule(ScheduleSpec{}, 1, seed);
   }
 }
 
 TEST(ContinuousPropertyTest, MixedScheduleParallelStaged) {
-  for (std::uint64_t seed : {1u, 2u, 3u}) {
+  for (std::uint64_t seed : testing::PropertySeeds({1, 2, 3})) {
     RunSchedule(ScheduleSpec{}, 4, seed);
   }
 }
@@ -174,7 +175,7 @@ TEST(ContinuousPropertyTest, MixedScheduleParallelStaged) {
 TEST(ContinuousPropertyTest, InOrderContiguousChains) {
   ScheduleSpec spec;
   spec.max_gap = 0;  // contiguous chains: maximal overlap between relations
-  for (std::uint64_t seed : {11u, 12u, 13u}) {
+  for (std::uint64_t seed : testing::PropertySeeds({11, 12, 13})) {
     RunSchedule(spec, 1, seed);
   }
 }
@@ -182,7 +183,7 @@ TEST(ContinuousPropertyTest, InOrderContiguousChains) {
 TEST(ContinuousPropertyTest, FrontierStraddlingLaggedRelation) {
   ScheduleSpec spec;
   spec.lag_relation = 1;  // "s" lags: its appends reopen closed windows
-  for (std::uint64_t seed : {21u, 22u, 23u}) {
+  for (std::uint64_t seed : testing::PropertySeeds({21, 22, 23})) {
     RunSchedule(spec, 1, seed);
     RunSchedule(spec, 4, seed);
   }
@@ -192,7 +193,7 @@ TEST(ContinuousPropertyTest, SingleHotFactSkew) {
   ScheduleSpec spec;
   spec.hot_fact = true;
   spec.epochs = 60;
-  for (std::uint64_t seed : {31u, 32u}) {
+  for (std::uint64_t seed : testing::PropertySeeds({31, 32})) {
     RunSchedule(spec, 1, seed);
     RunSchedule(spec, 4, seed);
   }
@@ -203,7 +204,7 @@ TEST(ContinuousPropertyTest, LargeAlphabetManyFacts) {
   spec.num_facts = 40;
   spec.epochs = 30;
   spec.rows_per_epoch = 8;
-  for (std::uint64_t seed : {41u, 42u}) {
+  for (std::uint64_t seed : testing::PropertySeeds({41, 42})) {
     RunSchedule(spec, 4, seed);
   }
 }

@@ -175,13 +175,13 @@ void RunRetainedSchedule(std::size_t num_threads, std::uint64_t seed) {
 }
 
 TEST(RetentionPropertyTest, RandomScheduleSequential) {
-  for (std::uint64_t seed : {101u, 102u, 103u, 104u}) {
+  for (std::uint64_t seed : testing::PropertySeeds({101, 102, 103, 104})) {
     RunRetainedSchedule(1, seed);
   }
 }
 
 TEST(RetentionPropertyTest, RandomScheduleParallelStaged) {
-  for (std::uint64_t seed : {111u, 112u}) {
+  for (std::uint64_t seed : testing::PropertySeeds({111, 112})) {
     RunRetainedSchedule(4, seed);
   }
 }

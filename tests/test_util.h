@@ -2,6 +2,8 @@
 #ifndef TPSET_TESTS_TEST_UTIL_H_
 #define TPSET_TESTS_TEST_UTIL_H_
 
+#include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -9,6 +11,21 @@
 #include "relation/relation.h"
 
 namespace tpset::testing {
+
+/// Seeds a property test should iterate. Normally returns `defaults`; when
+/// the LAWA_TEST_SEED environment variable is set, returns just that seed —
+/// so a failure logged as "seed=N ..." reproduces with
+/// `LAWA_TEST_SEED=N ctest -R <test>`. Every caller must put the seed into
+/// a SCOPED_TRACE so failures print it.
+inline std::vector<std::uint64_t> PropertySeeds(
+    std::vector<std::uint64_t> defaults) {
+  if (const char* env = std::getenv("LAWA_TEST_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return {static_cast<std::uint64_t>(v)};
+  }
+  return defaults;
+}
 
 /// One base-tuple spec: fact value (single string attribute), variable name,
 /// interval and probability.
