@@ -43,6 +43,8 @@
 #include "lawa/advancer.h"
 #include "lawa/set_ops.h"
 #include "lineage/staging.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "parallel/parallel_set_op.h"
 #include "parallel/partition.h"
 #include "parallel/scheduler.h"
@@ -223,11 +225,16 @@ double Makespan(const std::vector<double>& durations, std::size_t workers) {
 int main(int argc, char** argv) {
   double scale = ScaleFactor(argc, argv);
   const char* json_path = "BENCH_parallel.json";
+  const char* metrics_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      metrics_path = argv[i] + 10;
     }
   }
 
@@ -246,6 +253,7 @@ int main(int argc, char** argv) {
   const int reps = 3;
 
   std::string json = "{\n  \"experiment\": \"parallel\",\n";
+  json += ProvenanceJson(/*threads=*/8);
   {
     char head[256];
     std::snprintf(head, sizeof(head),
@@ -347,12 +355,6 @@ int main(int argc, char** argv) {
   scenarios[1].spec.num_facts = 16;
   for (SkewScenario& sc : scenarios) sc.spec.num_tuples = n;
 
-  {
-    char head[64];
-    std::snprintf(head, sizeof(head), "  \"host_cpus\": %u,\n",
-                  std::thread::hardware_concurrency());
-    json += head;
-  }
   json += "  \"skew\": [\n";
   const int skew_reps = 2;
   bool first_skew = true;
@@ -471,6 +473,22 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "bench_parallel: cannot write %s\n", json_path);
     return 1;
+  }
+
+  // --metrics <path>: dump the process-wide registry as JSON lines after
+  // the run — the CI stage validates this export against the checked-in
+  // schema (scripts/metrics_schema.json).
+  if (metrics_path != nullptr) {
+    const std::string lines =
+        obs::JsonLines(obs::MetricsRegistry::Global().Scrape());
+    if (std::FILE* f = std::fopen(metrics_path, "w")) {
+      std::fputs(lines.c_str(), f);
+      std::fclose(f);
+      std::printf("# wrote %s\n", metrics_path);
+    } else {
+      std::fprintf(stderr, "bench_parallel: cannot write %s\n", metrics_path);
+      return 1;
+    }
   }
   return 0;
 }

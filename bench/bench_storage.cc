@@ -232,6 +232,7 @@ int main(int argc, char** argv) {
   PrintHeader("storage");
 
   std::string json = "{\n  \"experiment\": \"storage\",\n";
+  json += ProvenanceJson(/*threads=*/8);
   {
     char head[96];
     std::snprintf(head, sizeof(head), "  \"scale\": %.4g,\n  \"append\": [\n",

@@ -133,6 +133,7 @@ int main(int argc, char** argv) {
   const double fracs[] = {0.0001, 0.001, 0.01};
 
   std::string json = "{\n  \"experiment\": \"streaming\",\n";
+  json += ProvenanceJson(/*threads=*/8);
   {
     char head[128];
     std::snprintf(head, sizeof(head), "  \"scale\": %.4g,\n  \"points\": [\n",

@@ -13,10 +13,36 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <functional>
 #include <string>
+#include <thread>
 
 namespace tpset::bench {
+
+/// Provenance fragment stamped into every committed BENCH_*.json head: the
+/// host's CPU count, the widest worker-thread count the bench exercises,
+/// and the ISO-8601 UTC generation timestamp — enough to judge whether two
+/// committed runs are comparable. Returns `indent`-spaced lines ending in a
+/// trailing comma, ready to splice into an object body:
+///   "host_cpus": 2,
+///   "threads": 8,
+///   "generated_utc": "2026-08-08T12:34:56Z",
+inline std::string ProvenanceJson(std::size_t threads, int indent = 2) {
+  std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char ts[32];
+  std::strftime(ts, sizeof(ts), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "%s\"host_cpus\": %u,\n%s\"threads\": %zu,\n"
+                "%s\"generated_utc\": \"%s\",\n",
+                pad.c_str(), std::thread::hardware_concurrency(), pad.c_str(),
+                threads, pad.c_str(), ts);
+  return buf;
+}
 
 /// Dataset scale factor: TPSET_BENCH_SCALE env var, overridden to 1.0 by a
 /// --full argument. Default 0.1.

@@ -26,14 +26,23 @@
 //                                       retired, continuous queries rebase
 //   \compact <rel>                      fold pending append runs into the
 //                                       base level (applies the watermark)
+//   \metrics                            scrape the process-wide metrics
+//                                       registry (Prometheus text format)
+//   \profile [on|off]                   show or toggle profiling: when on,
+//                                       every query and \append also prints
+//                                       its trace-span tree (wall/CPU per
+//                                       phase, LAWA counters)
 //   \quit                               exit
-// (.cmd spellings of every command are accepted too.)
+// (.cmd spellings of every command are accepted too; \help lists them.)
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "lineage/eval.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "query/analyzer.h"
 #include "query/executor.h"
 #include "query/explain.h"
@@ -114,6 +123,19 @@ Result<Fact> ParseFact(const Schema& schema, const std::string& text) {
   return Status::InvalidArgument("unknown attribute type");
 }
 
+constexpr const char* kHelp =
+    "  \\list                               relations and watches\n"
+    "  \\show <name>                        print a relation\n"
+    "  \\threads [N]                        show or set the thread count\n"
+    "  \\append <rel> <fact> <ts> <te> <p>  append one tuple (one epoch)\n"
+    "  \\watch <name> <query>               register a continuous query\n"
+    "  \\explain <name>                     continuous plan with counters\n"
+    "  \\retain <rel> <watermark>           advance retention, compact\n"
+    "  \\compact <rel>                      fold append runs into the base\n"
+    "  \\metrics                            scrape the metrics registry\n"
+    "  \\profile [on|off]                   print trace spans per query\n"
+    "  \\quit                               exit\n";
+
 void PrintDelta(const std::string& watch_name, const EpochDelta& d,
                 const TpContext& ctx) {
   std::cout << "[" << watch_name << "] epoch " << d.epoch << ": +"
@@ -136,6 +158,7 @@ int main(int argc, char** argv) {
   QueryExecutor exec(ctx);
   std::vector<std::string> names;
   std::size_t num_threads = 1;
+  bool profile_on = false;
 
   std::vector<std::string> rel_args;
   for (int i = 1; i < argc; ++i) {
@@ -235,6 +258,16 @@ int main(int argc, char** argv) {
               std::cout << "epoch " << *epoch << ": " << rel << " += "
                         << ToString(*fact) << " T=[" << ts << ',' << te
                         << ")\n";
+              if (profile_on) {
+                // Each watch that read <rel> just applied this epoch; its
+                // ContinuousQuery keeps the span tree of that propagation.
+                for (const auto& [wname, cq] : exec.continuous()) {
+                  if (cq->last_epoch() == *epoch) {
+                    std::cout << "[" << wname << "] epoch profile:\n"
+                              << cq->last_profile().Render();
+                  }
+                }
+              }
             }
           }
         }
@@ -300,6 +333,21 @@ int main(int argc, char** argv) {
                   << ", runs_merged=" << ss.runs_merged
                   << ", tuples_retired=" << ss.tuples_retired << '\n';
       }
+    } else if (line == "\\help" || line == "\\h") {
+      std::cout << kHelp;
+    } else if (line == "\\metrics") {
+      std::cout << obs::PrometheusText(obs::MetricsRegistry::Global().Scrape());
+    } else if (line == "\\profile" || line.rfind("\\profile ", 0) == 0) {
+      const std::string arg =
+          line.size() > 9 ? line.substr(9) : std::string();
+      if (arg == "on") {
+        profile_on = true;
+      } else if (arg == "off") {
+        profile_on = false;
+      } else if (!arg.empty()) {
+        std::cout << "usage: \\profile [on|off]\n";
+      }
+      std::cout << "profile: " << (profile_on ? "on" : "off") << '\n';
     } else if (line == "\\threads") {
       std::cout << "threads: " << num_threads << '\n';
     } else if (line.rfind("\\threads ", 0) == 0) {
@@ -325,6 +373,8 @@ int main(int argc, char** argv) {
       } else {
         ExecOptions options;
         options.num_threads = num_threads;
+        obs::QueryProfile profile("query");
+        if (profile_on) options.profile = &profile;
         Result<TpRelation> answer = exec.Execute(**parsed, options);
         if (!answer.ok()) {
           std::cout << answer.status().ToString() << '\n';
@@ -336,6 +386,7 @@ int main(int argc, char** argv) {
                                                  : ProbabilityMethod::kExact;
           answer->set_name(QueryToString(**parsed));
           PrintRelation(std::cout, *answer, opts);
+          if (profile_on) std::cout << profile.Render();
         }
       }
     }

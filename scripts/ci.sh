@@ -39,11 +39,22 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 # Bench smoke: ~2K tuples/relation, JSON into the build dir (the committed
 # BENCH_parallel.json is produced by a full-scale manual run, not by CI).
 TPSET_BENCH_SCALE=0.002 "$BUILD_DIR/bench/bench_parallel" \
-  --json "$BUILD_DIR/BENCH_parallel.json" > "$BUILD_DIR/bench_parallel.out"
+  --json "$BUILD_DIR/BENCH_parallel.json" \
+  --metrics "$BUILD_DIR/metrics.jsonl" > "$BUILD_DIR/bench_parallel.out"
 test -s "$BUILD_DIR/BENCH_parallel.json"
 grep -q '"operations"' "$BUILD_DIR/BENCH_parallel.json"
 grep -q '"skew"' "$BUILD_DIR/BENCH_parallel.json"
+grep -q '"host_cpus"' "$BUILD_DIR/BENCH_parallel.json"
 echo "bench_parallel smoke OK"
+
+# Metrics export validation: the registry scrape the bench just wrote must
+# match the checked-in schema — every required metric present with the right
+# type, counters non-negative, histogram bucket sums consistent. A malformed
+# export (dropped instrumentation, renamed metric, broken emitter) fails the
+# build here.
+python3 scripts/validate_metrics.py "$BUILD_DIR/metrics.jsonl" \
+  scripts/metrics_schema.json
+echo "metrics export OK"
 
 # Streaming smoke: tiny relations, verifies the incremental-vs-recompute
 # sweep and its BENCH_streaming.json emitter still run end to end (the

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Validates an obs JSON-lines metrics export against metrics_schema.json.
+
+Usage: validate_metrics.py <snapshot.jsonl> [schema.json]
+
+Checks (any failure exits non-zero with a message per violation):
+  * every line parses as a JSON object with string `name` and `type`;
+  * names match the schema's `name_pattern` (tpset_<subsystem>_<name>);
+  * every exported metric is declared in the schema (`required` or `known`)
+    with a matching type — an undeclared name means the schema and the code
+    drifted apart;
+  * every `required` metric is present — a missing one means instrumentation
+    was dropped from a subsystem bench_parallel exercises;
+  * counters have a non-negative integer `value` (gauges may be negative);
+  * histograms have integer `count`/`sum`, equally long `bounds`/`buckets`
+    arrays, a null (+Inf) last bound, strictly increasing finite bounds,
+    non-negative bucket counts, and sum(buckets) == count.
+
+Run by scripts/ci.sh after the bench smoke; stdlib only.
+"""
+
+import json
+import os
+import re
+import sys
+
+
+def fail(errors):
+    for e in errors:
+        print(f"validate_metrics: {e}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail(["usage: validate_metrics.py <snapshot.jsonl> [schema.json]"])
+    snapshot_path = sys.argv[1]
+    schema_path = (
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else os.path.join(os.path.dirname(__file__), "metrics_schema.json")
+    )
+
+    with open(schema_path) as f:
+        schema = json.load(f)
+    declared = dict(schema["required"])
+    declared.update(schema["known"])
+    name_re = re.compile(schema["name_pattern"])
+
+    errors = []
+    seen = {}
+    with open(snapshot_path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                m = json.loads(line)
+            except json.JSONDecodeError as e:
+                errors.append(f"line {lineno}: not valid JSON ({e})")
+                continue
+            name, kind = m.get("name"), m.get("type")
+            if not isinstance(name, str) or not isinstance(kind, str):
+                errors.append(f"line {lineno}: missing string name/type")
+                continue
+            if not name_re.match(name):
+                errors.append(f"{name}: does not match {schema['name_pattern']}")
+            if name in seen:
+                errors.append(f"{name}: exported twice (lines {seen[name]}, {lineno})")
+            seen[name] = lineno
+            if name not in declared:
+                errors.append(
+                    f"{name}: not declared in {os.path.basename(schema_path)} "
+                    "(add it, or fix the rename in the code)"
+                )
+            elif declared[name] != kind:
+                errors.append(
+                    f"{name}: type {kind!r}, schema says {declared[name]!r}"
+                )
+
+            if kind in ("counter", "gauge"):
+                value = m.get("value")
+                if not isinstance(value, int):
+                    errors.append(f"{name}: {kind} value {value!r} is not an int")
+                elif kind == "counter" and value < 0:
+                    errors.append(f"{name}: counter is negative ({value})")
+            elif kind == "histogram":
+                count, total = m.get("count"), m.get("sum")
+                bounds, buckets = m.get("bounds"), m.get("buckets")
+                if not isinstance(count, int) or count < 0:
+                    errors.append(f"{name}: bad histogram count {count!r}")
+                if not isinstance(total, int) or total < 0:
+                    errors.append(f"{name}: bad histogram sum {total!r}")
+                if not isinstance(bounds, list) or not isinstance(buckets, list):
+                    errors.append(f"{name}: bounds/buckets missing")
+                    continue
+                if len(bounds) != len(buckets) or not bounds:
+                    errors.append(
+                        f"{name}: {len(bounds)} bounds vs {len(buckets)} buckets"
+                    )
+                    continue
+                if bounds[-1] is not None:
+                    errors.append(f"{name}: last bound must be null (+Inf)")
+                finite = bounds[:-1]
+                if any(not isinstance(b, int) for b in finite) or any(
+                    a >= b for a, b in zip(finite, finite[1:])
+                ):
+                    errors.append(f"{name}: bounds not strictly increasing ints")
+                if any(not isinstance(b, int) or b < 0 for b in buckets):
+                    errors.append(f"{name}: negative or non-int bucket count")
+                elif isinstance(count, int) and sum(buckets) != count:
+                    errors.append(
+                        f"{name}: sum(buckets)={sum(buckets)} != count={count}"
+                    )
+            else:
+                errors.append(f"{name}: unknown metric type {kind!r}")
+
+    for name in schema["required"]:
+        if name not in seen:
+            errors.append(f"{name}: required metric missing from export")
+
+    if errors:
+        fail(errors)
+    print(f"validate_metrics: OK ({len(seen)} metrics)")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <utility>
 
 #include "common/setop.h"
+#include "obs/metrics.h"
 
 namespace tpset {
 
@@ -16,6 +18,60 @@ QueryPtr CloneQuery(const QueryNode& q) {
     return QueryNode::Relation(q.relation_name);
   }
   return QueryNode::SetOp(q.op, CloneQuery(*q.left), CloneQuery(*q.right));
+}
+
+// Incremental-maintenance metrics, process-wide across continuous queries.
+obs::Histogram& EpochLatencyHistogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "tpset_incr_epoch_usec",
+      "wall microseconds per epoch delta propagation (ApplyAppend)");
+  return h;
+}
+
+obs::Counter& EpochsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tpset_incr_epochs_total",
+      "append epochs propagated through continuous-query DAGs");
+  return c;
+}
+
+obs::Counter& FactsResumedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tpset_incr_facts_resumed_total",
+      "fact sweeps resumed from a persisted checkpoint");
+  return c;
+}
+
+obs::Counter& FactsResweptCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tpset_incr_facts_reswept_total",
+      "fact sweeps restarted from scratch (frontier straddled / retraction)");
+  return c;
+}
+
+obs::Counter& RetractionsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tpset_incr_retractions_total",
+      "tuples retracted from continuous-query root deltas");
+  return c;
+}
+
+// Per-epoch delta of the cumulative per-operator counters.
+LawaStats DiffStats(const LawaStats& after, const LawaStats& before) {
+  LawaStats d;
+  d.windows_produced = after.windows_produced - before.windows_produced;
+  d.output_tuples = after.output_tuples - before.output_tuples;
+  d.sort_skipped = after.sort_skipped - before.sort_skipped;
+  d.morsels_run = after.morsels_run - before.morsels_run;
+  d.morsels_stolen = after.morsels_stolen - before.morsels_stolen;
+  d.facts_split = after.facts_split - before.facts_split;
+  d.facts_resumed = after.facts_resumed - before.facts_resumed;
+  d.facts_reswept = after.facts_reswept - before.facts_reswept;
+  d.epochs_applied = after.epochs_applied - before.epochs_applied;
+  d.runs_merged = after.runs_merged - before.runs_merged;
+  d.tuples_retired = after.tuples_retired - before.tuples_retired;
+  d.tail_hits = after.tail_hits - before.tail_hits;
+  return d;
 }
 
 }  // namespace
@@ -112,7 +168,8 @@ int ContinuousQuery::CompileNode(
 }
 
 TupleDelta ContinuousQuery::Propagate(
-    const std::map<std::string, const DeltaMap*>& leaf_deltas) {
+    const std::map<std::string, const DeltaMap*>& leaf_deltas,
+    obs::Span* span) {
   ThreadPool* pool = options_.num_threads > 1 ? pool_ : nullptr;
   const std::size_t max_groups =
       pool != nullptr ? options_.num_threads * options_.partitions_per_thread
@@ -130,7 +187,19 @@ TupleDelta ContinuousQuery::Propagate(
     } else {
       const DeltaMap& left = *node_deltas[static_cast<std::size_t>(n.left)];
       const DeltaMap& right = *node_deltas[static_cast<std::size_t>(n.right)];
-      owned[i] = n.state->Apply(left, right, ctx_->lineage(), pool, max_groups);
+      obs::Span* child =
+          span == nullptr ? nullptr : span->AddChild(SetOpName(n.op));
+      const LawaStats before =
+          child == nullptr ? LawaStats{} : n.state->stats();
+      {
+        obs::SpanTimer timer(child);
+        owned[i] =
+            n.state->Apply(left, right, ctx_->lineage(), pool, max_groups);
+      }
+      if (child != nullptr) {
+        child->AttachStats(DiffStats(n.state->stats(), before));
+        child->SetAttr("facts", owned[i].size());
+      }
       node_deltas[i] = &owned[i];
     }
   }
@@ -154,7 +223,33 @@ void ContinuousQuery::ApplyAppend(EpochId epoch,
   leaf_deltas.emplace(relation_name, &delta);
   EpochDelta ed;
   ed.epoch = epoch;
-  ed.delta = Propagate(leaf_deltas);
+  const auto t0 = std::chrono::steady_clock::now();
+  profile_.Reset("epoch");
+  obs::Span& root = profile_.root();
+  {
+    obs::SpanTimer timer(&root);
+    ed.delta = Propagate(leaf_deltas, &root);
+  }
+  root.SetAttr("epoch", static_cast<std::size_t>(epoch));
+  root.SetAttr("relation", relation_name);
+  root.SetAttr("inserted", ed.delta.inserted.size());
+  root.SetAttr("retracted", ed.delta.retracted.size());
+  EpochLatencyHistogram().Observe(obs::ElapsedUsec(t0));
+  EpochsCounter().Increment();
+  if (!ed.delta.retracted.empty()) {
+    RetractionsCounter().Increment(ed.delta.retracted.size());
+  }
+  // The per-epoch resumed/reswept deltas are already on the child spans;
+  // fold them into the process-wide counters from there.
+  for (const auto& child : root.children) {
+    if (!child->has_stats) continue;
+    if (child->stats.facts_resumed > 0) {
+      FactsResumedCounter().Increment(child->stats.facts_resumed);
+    }
+    if (child->stats.facts_reswept > 0) {
+      FactsResweptCounter().Increment(child->stats.facts_reswept);
+    }
+  }
   last_epoch_ = epoch;
   // Snapshot the list: a callback may (un)subscribe on this query, which
   // would otherwise mutate the vector mid-iteration.

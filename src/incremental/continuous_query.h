@@ -26,6 +26,7 @@
 #include "common/status.h"
 #include "incremental/delta.h"
 #include "incremental/incremental_set_op.h"
+#include "obs/profile.h"
 #include "parallel/thread_pool.h"
 #include "query/ast.h"
 #include "relation/relation.h"
@@ -120,6 +121,12 @@ class ContinuousQuery {
   /// cumulative advancer windows) — the continuous-plan EXPLAIN body.
   std::string Describe() const;
 
+  /// Span tree of the most recent ApplyAppend epoch: root "epoch" (attrs
+  /// epoch/relation/inserted/retracted) with one child per interior operator
+  /// apply, per-epoch LawaStats deltas attached. Before the first epoch it
+  /// holds only the (untimed) root.
+  const obs::QueryProfile& last_profile() const { return profile_; }
+
  private:
   struct PlanNode {
     bool leaf = false;
@@ -139,7 +146,10 @@ class ContinuousQuery {
       std::map<std::string, int>* memo, Status* status);
 
   /// Propagates leaf deltas bottom-up; returns the root's output delta.
-  TupleDelta Propagate(const std::map<std::string, const DeltaMap*>& leaf_deltas);
+  /// When `span` is non-null, each interior apply records a child span with
+  /// its per-epoch LawaStats delta attached.
+  TupleDelta Propagate(const std::map<std::string, const DeltaMap*>& leaf_deltas,
+                       obs::Span* span = nullptr);
 
   void DescribeNode(int index, int depth, std::set<int>* visited,
                     std::string* out) const;
@@ -156,6 +166,7 @@ class ContinuousQuery {
   std::vector<std::pair<SubscriptionId, Callback>> subscribers_;
   SubscriptionId next_subscription_ = 1;
   ThreadPool* pool_ = nullptr;  // shared, executor-owned; null = sequential
+  obs::QueryProfile profile_{"epoch"};  // last-epoch span tree (reused)
 };
 
 }  // namespace tpset

@@ -1,0 +1,35 @@
+// Exporters for metrics snapshots: Prometheus text exposition format and a
+// JSON-lines snapshot (one metric per line — the format scripts/ci.sh
+// validates against scripts/metrics_schema.json after the bench smoke).
+#ifndef TPSET_OBS_EXPORT_H_
+#define TPSET_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace tpset::obs {
+
+/// Prometheus text exposition format, version 0.0.4:
+///
+///   # HELP tpset_pool_tasks_total tasks executed by all thread pools
+///   # TYPE tpset_pool_tasks_total counter
+///   tpset_pool_tasks_total 42
+///
+/// Histograms emit the cumulative `_bucket{le="..."}` series (power-of-two
+/// bounds, see HistogramBucketBound) plus `_sum` and `_count`.
+std::string PrometheusText(const MetricsSnapshot& snapshot);
+
+/// JSON lines, one object per metric:
+///
+///   {"name":"tpset_pool_tasks_total","type":"counter","value":42}
+///   {"name":"...","type":"histogram","count":7,"sum":123,
+///    "bounds":[0,1,3,...],"buckets":[0,2,5,...]}
+///
+/// `buckets` are non-cumulative; their sum equals `count` (the consistency
+/// invariant the CI validator checks).
+std::string JsonLines(const MetricsSnapshot& snapshot);
+
+}  // namespace tpset::obs
+
+#endif  // TPSET_OBS_EXPORT_H_

@@ -1,0 +1,103 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace tpset::obs {
+
+namespace internal {
+std::atomic<bool> g_recording_enabled{true};
+}  // namespace internal
+
+const MetricSnapshot* MetricsSnapshot::Find(const std::string& name) const {
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: engine singletons (thread pools, executors in static
+  // storage) may record during their own static destruction.
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+template <typename M>
+M& MetricsRegistry::GetOrCreate(
+    std::map<std::string, std::pair<std::unique_ptr<M>, std::string>>* map,
+    const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, fresh] = map->try_emplace(name);
+  if (fresh) {
+    it->second.first = std::make_unique<M>();
+    it->second.second = help;
+  }
+  return *it->second.first;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  return GetOrCreate(&counters_, name, help);
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  return GetOrCreate(&gauges_, name, help);
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
+  return GetOrCreate(&histograms_, name, help);
+}
+
+MetricsSnapshot MetricsRegistry::Scrape() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.metrics.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, metric] : counters_) {
+    MetricSnapshot m;
+    m.name = name;
+    m.help = metric.second;
+    m.kind = MetricSnapshot::Kind::kCounter;
+    m.counter = metric.first->Value();
+    snap.metrics.push_back(std::move(m));
+  }
+  for (const auto& [name, metric] : gauges_) {
+    MetricSnapshot m;
+    m.name = name;
+    m.help = metric.second;
+    m.kind = MetricSnapshot::Kind::kGauge;
+    m.gauge = metric.first->Value();
+    snap.metrics.push_back(std::move(m));
+  }
+  for (const auto& [name, metric] : histograms_) {
+    MetricSnapshot m;
+    m.name = name;
+    m.help = metric.second;
+    m.kind = MetricSnapshot::Kind::kHistogram;
+    metric.first->Snapshot(&m.buckets, &m.hist_count, &m.hist_sum);
+    snap.metrics.push_back(std::move(m));
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void MetricsRegistry::set_enabled(bool enabled) {
+  internal::g_recording_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsRegistry::enabled() {
+  return internal::g_recording_enabled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ElapsedUsec(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace tpset::obs

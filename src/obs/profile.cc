@@ -1,0 +1,213 @@
+#include "obs/profile.h"
+
+#include <cstdio>
+
+#ifdef __linux__
+#include <time.h>
+#endif
+
+namespace tpset::obs {
+
+Span* Span::AddChild(std::string child_name) {
+  children.push_back(std::make_unique<Span>());
+  children.back()->name = std::move(child_name);
+  return children.back().get();
+}
+
+const Span* Span::FindChild(std::string_view child_name) const {
+  for (const std::unique_ptr<Span>& c : children) {
+    if (c->name == child_name) return c.get();
+  }
+  return nullptr;
+}
+
+std::string Span::Attr(std::string_view key) const {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+void Span::SetAttr(std::string key, std::string value) {
+  attrs.emplace_back(std::move(key), std::move(value));
+}
+
+void Span::SetAttr(std::string key, std::size_t value) {
+  attrs.emplace_back(std::move(key), std::to_string(value));
+}
+
+void Span::SetAttr(std::string key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  attrs.emplace_back(std::move(key), buf);
+}
+
+double ThreadCpuMs() {
+#ifdef __linux__
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) * 1e3 +
+         static_cast<double>(ts.tv_nsec) * 1e-6;
+#else
+  return 0.0;
+#endif
+}
+
+std::int64_t NowUnixUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+SpanTimer::SpanTimer(Span* span) : span_(span) {
+  if (span_ == nullptr) return;
+  wall0_ = std::chrono::steady_clock::now();
+  cpu0_ms_ = ThreadCpuMs();
+  span_->start_unix_us = NowUnixUs();
+}
+
+void SpanTimer::Stop() {
+  if (span_ == nullptr) return;
+  span_->wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall0_)
+                       .count();
+  span_->cpu_ms = ThreadCpuMs() - cpu0_ms_;
+  span_ = nullptr;
+}
+
+QueryProfile::QueryProfile(std::string root_name) {
+  root_ = std::make_unique<Span>();
+  root_->name = std::move(root_name);
+  root_->start_unix_us = NowUnixUs();
+}
+
+void QueryProfile::Reset(std::string root_name) {
+  root_ = std::make_unique<Span>();
+  root_->name = std::move(root_name);
+  root_->start_unix_us = NowUnixUs();
+}
+
+namespace {
+
+void AppendStats(const LawaStats& s, std::string* out) {
+  auto field = [out](const char* k, std::size_t v) {
+    if (v == 0) return;  // render only the counters this span touched
+    *out += ' ';
+    *out += k;
+    *out += '=';
+    *out += std::to_string(v);
+  };
+  field("windows", s.windows_produced);
+  field("out_tuples", s.output_tuples);
+  field("sort_skipped", s.sort_skipped);
+  field("morsels", s.morsels_run);
+  field("stolen", s.morsels_stolen);
+  field("facts_split", s.facts_split);
+  field("facts_resumed", s.facts_resumed);
+  field("facts_reswept", s.facts_reswept);
+  field("epochs_applied", s.epochs_applied);
+  field("runs_merged", s.runs_merged);
+  field("tuples_retired", s.tuples_retired);
+  field("tail_hits", s.tail_hits);
+}
+
+void RenderSpan(const Span& span, int depth, std::string* out) {
+  out->append(static_cast<std::size_t>(depth) * 2, ' ');
+  *out += span.name;
+  char times[64];
+  std::snprintf(times, sizeof(times), "  [wall=%.3fms cpu=%.3fms", span.wall_ms,
+                span.cpu_ms);
+  *out += times;
+  for (const auto& [k, v] : span.attrs) {
+    *out += ' ';
+    *out += k;
+    *out += '=';
+    *out += v;
+  }
+  if (span.has_stats) AppendStats(span.stats, out);
+  *out += "]\n";
+  for (const std::unique_ptr<Span>& c : span.children) {
+    RenderSpan(*c, depth + 1, out);
+  }
+}
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+void SpanJson(const Span& span, std::string* out) {
+  *out += "{\"name\":\"";
+  AppendJsonEscaped(span.name, out);
+  char times[128];
+  std::snprintf(times, sizeof(times),
+                "\",\"wall_ms\":%.3f,\"cpu_ms\":%.3f,\"start_unix_us\":%lld",
+                span.wall_ms, span.cpu_ms,
+                static_cast<long long>(span.start_unix_us));
+  *out += times;
+  if (!span.attrs.empty()) {
+    *out += ",\"attrs\":{";
+    bool first = true;
+    for (const auto& [k, v] : span.attrs) {
+      if (!first) *out += ',';
+      first = false;
+      *out += '"';
+      AppendJsonEscaped(k, out);
+      *out += "\":\"";
+      AppendJsonEscaped(v, out);
+      *out += '"';
+    }
+    *out += '}';
+  }
+  if (span.has_stats) {
+    char stats[256];
+    std::snprintf(stats, sizeof(stats),
+                  ",\"stats\":{\"windows\":%zu,\"out_tuples\":%zu,"
+                  "\"morsels\":%zu,\"stolen\":%zu,\"facts_split\":%zu,"
+                  "\"facts_resumed\":%zu,\"facts_reswept\":%zu}",
+                  span.stats.windows_produced, span.stats.output_tuples,
+                  span.stats.morsels_run, span.stats.morsels_stolen,
+                  span.stats.facts_split, span.stats.facts_resumed,
+                  span.stats.facts_reswept);
+    *out += stats;
+  }
+  if (!span.children.empty()) {
+    *out += ",\"children\":[";
+    for (std::size_t i = 0; i < span.children.size(); ++i) {
+      if (i > 0) *out += ',';
+      SpanJson(*span.children[i], out);
+    }
+    *out += ']';
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+std::string QueryProfile::Render() const {
+  std::string out;
+  RenderSpan(*root_, 0, &out);
+  return out;
+}
+
+std::string QueryProfile::ToJson() const {
+  std::string out;
+  SpanJson(*root_, &out);
+  out += '\n';
+  return out;
+}
+
+}  // namespace tpset::obs

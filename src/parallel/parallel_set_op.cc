@@ -112,6 +112,15 @@ StagedSweep SweepPartitionStaged(SetOpKind op, const TpTuple* r, std::size_t nr,
 
 }  // namespace
 
+PhaseTimings PhaseTimings::FromSpan(const obs::Span& span) {
+  PhaseTimings t;
+  if (const obs::Span* c = span.FindChild("sort")) t.sort_ms = c->wall_ms;
+  if (const obs::Span* c = span.FindChild("split")) t.split_ms = c->wall_ms;
+  if (const obs::Span* c = span.FindChild("advance")) t.advance_ms = c->wall_ms;
+  if (const obs::Span* c = span.FindChild("apply")) t.apply_ms = c->wall_ms;
+  return t;
+}
+
 void ParallelSortBatch(std::vector<TpTuple>* const* arrays, std::size_t count,
                        SortMode mode, ThreadPool* pool) {
   const std::size_t chunks = pool == nullptr ? 1 : pool->size();
@@ -223,8 +232,13 @@ TpRelation ParallelSetOpAlgorithm::ComputeTimed(SetOpKind op,
                                                 const TpRelation& s,
                                                 PhaseTimings* timings,
                                                 LawaStats* stats) const {
-  return ComputeSequenced(op, r, s, /*seq=*/nullptr, /*ticket=*/0, stats,
-                          timings);
+  // Thin adapter: the span records the phases, FromSpan projects them back.
+  obs::Span span;
+  span.name = SetOpName(op);
+  TpRelation out =
+      ComputeSequenced(op, r, s, /*seq=*/nullptr, /*ticket=*/0, stats, &span);
+  if (timings != nullptr) *timings = PhaseTimings::FromSpan(span);
+  return out;
 }
 
 TpRelation ParallelSetOpAlgorithm::ComputeSequenced(SetOpKind op,
@@ -233,20 +247,24 @@ TpRelation ParallelSetOpAlgorithm::ComputeSequenced(SetOpKind op,
                                                     ApplySequencer* seq,
                                                     std::size_t ticket,
                                                     LawaStats* stats,
-                                                    PhaseTimings* timings) const {
+                                                    obs::Span* span) const {
+  obs::SpanTimer span_timer(span);
   if (num_threads_ <= 1) {
     // Degenerate pool: the sequential algorithm *is* the partition sweep.
     // LawaSetOp mutates the arena throughout, so the whole call is the turn.
     TurnGuard turn(seq, ticket);
     turn.Wait();
     Clock::time_point t0 = Clock::now();
-    TpRelation out = LawaSetOp(op, r, s, sort_mode_, stats);
-    if (timings != nullptr) {
+    LawaStats local_stats;
+    TpRelation out = LawaSetOp(op, r, s, sort_mode_, &local_stats);
+    if (span != nullptr) {
       // The sequential algorithm interleaves all phases; report its whole
       // wall time as the sweep.
-      *timings = PhaseTimings{};
-      timings->advance_ms = MsSince(t0);
+      span->AddChild("advance")->wall_ms = MsSince(t0);
+      span->AttachStats(local_stats);
+      span->SetAttr("out", out.size());
     }
+    if (stats != nullptr) *stats = local_stats;
     turn.Release();
     return out;
   }
@@ -436,19 +454,22 @@ TpRelation ParallelSetOpAlgorithm::ComputeSequenced(SetOpKind op,
   out.MarkSortedUnchecked();
   turn.Release();
 
-  if (stats != nullptr) {
-    stats->windows_produced = total_windows;
-    stats->output_tuples = out.size();
-    stats->sort_skipped = sort_skipped;
-    stats->morsels_run = batch.morsels_run();
-    stats->morsels_stolen = batch.morsels_stolen();
-    stats->facts_split = plan.facts_split;
-  }
-  if (timings != nullptr) {
-    timings->sort_ms = sort_ms;
-    timings->split_ms = split_ms;
-    timings->advance_ms = advance_ms;
-    timings->apply_ms = apply_ms;
+  LawaStats local_stats;
+  local_stats.windows_produced = total_windows;
+  local_stats.output_tuples = out.size();
+  local_stats.sort_skipped = sort_skipped;
+  local_stats.morsels_run = batch.morsels_run();
+  local_stats.morsels_stolen = batch.morsels_stolen();
+  local_stats.facts_split = plan.facts_split;
+  if (stats != nullptr) *stats = local_stats;
+  if (span != nullptr) {
+    span->AddChild("sort")->wall_ms = sort_ms;
+    span->AddChild("split")->wall_ms = split_ms;
+    span->AddChild("advance")->wall_ms = advance_ms;
+    span->AddChild("apply")->wall_ms = apply_ms;
+    span->AttachStats(local_stats);
+    span->SetAttr("out", out.size());
+    span->SetAttr("morsels", batch.morsels_run());
   }
   return out;
 }

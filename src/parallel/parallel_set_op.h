@@ -53,6 +53,7 @@
 #include "baselines/algorithm.h"
 #include "common/setop.h"
 #include "lawa/set_ops.h"
+#include "obs/profile.h"
 #include "parallel/scheduler.h"
 #include "parallel/sequencer.h"
 #include "parallel/thread_pool.h"
@@ -74,6 +75,11 @@ enum class ApplyMode {
 /// is then the time actually spent splicing/replaying and `advance_ms` the
 /// rest of the overlapped span (so the sum still approximates the combined
 /// wall time of phases 3+4).
+///
+/// Since the observability layer (src/obs/), this struct is a *thin
+/// adapter*: the engine records phases as child spans ("sort", "split",
+/// "advance", "apply") of an obs::Span, and FromSpan projects those four
+/// walls back out for callers (benches) that want plain numbers.
 struct PhaseTimings {
   double sort_ms = 0.0;
   double split_ms = 0.0;
@@ -81,6 +87,10 @@ struct PhaseTimings {
   double apply_ms = 0.0;
 
   double total_ms() const { return sort_ms + split_ms + advance_ms + apply_ms; }
+
+  /// Projects a node span recorded by ComputeSequenced back into the four
+  /// phase walls (a missing child reads as 0).
+  static PhaseTimings FromSpan(const obs::Span& span);
 };
 
 /// LAWA over fact-range partitions on a private thread pool. Registered as
@@ -124,10 +134,16 @@ class ParallelSetOpAlgorithm final : public SetOpAlgorithm {
   /// windows_produced may be smaller — a partition whose other input is
   /// empty never sweeps, skipping candidate windows the sequential global
   /// loop produces only to filter out. Proposition 1 bounds both counts.
+  ///
+  /// `span`: when non-null, the operation records its phase walls as child
+  /// spans ("sort", "split", "advance", "apply"; the degenerate sequential
+  /// path records only "advance" — the whole interleaved wall) and attaches
+  /// the LawaStats to `span` itself. The span's own wall/cpu cover the full
+  /// call including sequencer waits.
   TpRelation ComputeSequenced(SetOpKind op, const TpRelation& r,
                               const TpRelation& s, ApplySequencer* seq,
                               std::size_t ticket, LawaStats* stats = nullptr,
-                              PhaseTimings* timings = nullptr) const;
+                              obs::Span* span = nullptr) const;
 
   std::size_t num_threads() const { return num_threads_; }
   ApplyMode apply_mode() const { return apply_mode_; }

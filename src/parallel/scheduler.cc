@@ -2,12 +2,45 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <limits>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace tpset {
 
 namespace {
+
+// Scheduler metrics, process-wide across every MorselBatch. The recording
+// sits outside the sweep kernels (once per morsel, not per tuple), so the
+// observer cost is two clock reads against a multi-thousand-tuple sweep.
+obs::Counter& MorselsRunCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tpset_sched_morsels_run_total", "morsels executed by all batches");
+  return c;
+}
+
+obs::Counter& MorselsStolenCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tpset_sched_morsels_stolen_total",
+      "morsels a worker took from another worker's deque");
+  return c;
+}
+
+obs::Counter& FactsSplitCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tpset_sched_facts_split_total",
+      "facts heavier than the morsel budget split at clean time boundaries");
+  return c;
+}
+
+obs::Histogram& MorselLatencyHistogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "tpset_sched_morsel_latency_usec",
+      "wall microseconds per morsel body (sweep + staging)");
+  return h;
+}
 
 // First index in tuples[begin..end) whose fact differs from `fact`.
 std::size_t FactUpperBound(const TpTuple* tuples, std::size_t begin,
@@ -109,6 +142,7 @@ MorselPlan BuildMorsels(const TpTuple* r, const TpTuple* s,
     }
     if (pending.size() > 0) plan.morsels.push_back(pending);
   }
+  if (plan.facts_split > 0) FactsSplitCounter().Increment(plan.facts_split);
   return plan;
 }
 
@@ -202,11 +236,15 @@ void MorselBatch::RunWorker(const std::shared_ptr<State>& st,
     }
     if (!found) return;
     std::exception_ptr error;
+    const auto t0 = std::chrono::steady_clock::now();
     try {
       st->body(index);
     } catch (...) {
       error = std::current_exception();
     }
+    MorselLatencyHistogram().Observe(obs::ElapsedUsec(t0));
+    MorselsRunCounter().Increment();
+    if (was_steal) MorselsStolenCounter().Increment();
     {
       std::lock_guard<std::mutex> lock(st->mu);
       st->done[index] = 1;

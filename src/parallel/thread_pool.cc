@@ -1,6 +1,36 @@
 #include "parallel/thread_pool.h"
 
+#include <chrono>
+
+#include "obs/metrics.h"
+
 namespace tpset {
+
+namespace {
+
+// Pool-wide metrics, shared by every ThreadPool in the process: queue depth
+// (pending tasks across pools), tasks executed, and busy time — utilization
+// is busy_usec / (size * wall) for whatever window the scraper tracks.
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "tpset_pool_queue_depth", "pending tasks across all thread pools");
+  return g;
+}
+
+obs::Counter& TasksCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tpset_pool_tasks_total", "tasks executed by all thread pools");
+  return c;
+}
+
+obs::Counter& BusyUsecCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tpset_pool_busy_usec_total",
+      "wall microseconds thread-pool workers spent running tasks");
+  return c;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -24,6 +54,7 @@ void ThreadPool::Enqueue(std::function<void()> job) {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(job));
   }
+  QueueDepthGauge().Add(1);
   cv_.notify_one();
 }
 
@@ -37,7 +68,11 @@ void ThreadPool::WorkerLoop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    QueueDepthGauge().Add(-1);
+    const auto t0 = std::chrono::steady_clock::now();
     job();
+    BusyUsecCounter().Increment(obs::ElapsedUsec(t0));
+    TasksCounter().Increment();
   }
 }
 

@@ -1,15 +1,41 @@
 #include "query/executor.h"
 
+#include <chrono>
 #include <future>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "parallel/parallel_set_op.h"
 #include "parallel/sequencer.h"
 #include "query/parser.h"
 #include "relation/validate.h"
 
 namespace tpset {
+
+namespace {
+
+// Executor metrics, process-wide: one sample per top-level Execute call
+// (subtree recursion is not counted). The admission timestamp of a profiled
+// execution lives on its QueryProfile root (start_unix_us).
+obs::Histogram& QueryLatencyHistogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "tpset_exec_query_usec", "wall microseconds per executed query");
+  return h;
+}
+
+obs::Counter& QueriesCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tpset_exec_queries_total", "queries executed (top-level Execute calls)");
+  return c;
+}
+
+void RecordQuery(std::chrono::steady_clock::time_point t0) {
+  QueryLatencyHistogram().Observe(obs::ElapsedUsec(t0));
+  QueriesCounter().Increment();
+}
+
+}  // namespace
 
 Status QueryExecutor::Register(const TpRelation& rel) {
   if (rel.name().empty()) {
@@ -164,6 +190,14 @@ Result<TpRelation> QueryExecutor::Execute(const std::string& query,
 
 Result<TpRelation> QueryExecutor::Execute(const QueryNode& query,
                                           const SetOpAlgorithm* algorithm) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  Result<TpRelation> out = ExecuteTree(query, algorithm);
+  RecordQuery(t0);
+  return out;
+}
+
+Result<TpRelation> QueryExecutor::ExecuteTree(
+    const QueryNode& query, const SetOpAlgorithm* algorithm) const {
   if (algorithm == nullptr) algorithm = FindAlgorithm("LAWA");
   if (query.kind == QueryNode::Kind::kRelation) {
     Result<const TpRelation*> rel = Find(query.relation_name);
@@ -175,9 +209,9 @@ Result<TpRelation> QueryExecutor::Execute(const QueryNode& query,
                                 " does not support TP set " +
                                 SetOpName(query.op) + " (Table II)");
   }
-  Result<TpRelation> left = Execute(*query.left, algorithm);
+  Result<TpRelation> left = ExecuteTree(*query.left, algorithm);
   if (!left.ok()) return left;
-  Result<TpRelation> right = Execute(*query.right, algorithm);
+  Result<TpRelation> right = ExecuteTree(*query.right, algorithm);
   if (!right.ok()) return right;
   return algorithm->Compute(query.op, *left, *right);
 }
@@ -185,7 +219,12 @@ Result<TpRelation> QueryExecutor::Execute(const QueryNode& query,
 Result<TpRelation> QueryExecutor::Execute(const std::string& query,
                                           const ExecOptions& options,
                                           const SetOpAlgorithm* algorithm) const {
-  Result<QueryPtr> parsed = ParseQuery(query);
+  Result<QueryPtr> parsed = [&]() {
+    obs::SpanTimer timer(options.profile == nullptr
+                             ? nullptr
+                             : options.profile->root().AddChild("parse"));
+    return ParseQuery(query);
+  }();
   if (!parsed.ok()) return parsed.status();
   return Execute(**parsed, options, algorithm);
 }
@@ -193,7 +232,12 @@ Result<TpRelation> QueryExecutor::Execute(const std::string& query,
 Result<TpRelation> QueryExecutor::Execute(const QueryNode& query,
                                           const ExecOptions& options,
                                           const SetOpAlgorithm* algorithm) const {
-  if (options.num_threads <= 1) return Execute(query, algorithm);
+  if (options.num_threads <= 1) {
+    if (options.profile != nullptr) {
+      return ExecuteProfiled(query, options, algorithm);
+    }
+    return Execute(query, algorithm);
+  }
   return ExecuteConcurrent(query, options, algorithm);
 }
 
@@ -240,9 +284,69 @@ Status CheckSupported(const QueryNode& q, const SetOpAlgorithm& algorithm) {
 
 }  // namespace
 
+Result<TpRelation> QueryExecutor::ExecuteProfiled(
+    const QueryNode& query, const ExecOptions& options,
+    const SetOpAlgorithm* algorithm) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  obs::Span& root = options.profile->root();
+  obs::SpanTimer timer(&root);
+  if (algorithm == nullptr) algorithm = FindAlgorithm("LAWA");
+  // The degenerate (num_threads <= 1) partitioned algorithm *is* sequential
+  // LawaSetOp, and it records its own phase span — route plain LAWA through
+  // it so sequential profiles carry the same sections as parallel ones.
+  const auto* parallel = dynamic_cast<const ParallelSetOpAlgorithm*>(algorithm);
+  if (parallel == nullptr && algorithm->name() == "LAWA") {
+    parallel = ParallelAlgoFor(options);
+    algorithm = parallel;
+  }
+  {
+    obs::SpanTimer analyze(root.AddChild("analyze"));
+    Status supported = CheckSupported(query, *algorithm);
+    if (!supported.ok()) return supported;
+  }
+  Result<TpRelation> out = ExecuteNode(query, algorithm, parallel, &root);
+  if (out.ok()) root.SetAttr("out", out->size());
+  timer.Stop();
+  RecordQuery(t0);
+  return out;
+}
+
+Result<TpRelation> QueryExecutor::ExecuteNode(
+    const QueryNode& node, const SetOpAlgorithm* algorithm,
+    const ParallelSetOpAlgorithm* parallel, obs::Span* span) const {
+  if (node.kind == QueryNode::Kind::kRelation) {
+    obs::Span* child = span->AddChild("relation " + node.relation_name);
+    obs::SpanTimer timer(child);
+    Result<const TpRelation*> rel = Find(node.relation_name);
+    if (!rel.ok()) return rel.status();
+    timer.Stop();
+    child->SetAttr("tuples", (*rel)->size());
+    return **rel;
+  }
+  // The operator's span holds both its input subtrees and (from the compute
+  // below) its phase children; its own wall covers only the compute, like
+  // the per-node timings EXPLAIN always reported.
+  obs::Span* child = span->AddChild(SetOpName(node.op));
+  Result<TpRelation> left = ExecuteNode(*node.left, algorithm, parallel, child);
+  if (!left.ok()) return left;
+  Result<TpRelation> right =
+      ExecuteNode(*node.right, algorithm, parallel, child);
+  if (!right.ok()) return right;
+  if (parallel != nullptr) {
+    return parallel->ComputeSequenced(node.op, *left, *right, /*seq=*/nullptr,
+                                      /*ticket=*/0, /*stats=*/nullptr, child);
+  }
+  obs::SpanTimer timer(child);
+  TpRelation out = algorithm->Compute(node.op, *left, *right);
+  timer.Stop();
+  child->SetAttr("out", out.size());
+  return Result<TpRelation>(std::move(out));
+}
+
 Result<TpRelation> QueryExecutor::ExecuteConcurrent(
     const QueryNode& query, const ExecOptions& options,
     const SetOpAlgorithm* algorithm) const {
+  const auto t0 = std::chrono::steady_clock::now();
   if (algorithm == nullptr) algorithm = FindAlgorithm("LAWA");
   // Plain LAWA is transparently upgraded to its partitioned variant; any
   // other algorithm keeps its own Compute but is serialized per node (see
@@ -252,7 +356,15 @@ Result<TpRelation> QueryExecutor::ExecuteConcurrent(
     parallel = ParallelAlgoFor(options);
     algorithm = parallel;
   }
-  TPSET_RETURN_NOT_OK(CheckSupported(query, *algorithm));
+  obs::Span* profile_root =
+      options.profile == nullptr ? nullptr : &options.profile->root();
+  obs::SpanTimer profile_timer(profile_root);
+  {
+    obs::SpanTimer analyze(profile_root == nullptr
+                               ? nullptr
+                               : profile_root->AddChild("analyze"));
+    TPSET_RETURN_NOT_OK(CheckSupported(query, *algorithm));
+  }
 
   // One std::async task per set-op node, joined through shared_futures; the
   // arena-mutating phase of node i waits for turn i of a post-order ticket
@@ -263,26 +375,38 @@ Result<TpRelation> QueryExecutor::ExecuteConcurrent(
   using NodeFuture = std::shared_future<Result<TpRelation>>;
   std::size_t next_ticket = 0;
 
-  auto eval = [&](auto&& self, const QueryNode& node) -> NodeFuture {
+  // The span tree is pre-built here, on the coordinating thread, during the
+  // recursive descent; each async task then writes only its own node's span
+  // (the same disjoint-slot discipline as the morsel result vectors).
+  auto eval = [&](auto&& self, const QueryNode& node,
+                  obs::Span* span) -> NodeFuture {
     if (node.kind == QueryNode::Kind::kRelation) {
+      obs::Span* child =
+          span == nullptr ? nullptr
+                          : span->AddChild("relation " + node.relation_name);
       std::promise<Result<TpRelation>> ready;
+      obs::SpanTimer timer(child);
       Result<const TpRelation*> rel = Find(node.relation_name);
+      timer.Stop();
       if (!rel.ok()) {
         ready.set_value(rel.status());
       } else {
+        if (child != nullptr) child->SetAttr("tuples", (*rel)->size());
         ready.set_value(**rel);
       }
       return ready.get_future().share();
     }
-    NodeFuture left = self(self, *node.left);
-    NodeFuture right = self(self, *node.right);
+    obs::Span* child =
+        span == nullptr ? nullptr : span->AddChild(SetOpName(node.op));
+    NodeFuture left = self(self, *node.left, child);
+    NodeFuture right = self(self, *node.right, child);
     const std::size_t ticket = next_ticket++;  // post-order: children first
     const SetOpAlgorithm* algo = algorithm;
     const ParallelSetOpAlgorithm* par = parallel;
     ApplySequencer* seq = &sequencer;
     SetOpKind op = node.op;
     return std::async(std::launch::async,
-                      [left, right, ticket, algo, par, seq, op]() {
+                      [left, right, ticket, algo, par, seq, op, child]() {
                         // The guard keeps the ticket sequence alive on every
                         // exit, including exceptions rethrown by get() — an
                         // unreleased ticket would hang all later turns.
@@ -294,19 +418,29 @@ Result<TpRelation> QueryExecutor::ExecuteConcurrent(
                         }
                         if (par != nullptr) {
                           turn.Disarm();  // ComputeSequenced owns the ticket
-                          return Result<TpRelation>(
-                              par->ComputeSequenced(op, *l, *r, seq, ticket));
+                          return Result<TpRelation>(par->ComputeSequenced(
+                              op, *l, *r, seq, ticket, /*stats=*/nullptr,
+                              child));
                         }
                         // Foreign algorithm: its whole compute is the turn.
                         turn.Wait();
+                        obs::SpanTimer timer(child);
                         TpRelation out = algo->Compute(op, *l, *r);
+                        timer.Stop();
+                        if (child != nullptr) child->SetAttr("out", out.size());
                         turn.Release();
                         return Result<TpRelation>(std::move(out));
                       })
         .share();
   };
 
-  return eval(eval, query).get();
+  Result<TpRelation> out = eval(eval, query, profile_root).get();
+  if (profile_root != nullptr && out.ok()) {
+    profile_root->SetAttr("out", out->size());
+  }
+  profile_timer.Stop();
+  RecordQuery(t0);
+  return out;
 }
 
 }  // namespace tpset

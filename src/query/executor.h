@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "incremental/append_log.h"
 #include "incremental/continuous_query.h"
+#include "obs/profile.h"
 #include "parallel/parallel_set_op.h"
 #include "query/ast.h"
 #include "relation/relation.h"
@@ -54,6 +55,14 @@ struct ExecOptions {
   /// input then pins a worker again — the knob exists to isolate the
   /// stealing effect).
   bool steal = true;
+
+  /// When non-null, the execution records its span tree here: root (whole
+  /// query; admission timestamp on start_unix_us) → "parse"/"analyze" →
+  /// one span per plan node ("relation <name>" leaves, operator nodes with
+  /// sort/split/advance/apply phase children and LawaStats attached).
+  /// Results are unaffected; the caller owns the profile and must keep it
+  /// alive for the call. Not part of the algorithm cache key.
+  obs::QueryProfile* profile = nullptr;
 };
 
 /// Evaluates TP set queries bottom-up with a pluggable set-operation
@@ -164,6 +173,24 @@ class QueryExecutor {
                                                 ApplyMode apply_mode) const;
 
  private:
+  /// The recursive bottom-up evaluation behind the public Execute overloads
+  /// (which add per-query metrics once, at the top level).
+  Result<TpRelation> ExecuteTree(const QueryNode& query,
+                                 const SetOpAlgorithm* algorithm) const;
+
+  /// Sequential evaluation recording a span per plan node into
+  /// options.profile (num_threads <= 1 with a profile attached).
+  Result<TpRelation> ExecuteProfiled(const QueryNode& query,
+                                     const ExecOptions& options,
+                                     const SetOpAlgorithm* algorithm) const;
+
+  /// One recursion step of ExecuteProfiled: evaluates `node` under `span`'s
+  /// freshly added child span.
+  Result<TpRelation> ExecuteNode(const QueryNode& node,
+                                 const SetOpAlgorithm* algorithm,
+                                 const ParallelSetOpAlgorithm* parallel,
+                                 obs::Span* span) const;
+
   Result<TpRelation> ExecuteConcurrent(const QueryNode& query,
                                        const ExecOptions& options,
                                        const SetOpAlgorithm* algorithm) const;

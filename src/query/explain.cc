@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "lawa/set_ops.h"
+#include "obs/profile.h"
 #include "parallel/parallel_set_op.h"
 #include "query/analyzer.h"
 #include "query/parser.h"
@@ -20,55 +21,71 @@ std::size_t DistinctFacts(const TpRelation& r, const TpRelation& s) {
   return facts.size();
 }
 
-Result<TpRelation> Explain(const QueryExecutor& exec, const QueryNode& q,
-                           int depth, std::ostringstream* out,
-                           const ParallelSetOpAlgorithm* parallel) {
-  std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+// Executes the plan bottom-up, recording one span per plan node under
+// `span`. All numbers EXPLAIN later renders live on the spans: relation
+// leaves carry kind/tuples attrs, operator nodes carry kind/out/bound attrs
+// plus the phase children and LawaStats that ComputeSequenced attaches.
+// Sequential explains run the same recorder through the degenerate
+// (num_threads <= 1) partitioned algorithm, so both render identical
+// sections from identical span shapes.
+Result<TpRelation> ExplainNode(const QueryExecutor& exec, const QueryNode& q,
+                               const ParallelSetOpAlgorithm& parallel,
+                               obs::Span* span) {
   if (q.kind == QueryNode::Kind::kRelation) {
     Result<const TpRelation*> rel = exec.Find(q.relation_name);
     if (!rel.ok()) return rel.status();
-    *out << indent << "relation " << q.relation_name << "  [" << (*rel)->size()
-         << " tuples]\n";
+    obs::Span* child = span->AddChild("relation " + q.relation_name);
+    child->SetAttr("kind", "relation");
+    child->SetAttr("tuples", (*rel)->size());
     return **rel;
   }
-  // Reserve the line for this node, fill in after the children are known.
-  Result<TpRelation> left = Explain(exec, *q.left, depth + 1, out, parallel);
+  obs::Span* child = span->AddChild(SetOpName(q.op));
+  child->SetAttr("kind", "setop");
+  Result<TpRelation> left = ExplainNode(exec, *q.left, parallel, child);
   if (!left.ok()) return left;
-  Result<TpRelation> right = Explain(exec, *q.right, depth + 1, out, parallel);
+  Result<TpRelation> right = ExplainNode(exec, *q.right, parallel, child);
   if (!right.ok()) return right;
-
-  LawaStats stats;
-  PhaseTimings timings;
-  TpRelation result =
-      parallel != nullptr
-          ? parallel->ComputeTimed(q.op, *left, *right, &timings, &stats)
-          : LawaSetOp(q.op, *left, *right, SortMode::kComparison, &stats);
-  std::size_t bound =
-      2 * left->size() + 2 * right->size() - DistinctFacts(*left, *right);
-  // Children were streamed into `out` first; emit this node after them with
-  // the depth marker so the tree still reads top-down per level.
-  *out << indent << SetOpName(q.op) << "  [out=" << result.size()
-       << ", windows=" << stats.windows_produced << "/" << bound << "(bound)";
-  if (parallel != nullptr) {
-    char phases[192];
-    std::snprintf(phases, sizeof(phases),
-                  ", sort=%.2fms split=%.2fms advance=%.2fms apply=%.2fms"
-                  ", morsels=%zu stolen=%zu facts_split=%zu",
-                  timings.sort_ms, timings.split_ms, timings.advance_ms,
-                  timings.apply_ms, stats.morsels_run, stats.morsels_stolen,
-                  stats.facts_split);
-    *out << phases;
-  }
-  *out << "]\n";
+  TpRelation result = parallel.ComputeSequenced(
+      q.op, *left, *right, /*seq=*/nullptr, /*ticket=*/0, /*stats=*/nullptr,
+      child);
+  child->SetAttr("bound", 2 * left->size() + 2 * right->size() -
+                              DistinctFacts(*left, *right));
   return result;
 }
 
-Result<std::string> ExplainWith(const QueryExecutor& exec,
+// One plan node's line, rebuilt purely from its span. Children stream out
+// first (depth-first), the node's own line follows with the depth marker —
+// the same bottom-up-per-level layout EXPLAIN always used.
+void RenderNode(const obs::Span& span, int depth, std::string* out) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  if (span.Attr("kind") == "relation") {
+    *out += indent + span.name + "  [" + span.Attr("tuples") + " tuples]\n";
+    return;
+  }
+  for (const auto& child : span.children) {
+    if (!child->Attr("kind").empty()) RenderNode(*child, depth + 1, out);
+  }
+  const PhaseTimings t = PhaseTimings::FromSpan(span);
+  char phases[224];
+  std::snprintf(phases, sizeof(phases),
+                ", sort=%.2fms split=%.2fms advance=%.2fms apply=%.2fms"
+                ", morsels=%zu stolen=%zu facts_split=%zu",
+                t.sort_ms, t.split_ms, t.advance_ms, t.apply_ms,
+                span.stats.morsels_run, span.stats.morsels_stolen,
+                span.stats.facts_split);
+  *out += indent + span.name + "  [out=" + span.Attr("out") +
+          ", windows=" + std::to_string(span.stats.windows_produced) + "/" +
+          span.Attr("bound") + "(bound)" + phases + "]\n";
+}
+
+Result<std::string> ExplainInto(const QueryExecutor& exec,
                                 const QueryNode& query,
-                                const ParallelSetOpAlgorithm* parallel) {
+                                const ParallelSetOpAlgorithm* parallel,
+                                bool parallel_header,
+                                obs::QueryProfile* profile) {
   std::ostringstream out;
   out << "query: " << QueryToString(query) << "\n";
-  if (parallel != nullptr) {
+  if (parallel_header) {
     out << "parallel: threads=" << parallel->num_threads() << " apply="
         << (parallel->apply_mode() == ApplyMode::kStaged ? "staged"
                                                          : "bit-identical");
@@ -86,8 +103,13 @@ Result<std::string> ExplainWith(const QueryExecutor& exec,
     }
     out << "\n";
   }
-  Result<TpRelation> result = Explain(exec, query, 0, &out, parallel);
+  obs::Span& root = profile->root();
+  obs::SpanTimer timer(&root);
+  Result<TpRelation> result = ExplainNode(exec, query, *parallel, &root);
+  timer.Stop();
   if (!result.ok()) return result.status();
+  root.SetAttr("out", result->size());
+  out << RenderExplainPlan(root);
   bool non_repeating = IsNonRepeating(query);
   out << "non-repeating: " << (non_repeating ? "yes" : "no")
       << " -> valuation: "
@@ -99,9 +121,18 @@ Result<std::string> ExplainWith(const QueryExecutor& exec,
 
 }  // namespace
 
+std::string RenderExplainPlan(const obs::Span& root) {
+  std::string out;
+  for (const auto& child : root.children) {
+    if (!child->Attr("kind").empty()) RenderNode(*child, 0, &out);
+  }
+  return out;
+}
+
 Result<std::string> ExplainQuery(const QueryExecutor& exec,
                                  const QueryNode& query) {
-  return ExplainWith(exec, query, /*parallel=*/nullptr);
+  obs::QueryProfile profile("explain");
+  return ExplainQuery(exec, query, ExecOptions{}, &profile);
 }
 
 Result<std::string> ExplainQuery(const QueryExecutor& exec,
@@ -114,12 +145,22 @@ Result<std::string> ExplainQuery(const QueryExecutor& exec,
 Result<std::string> ExplainQuery(const QueryExecutor& exec,
                                  const QueryNode& query,
                                  const ExecOptions& options) {
-  if (options.num_threads <= 1) return ExplainQuery(exec, query);
+  obs::QueryProfile profile("explain");
+  return ExplainQuery(exec, query, options, &profile);
+}
+
+Result<std::string> ExplainQuery(const QueryExecutor& exec,
+                                 const QueryNode& query,
+                                 const ExecOptions& options,
+                                 obs::QueryProfile* profile) {
   // Explain walks the tree bottom-up on one thread (no subtree concurrency,
   // so no sequencer needed); each node runs the partitioned algorithm to
-  // surface its true phase profile. The executor's cached instance keeps
+  // surface its true phase profile — degenerating to sequential LawaSetOp
+  // at num_threads <= 1, so sequential and parallel explains share one
+  // recorder and one renderer. The executor's cached instance keeps
   // pool-thread startup out of the first node's timings.
-  return ExplainWith(exec, query, exec.ParallelAlgoFor(options));
+  return ExplainInto(exec, query, exec.ParallelAlgoFor(options),
+                     /*parallel_header=*/options.num_threads > 1, profile);
 }
 
 Result<std::string> ExplainQuery(const QueryExecutor& exec,
@@ -134,7 +175,13 @@ Result<std::string> ExplainContinuous(const QueryExecutor& exec,
                                       const std::string& name) {
   Result<ContinuousQuery*> cq = exec.FindContinuous(name);
   if (!cq.ok()) return cq.status();
-  return (*cq)->Describe();
+  std::string out = (*cq)->Describe();
+  if ((*cq)->last_epoch() != 0) {
+    // The last applied epoch's span tree (per-operator walls + per-epoch
+    // LawaStats deltas), straight from the query's reusable profile.
+    out += "last epoch:\n" + (*cq)->last_profile().Render();
+  }
+  return out;
 }
 
 }  // namespace tpset

@@ -1,12 +1,16 @@
-// EXPLAIN for TP set queries: executes the plan bottom-up and annotates
-// every node with its cardinalities, LAWA window counts (against the
-// Proposition 1 bound) and the recommended probability-valuation method.
+// EXPLAIN for TP set queries: executes the plan bottom-up, recording one
+// trace span per plan node (obs/profile.h), and renders every annotation —
+// cardinalities, LAWA window counts against the Proposition 1 bound, phase
+// walls, scheduler counters, the recommended probability-valuation method —
+// from that span tree. Sequential and parallel explains share the recorder
+// and renderer; only the "parallel:" config header differs.
 #ifndef TPSET_QUERY_EXPLAIN_H_
 #define TPSET_QUERY_EXPLAIN_H_
 
 #include <string>
 
 #include "common/status.h"
+#include "obs/profile.h"
 #include "query/ast.h"
 #include "query/executor.h"
 
@@ -46,6 +50,21 @@ Result<std::string> ExplainQuery(const QueryExecutor& exec,
 Result<std::string> ExplainQuery(const QueryExecutor& exec,
                                  const std::string& query,
                                  const ExecOptions& options);
+
+/// Explain into a caller-owned profile: the plan's span tree (one span per
+/// node, phase children, LawaStats, kind/out/bound/tuples attrs) stays in
+/// `profile` after the call — the exact data the returned text was rendered
+/// from (tested by tests/explain_test.cc; the REPL's \profile rides on it).
+Result<std::string> ExplainQuery(const QueryExecutor& exec,
+                                 const QueryNode& query,
+                                 const ExecOptions& options,
+                                 obs::QueryProfile* profile);
+
+/// Renders the plan section (node tree only — no query/parallel header, no
+/// valuation footer) from a span tree recorded by ExplainQuery. Children
+/// stream out before their parent with depth markers, the layout EXPLAIN
+/// always used.
+std::string RenderExplainPlan(const obs::Span& root);
 
 /// EXPLAIN for a registered continuous plan: the incremental operator DAG
 /// with each node's cumulative maintenance counters —

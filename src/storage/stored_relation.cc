@@ -2,14 +2,79 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <future>
 #include <string>
 
 #include "common/interval.h"
+#include "obs/metrics.h"
 #include "parallel/partition.h"
 #include "parallel/thread_pool.h"
 
 namespace tpset {
+
+namespace {
+
+// Storage metrics, process-wide across every StoredRelation. Latencies are
+// recorded per mutation (not per tuple); the resident/runs gauges track live
+// relations via deltas — the destructor subtracts what is left, so dead
+// relations do not pin the gauges.
+obs::Histogram& AppendLatencyHistogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "tpset_storage_append_usec",
+      "wall microseconds per accepted AppendRun batch");
+  return h;
+}
+
+obs::Histogram& CompactLatencyHistogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "tpset_storage_compact_usec",
+      "wall microseconds per compaction / View fold of tail runs");
+  return h;
+}
+
+obs::Counter& TailLookupsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tpset_storage_tail_lookups_total",
+      "FactTail lookups served from the O(1) fact-tail map");
+  return c;
+}
+
+obs::Counter& TailHitsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tpset_storage_tail_hits_total",
+      "FactTail lookups that found the fact (hit rate vs ..._lookups_total)");
+  return c;
+}
+
+obs::Counter& TuplesRetiredCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tpset_storage_tuples_retired_total",
+      "tuples dropped below the retention watermark by compactions");
+  return c;
+}
+
+obs::Counter& RunsMergedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tpset_storage_runs_merged_total",
+      "physical runs folded together by compactions and roll merges");
+  return c;
+}
+
+obs::Gauge& RunsGauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "tpset_storage_runs", "pending tail runs across live StoredRelations");
+  return g;
+}
+
+obs::Gauge& ResidentTuplesGauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "tpset_storage_resident_tuples",
+      "logical tuples (base + tails) across live StoredRelations");
+  return g;
+}
+
+}  // namespace
 
 StoredRelation::StoredRelation(TpRelation base) : base_(std::move(base)) {
   assert(base_.known_sorted() &&
@@ -19,6 +84,13 @@ StoredRelation::StoredRelation(TpRelation base) : base_(std::move(base)) {
     // with the maximal end, so plain assignment leaves the tail map right.
     fact_tails_[t.fact] = t.t.end;
   }
+  ResidentTuplesGauge().Add(static_cast<std::int64_t>(base_.size()));
+}
+
+StoredRelation::~StoredRelation() {
+  ResidentTuplesGauge().Add(
+      -static_cast<std::int64_t>(base_.size() + tail_.size()));
+  RunsGauge().Add(-static_cast<std::int64_t>(tail_.run_count()));
 }
 
 std::size_t StoredRelation::size() const {
@@ -29,6 +101,9 @@ std::size_t StoredRelation::size() const {
 Status StoredRelation::AppendRun(std::vector<TpTuple> batch, EpochId epoch) {
   std::lock_guard<std::mutex> lock(mu_);
   assert(std::is_sorted(batch.begin(), batch.end(), FactTimeOrder()));
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t batch_size = batch.size();
+  const std::size_t runs_before = tail_.run_count();
   // Validate the whole batch against a scratch copy of the affected tails
   // before mutating anything (all-or-nothing, like AppendLog).
   // (These internal defense-in-depth lookups are not counted as tail_hits —
@@ -58,14 +133,20 @@ Status StoredRelation::AppendRun(std::vector<TpTuple> batch, EpochId epoch) {
   TPSET_RETURN_NOT_OK(tail_.Append(std::move(batch), epoch, &stats_));
   for (const auto& [fact, end] : new_tails) fact_tails_[fact] = end;
   ++stats_.appends;
+  AppendLatencyHistogram().Observe(obs::ElapsedUsec(t0));
+  ResidentTuplesGauge().Add(static_cast<std::int64_t>(batch_size));
+  RunsGauge().Add(static_cast<std::int64_t>(tail_.run_count()) -
+                  static_cast<std::int64_t>(runs_before));
   return Status::OK();
 }
 
 std::pair<bool, TimePoint> StoredRelation::FactTail(FactId fact) const {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.tail_hits;
+  TailLookupsCounter().Increment();
   auto it = fact_tails_.find(fact);
   if (it == fact_tails_.end()) return {false, 0};
+  TailHitsCounter().Increment();
   return {true, it->second};
 }
 
@@ -92,6 +173,8 @@ std::vector<TupleSpan> StoredRelation::SpansLocked() const {
 
 void StoredRelation::CompactLocked(TimePoint watermark,
                                    ThreadPool* pool) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t runs_before = tail_.run_count();
   const std::vector<TupleSpan> spans = SpansLocked();
   std::vector<TpTuple> merged;
   std::size_t dropped = 0;
@@ -136,12 +219,19 @@ void StoredRelation::CompactLocked(TimePoint watermark,
     dropped = MergeRuns(spans, watermark, &merged);
   }
 
-  if (spans.size() > 1) stats_.runs_merged += spans.size();
+  if (spans.size() > 1) {
+    stats_.runs_merged += spans.size();
+    RunsMergedCounter().Increment(spans.size());
+  }
   stats_.tuples_retired += dropped;
   ++stats_.compactions;
   base_.mutable_tuples() = std::move(merged);
   base_.MarkSortedUnchecked();
   tail_.Clear();
+  CompactLatencyHistogram().Observe(obs::ElapsedUsec(t0));
+  if (dropped > 0) TuplesRetiredCounter().Increment(dropped);
+  ResidentTuplesGauge().Add(-static_cast<std::int64_t>(dropped));
+  RunsGauge().Add(-static_cast<std::int64_t>(runs_before));
 }
 
 void StoredRelation::Compact(ThreadPool* pool) {

@@ -62,6 +62,7 @@ class StoredRelation {
   /// validates at Register); the per-fact tail map is built in one O(n)
   /// scan.
   explicit StoredRelation(TpRelation base);
+  ~StoredRelation();
 
   StoredRelation(const StoredRelation&) = delete;
   StoredRelation& operator=(const StoredRelation&) = delete;

@@ -1,7 +1,9 @@
 // EXPLAIN output for TP set queries.
 #include <gtest/gtest.h>
 
+#include "incremental/continuous_query.h"
 #include "query/explain.h"
+#include "query/parser.h"
 #include "tests/test_util.h"
 
 namespace tpset {
@@ -89,6 +91,70 @@ TEST_F(ExplainTest, ParallelOptionsAnnotatePhaseTimings) {
   Result<std::string> seq = ExplainQuery(exec_, "c - (a | b)", options);
   ASSERT_TRUE(seq.ok());
   EXPECT_EQ(seq->find("parallel:"), std::string::npos);
+}
+
+// Sequential explains carry the same sections as parallel ones (only the
+// "parallel:" config header differs): per-node phase walls and scheduler
+// counters come from the shared span recorder, not a parallel-only path.
+TEST_F(ExplainTest, SequentialExplainCarriesPhaseSections) {
+  Result<std::string> plan = ExplainQuery(exec_, "c - (a | b)");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const std::string& text = *plan;
+  EXPECT_EQ(text.find("parallel:"), std::string::npos) << text;
+  for (const char* section : {"sort=", "split=", "advance=", "apply=",
+                              "morsels=", "windows=", "out="}) {
+    EXPECT_NE(text.find(section), std::string::npos)
+        << "missing " << section << " in:\n" << text;
+  }
+}
+
+// The rendered text is a pure function of the recorded QueryProfile: the
+// plan section re-rendered from the caller-owned span tree is byte-for-byte
+// the one in the returned explain, sequentially and in parallel.
+TEST_F(ExplainTest, RendersFromQueryProfile) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExecOptions options;
+    options.num_threads = threads;
+    obs::QueryProfile profile("explain");
+    Result<QueryPtr> parsed = ParseQuery("c - (a | b)");
+    ASSERT_TRUE(parsed.ok());
+    Result<std::string> plan = ExplainQuery(exec_, **parsed, options, &profile);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    const std::string replay = RenderExplainPlan(profile.root());
+    EXPECT_FALSE(replay.empty());
+    EXPECT_NE(plan->find(replay), std::string::npos)
+        << "plan text:\n" << *plan << "\nreplay from profile:\n" << replay;
+    // The profile carries the engine counters the text was rendered from.
+    const obs::Span* node = profile.root().FindChild("except");
+    ASSERT_NE(node, nullptr);
+    EXPECT_TRUE(node->has_stats);
+    EXPECT_EQ(node->Attr("out"), "5");
+  }
+}
+
+// ExplainContinuous appends the last epoch's propagation span tree once an
+// epoch has been applied.
+TEST_F(ExplainTest, ContinuousExplainCarriesLastEpochProfile) {
+  ContinuousOptions copt;
+  Result<ContinuousQuery*> cq = exec_.RegisterContinuous("w", "a - b", copt);
+  ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+
+  Result<std::string> before = ExplainContinuous(exec_, "w");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->find("last epoch:"), std::string::npos) << *before;
+
+  DeltaBatch batch;
+  batch.Add(Fact{Value(std::string("milk"))}, Interval(11, 15), 0.5);
+  Result<EpochId> epoch = exec_.Append("a", batch);
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+
+  Result<std::string> after = ExplainContinuous(exec_, "w");
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(after->find("last epoch:"), std::string::npos) << *after;
+  // The appended section is the live profile's render, verbatim.
+  EXPECT_NE(after->find((*cq)->last_profile().Render()), std::string::npos)
+      << *after;
 }
 
 }  // namespace
