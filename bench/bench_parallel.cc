@@ -26,6 +26,14 @@
 // max(makespan, apply) (overlapped splice). Both real and modeled numbers
 // land in the JSON.
 //
+// A third section A/Bs the sweep kernels (scalar vs columnar SoA, see
+// DESIGN.md "Columnar sweep kernel"): pure t1 sweep walls (window
+// enumeration only — the whole-op wall is dominated by lineage
+// concatenation, which no sweep kernel can move), whole-op t1 walls,
+// LAWA-P/8 bit-identical walls, with the window streams and outputs
+// cross-checked — any scalar/columnar divergence exits non-zero. A radix
+// vs comparison sort measurement on shuffled input rides along.
+//
 // Output: the harness CSV rows, one "# json {...}" summary line per
 // operation, and a machine-readable summary written to BENCH_parallel.json
 // (override with --json <path>) so the perf trajectory is tracked across
@@ -38,9 +46,12 @@
 #include <utility>
 #include <vector>
 
+#include <random>
+
 #include "bench/harness.h"
 #include "datagen/synthetic.h"
 #include "lawa/advancer.h"
+#include "lawa/columnar_advancer.h"
 #include "lawa/set_ops.h"
 #include "lineage/staging.h"
 #include "obs/export.h"
@@ -205,6 +216,57 @@ UnitTimes MeasureStagedUnits(SetOpKind op, const TpRelation& r,
     });
   }
   return out;
+}
+
+// ---- Kernel A/B (scalar vs columnar advance) ------------------------------
+
+// One surviving window as the sweep emitted it, before lineage
+// concatenation — the stream both kernels must produce identically.
+struct KernelWindow {
+  FactId fact;
+  TimePoint start, end;
+  LineageId lr, ls;
+  bool operator==(const KernelWindow& o) const {
+    return fact == o.fact && start == o.start && end == o.end && lr == o.lr &&
+           ls == o.ls;
+  }
+};
+
+// Whole-operation sequential wall with a pinned kernel, cold arena per rep.
+double BestSequentialKernelCold(int reps, const Workload& wl, SetOpKind op,
+                                SweepKernel kernel) {
+  double best = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    auto [r, s] = wl.Fresh();
+    double ms = TimeMs([&]() {
+      TpRelation out = LawaSetOp(op, r, s, SortMode::kComparison,
+                                 /*stats=*/nullptr, kernel);
+      (void)out;
+    });
+    if (i == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+// LAWA-P/8 bit-identical wall with a pinned kernel, cold arena per rep;
+// `out` receives the result tuples (identical across reps — cold arena +
+// bit-identical apply are deterministic), for the cross-kernel byte check.
+Sample BestParallelKernelCold(int reps, const Workload& wl, SetOpKind op,
+                              SweepKernel kernel, std::vector<TpTuple>* out) {
+  Sample best;
+  for (int i = 0; i < reps; ++i) {
+    auto [r, s] = wl.Fresh();
+    ParallelSetOpAlgorithm algo(8, SortMode::kComparison, 4,
+                                ApplyMode::kBitIdentical, MorselOptions{},
+                                kernel);
+    PhaseTimings t;
+    double ms = TimeMs([&]() {
+      TpRelation res = algo.ComputeTimed(op, r, s, &t);
+      if (i == 0) *out = res.tuples();
+    });
+    if (i == 0 || ms < best.wall_ms) best = Sample{ms, t};
+  }
+  return best;
 }
 
 // Greedy list scheduling of the units in plan order onto `workers`
@@ -464,7 +526,154 @@ int main(int argc, char** argv) {
       json += buf;
     }
   }
-  json += "\n  ]\n}\n";
+  json += "\n  ],\n";
+
+  // ---- Kernel A/B: scalar vs columnar LAWA advance -----------------------
+  // Pure sweep at t1 (advancer + window enumeration only — no lineage
+  // concatenation, which dominates the whole-op sequential wall and would
+  // bury the kernel difference), whole-op t1 walls for context, and
+  // LAWA-P/8 bit-identical walls with byte-equality of the outputs.
+  std::printf("# kernel A/B: scalar vs columnar advance — pure sweep t1, "
+              "whole-op t1, LAWA-P/8 bit-identical (outputs byte-checked)\n");
+  PrintHeader("kernel-ab");
+  json += "  \"kernel_ab\": [\n";
+  const int ab_reps = 5;
+  bool first_ab = true;
+  bool ab_diverged = false;
+  for (SetOpKind op : kAllSetOps) {
+    const char* op_name = SetOpName(op);
+    const std::string tag = op_name;
+
+    // Pure sweep over one shared sorted pair (no arena mutation, so reps
+    // can reuse it); both kernels must emit the identical window stream.
+    auto [r, s] = wl.Fresh();
+    std::vector<KernelWindow> scalar_win, columnar_win;
+    double sweep_scalar = 0.0, sweep_columnar = 0.0;
+    for (int i = 0; i < ab_reps; ++i) {
+      scalar_win.clear();
+      double ms = TimeMs([&]() {
+        LineageAwareWindowAdvancer adv(r.tuples().data(), r.size(),
+                                       s.tuples().data(), s.size());
+        ForEachSurvivingWindow(op, adv, [&](const LineageAwareWindow& w) {
+          scalar_win.push_back({w.fact, w.t.start, w.t.end, w.lr, w.ls});
+        });
+      });
+      if (i == 0 || ms < sweep_scalar) sweep_scalar = ms;
+    }
+    // First columnar() call builds the SoA projection; reported separately
+    // because the relation caches it (one build amortizes over every sweep).
+    const double build_ms = TimeMs([&]() {
+      (void)r.columnar();
+      (void)s.columnar();
+    });
+    for (int i = 0; i < ab_reps; ++i) {
+      columnar_win.clear();
+      double ms = TimeMs([&]() {
+        ColumnarAdvancer adv(r.columnar(), s.columnar());
+        adv.Sweep(op, [&](const LineageAwareWindow& w) {
+          columnar_win.push_back({w.fact, w.t.start, w.t.end, w.lr, w.ls});
+        });
+      });
+      if (i == 0 || ms < sweep_columnar) sweep_columnar = ms;
+    }
+    const bool stream_equal = scalar_win == columnar_win;
+    if (!stream_equal) {
+      std::fprintf(stderr,
+                   "bench_parallel: kernel divergence (%s): scalar emitted "
+                   "%zu windows, columnar %zu\n",
+                   op_name, scalar_win.size(), columnar_win.size());
+      ab_diverged = true;
+    }
+    PrintRow("kernel-ab", tag.c_str(), "sweep-scalar/1", n, sweep_scalar);
+    PrintRow("kernel-ab", tag.c_str(), "sweep-columnar/1", n, sweep_columnar);
+
+    const double whole_scalar =
+        BestSequentialKernelCold(reps, wl, op, SweepKernel::kScalar);
+    const double whole_columnar =
+        BestSequentialKernelCold(reps, wl, op, SweepKernel::kColumnar);
+    PrintRow("kernel-ab", tag.c_str(), "whole-scalar/1", n, whole_scalar);
+    PrintRow("kernel-ab", tag.c_str(), "whole-columnar/1", n, whole_columnar);
+
+    std::vector<TpTuple> out_scalar, out_columnar;
+    Sample t8_scalar = BestParallelKernelCold(reps, wl, op,
+                                              SweepKernel::kScalar,
+                                              &out_scalar);
+    Sample t8_columnar = BestParallelKernelCold(reps, wl, op,
+                                                SweepKernel::kColumnar,
+                                                &out_columnar);
+    // Field-wise, not memcmp: TpTuple has alignment padding whose bytes
+    // are indeterminate.
+    const bool out_equal =
+        out_scalar.size() == out_columnar.size() &&
+        std::equal(out_scalar.begin(), out_scalar.end(),
+                   out_columnar.begin());
+    if (!out_equal) {
+      std::fprintf(stderr,
+                   "bench_parallel: kernel divergence (%s): LAWA-P/8 "
+                   "bit-identical outputs differ (%zu vs %zu tuples)\n",
+                   op_name, out_scalar.size(), out_columnar.size());
+      ab_diverged = true;
+    }
+    PrintRow("kernel-ab", tag.c_str(), "t8-bit-scalar", n, t8_scalar.wall_ms);
+    PrintRow("kernel-ab", tag.c_str(), "t8-bit-columnar", n,
+             t8_columnar.wall_ms);
+
+    const double sweep_speedup =
+        sweep_columnar > 0 ? sweep_scalar / sweep_columnar : 0.0;
+    std::printf(
+        "# json {\"experiment\":\"kernel-ab\",\"operation\":\"%s\","
+        "\"sweep_scalar_t1_ms\":%.3f,\"sweep_columnar_t1_ms\":%.3f,"
+        "\"sweep_speedup_t1\":%.3f,\"build_ms\":%.3f,\"identical\":%s}\n",
+        op_name, sweep_scalar, sweep_columnar, sweep_speedup, build_ms,
+        stream_equal && out_equal ? "true" : "false");
+
+    if (!first_ab) json += ",\n";
+    first_ab = false;
+    char buf[768];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"operation\": \"%s\", \"n\": %zu, \"windows\": %zu,\n"
+        "     \"sweep_scalar_t1_ms\": %.3f, \"sweep_columnar_t1_ms\": %.3f,\n"
+        "     \"sweep_speedup_t1\": %.3f, \"build_ms\": %.3f,\n"
+        "     \"whole_scalar_t1_ms\": %.3f, \"whole_columnar_t1_ms\": %.3f,\n"
+        "     \"t8_bit_scalar_ms\": %.3f, \"t8_bit_columnar_ms\": %.3f,\n"
+        "     \"identical\": %s}",
+        op_name, n, scalar_win.size(), sweep_scalar, sweep_columnar,
+        sweep_speedup, build_ms, whole_scalar, whole_columnar,
+        t8_scalar.wall_ms, t8_columnar.wall_ms,
+        stream_equal && out_equal ? "true" : "false");
+    json += buf;
+  }
+  json += "\n  ],\n";
+
+  // ---- Radix sort on unsorted input (hoisted counts + skipped passes) ----
+  {
+    auto [r, s] = wl.Fresh();
+    std::vector<TpTuple> shuffled = r.tuples();
+    std::mt19937 shuffle_rng(0xC0FFEE);
+    std::shuffle(shuffled.begin(), shuffled.end(), shuffle_rng);
+    double radix_ms = 0.0, cmp_ms = 0.0;
+    for (int i = 0; i < ab_reps; ++i) {
+      std::vector<TpTuple> copy = shuffled;
+      double ms = TimeMs([&]() { SortTuples(&copy, SortMode::kCounting); });
+      if (i == 0 || ms < radix_ms) radix_ms = ms;
+    }
+    for (int i = 0; i < ab_reps; ++i) {
+      std::vector<TpTuple> copy = shuffled;
+      double ms = TimeMs([&]() { SortTuples(&copy, SortMode::kComparison); });
+      if (i == 0 || ms < cmp_ms) cmp_ms = ms;
+    }
+    PrintRow("kernel-ab", "sort-unsorted", "radix", shuffled.size(), radix_ms);
+    PrintRow("kernel-ab", "sort-unsorted", "comparison", shuffled.size(),
+             cmp_ms);
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"sort_unsorted\": {\"n\": %zu, \"sort_radix_ms\": %.3f, "
+                  "\"sort_comparison_ms\": %.3f}\n",
+                  shuffled.size(), radix_ms, cmp_ms);
+    json += buf;
+  }
+  json += "}\n";
 
   if (std::FILE* f = std::fopen(json_path, "w")) {
     std::fputs(json.c_str(), f);
@@ -489,6 +698,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bench_parallel: cannot write %s\n", metrics_path);
       return 1;
     }
+  }
+  if (ab_diverged) {
+    std::fprintf(stderr,
+                 "bench_parallel: FAILED — columnar kernel diverged from "
+                 "scalar (see above)\n");
+    return 1;
   }
   return 0;
 }

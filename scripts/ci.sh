@@ -45,7 +45,30 @@ test -s "$BUILD_DIR/BENCH_parallel.json"
 grep -q '"operations"' "$BUILD_DIR/BENCH_parallel.json"
 grep -q '"skew"' "$BUILD_DIR/BENCH_parallel.json"
 grep -q '"host_cpus"' "$BUILD_DIR/BENCH_parallel.json"
+grep -q '"kernel_ab"' "$BUILD_DIR/BENCH_parallel.json"
 echo "bench_parallel smoke OK"
+
+# Kernel A/B gate: the columnar sweep must emit the identical window stream
+# (bench_parallel already exits non-zero on divergence; "identical": true is
+# the belt to that suspender) and must not regress the pure t1 sweep below
+# scalar on the majority of operations. The 1.25x tolerance absorbs smoke-
+# scale timer noise — the committed full-scale run is where the >= 1.3x
+# speedup claim is checked by hand.
+python3 - "$BUILD_DIR/BENCH_parallel.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+ab = doc["kernel_ab"]
+assert len(ab) == 3, f"expected 3 kernel_ab operations, got {len(ab)}"
+bad = [e["operation"] for e in ab if not e["identical"]]
+assert not bad, f"columnar kernel diverged from scalar on: {bad}"
+slow = [e["operation"] for e in ab
+        if e["sweep_columnar_t1_ms"] > 1.25 * e["sweep_scalar_t1_ms"]]
+assert len(slow) <= 1, (
+    f"columnar t1 sweep regressed vs scalar on {slow} "
+    f"(> 1.25x tolerance on more than one operation)")
+print("kernel A/B gate OK")
+EOF
 
 # Metrics export validation: the registry scrape the bench just wrote must
 # match the checked-in schema — every required metric present with the right

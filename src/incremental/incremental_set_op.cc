@@ -6,8 +6,10 @@
 #include <tuple>
 #include <utility>
 
+#include "lawa/columnar_advancer.h"
 #include "parallel/partition.h"
 #include "parallel/scheduler.h"
+#include "relation/columnar.h"
 
 namespace tpset {
 
@@ -107,17 +109,42 @@ IncrementalSetOp::FactApplyResult IncrementalSetOp::ApplyFact(
     if (r != nullptr) {
       st.s.insert(st.s.end(), r->inserted.begin(), r->inserted.end());
     }
-    LineageAwareWindowAdvancer adv(st.r.data(), st.r.size(), st.s.data(),
-                                   st.s.size());
-    adv.Restore(st.ckpt);
     res.out_new_begin = st.out.size();
     const std::size_t windows_before = st.ckpt.windows_produced;
-    ForEachSurvivingWindow(op_, adv, [&](const LineageAwareWindow& w) {
+    auto emit = [&](const LineageAwareWindow& w) {
       LineageId lin = Concat(op_, sink, w.lr, w.ls);
       st.out.push_back({w.t, w.lr, w.ls, lin});
       res.delta.inserted.push_back({fact, w.t, lin});
-    });
-    st.ckpt = adv.Checkpoint();
+    };
+    // Kernel choice on the *unswept suffix* — the work a resume actually
+    // does — so O(delta) resumes stay O(delta): the columnar path projects
+    // only the suffix past the checkpoint cursors and shifts the cursors
+    // into / out of suffix space around the sweep.
+    const SweepKernel resolved = ResolveSweepKernel(
+        kernel_, (st.r.size() - st.ckpt.ri) + (st.s.size() - st.ckpt.si));
+    if (resolved == SweepKernel::kColumnar) {
+      const std::size_t base_r = st.ckpt.ri;
+      const std::size_t base_s = st.ckpt.si;
+      ColumnarView rview, sview;
+      rview.Build(st.r.data() + base_r, st.r.size() - base_r);
+      sview.Build(st.s.data() + base_s, st.s.size() - base_s);
+      ColumnarAdvancer adv(rview.Columns(), sview.Columns());
+      AdvancerCheckpoint ck = st.ckpt;
+      ck.ri -= base_r;
+      ck.si -= base_s;
+      adv.Restore(ck);
+      adv.Sweep(op_, emit);
+      st.ckpt = adv.Checkpoint();
+      st.ckpt.ri += base_r;
+      st.ckpt.si += base_s;
+      res.columnar = true;
+    } else {
+      LineageAwareWindowAdvancer adv(st.r.data(), st.r.size(), st.s.data(),
+                                     st.s.size());
+      adv.Restore(st.ckpt);
+      ForEachSurvivingWindow(op_, adv, emit);
+      st.ckpt = adv.Checkpoint();
+    }
     res.windows_produced = st.ckpt.windows_produced - windows_before;
     res.resumed = true;
     return res;
@@ -130,17 +157,33 @@ IncrementalSetOp::FactApplyResult IncrementalSetOp::ApplyFact(
   // windows keep their old lineage verbatim.
   ApplySideDelta(&st.r, l);
   ApplySideDelta(&st.s, r);
-  LineageAwareWindowAdvancer adv(st.r.data(), st.r.size(), st.s.data(),
-                                 st.s.size());
   struct FreshWindow {
     Interval t;
     LineageId lr, ls;
   };
   std::vector<FreshWindow> fresh;
-  ForEachSurvivingWindow(op_, adv, [&](const LineageAwareWindow& w) {
+  auto fresh_emit = [&](const LineageAwareWindow& w) {
     fresh.push_back({w.t, w.lr, w.ls});
-  });
-  res.windows_produced = adv.windows_produced();
+  };
+  AdvancerCheckpoint swept_ckpt;
+  const SweepKernel resolved =
+      ResolveSweepKernel(kernel_, st.r.size() + st.s.size());
+  if (resolved == SweepKernel::kColumnar) {
+    ColumnarView rview, sview;
+    rview.Build(st.r.data(), st.r.size());
+    sview.Build(st.s.data(), st.s.size());
+    ColumnarAdvancer adv(rview.Columns(), sview.Columns());
+    adv.Sweep(op_, fresh_emit);
+    res.windows_produced = adv.windows_produced();
+    swept_ckpt = adv.Checkpoint();
+    res.columnar = true;
+  } else {
+    LineageAwareWindowAdvancer adv(st.r.data(), st.r.size(), st.s.data(),
+                                   st.s.size());
+    ForEachSurvivingWindow(op_, adv, fresh_emit);
+    res.windows_produced = adv.windows_produced();
+    swept_ckpt = adv.Checkpoint();
+  }
 
   auto key_old = [](const OutTuple& o) {
     return std::make_tuple(o.t.start, o.t.end, o.lr, o.ls);
@@ -169,7 +212,7 @@ IncrementalSetOp::FactApplyResult IncrementalSetOp::ApplyFact(
     }
   }
   st.out = std::move(next_out);
-  st.ckpt = adv.Checkpoint();
+  st.ckpt = swept_ckpt;
   res.out_new_begin = 0;
   res.resumed = false;
   return res;
@@ -198,6 +241,9 @@ void IncrementalSetOp::Fold(const FactApplyResult& res) {
   } else {
     ++stats_.facts_reswept;
   }
+  NoteSweepKernels(
+      res.columnar ? SweepKernel::kColumnar : SweepKernel::kScalar, 1,
+      &stats_);
   accumulated_ += res.delta.inserted.size();
   accumulated_ -= res.delta.retracted.size();
   stats_.output_tuples = accumulated_;

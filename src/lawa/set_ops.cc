@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 
 #include "lawa/advancer.h"
+#include "lawa/columnar_advancer.h"
+#include "obs/metrics.h"
+#include "relation/columnar.h"
 #include "relation/validate.h"
 
 namespace tpset {
@@ -12,38 +16,82 @@ namespace {
 
 // Stable LSD radix sort by the (fact, start, end) key using 16-bit counting
 // passes — the §VI-B "counting-based sorting" variant, linear in input size.
-// Start/end points are biased into unsigned space so negative time points
-// sort correctly.
+//
+// Keys are rebased to (value − observed minimum): that maps negative time
+// points into unsigned space *and* shrinks every key to the range the data
+// actually spans, so each component runs only the passes its range needs
+// (fact ids and time points rarely need more than one or two 16-bit digits;
+// a constant component sorts in zero passes — stability keeps the order).
+// The prefix-sum table is allocated once and reused across passes.
 void RadixSortTuples(std::vector<TpTuple>* tuples) {
   const std::size_t n = tuples->size();
   if (n < 2) return;
   std::vector<TpTuple> scratch(n);
 
-  auto pass = [&](auto key_of, int shift, int bits) {
-    const std::size_t buckets = std::size_t{1} << bits;
-    const std::size_t mask = buckets - 1;
-    std::vector<std::size_t> count(buckets + 1, 0);
+  constexpr int kDigitBits = 16;
+  constexpr std::size_t kBuckets = std::size_t{1} << kDigitBits;
+  constexpr std::size_t kMask = kBuckets - 1;
+  std::vector<std::size_t> count(kBuckets + 1);
+
+  auto pass = [&](auto key_of, int shift) {
+    std::fill(count.begin(), count.end(), std::size_t{0});
     for (const TpTuple& t : *tuples) {
-      ++count[((key_of(t) >> shift) & mask) + 1];
+      ++count[((key_of(t) >> shift) & kMask) + 1];
     }
-    for (std::size_t b = 1; b <= buckets; ++b) count[b] += count[b - 1];
+    for (std::size_t b = 1; b <= kBuckets; ++b) count[b] += count[b - 1];
     for (const TpTuple& t : *tuples) {
-      scratch[count[(key_of(t) >> shift) & mask]++] = t;
+      scratch[count[(key_of(t) >> shift) & kMask]++] = t;
     }
     tuples->swap(scratch);
   };
 
-  auto end_key = [](const TpTuple& t) {
-    return static_cast<std::uint64_t>(t.t.end) + (std::uint64_t{1} << 63);
+  // One scan for the observed extrema of every key component.
+  TimePoint min_start = (*tuples)[0].t.start, max_start = min_start;
+  TimePoint min_end = (*tuples)[0].t.end, max_end = min_end;
+  FactId max_fact = (*tuples)[0].fact;
+  for (const TpTuple& t : *tuples) {
+    min_start = std::min(min_start, t.t.start);
+    max_start = std::max(max_start, t.t.start);
+    min_end = std::min(min_end, t.t.end);
+    max_end = std::max(max_end, t.t.end);
+    max_fact = std::max(max_fact, t.fact);
+  }
+
+  // Digits needed to cover [0, range]; 0 when the component is constant.
+  auto digits_for = [](std::uint64_t range) {
+    int d = 0;
+    while (range != 0) {
+      ++d;
+      range >>= kDigitBits;
+    }
+    return d;
   };
-  auto start_key = [](const TpTuple& t) {
-    return static_cast<std::uint64_t>(t.t.start) + (std::uint64_t{1} << 63);
+  // Unsigned subtraction is exact here: value >= min, and the true range
+  // always fits std::uint64_t.
+  const std::uint64_t end_range = static_cast<std::uint64_t>(max_end) -
+                                  static_cast<std::uint64_t>(min_end);
+  const std::uint64_t start_range = static_cast<std::uint64_t>(max_start) -
+                                    static_cast<std::uint64_t>(min_start);
+
+  auto end_key = [min_end](const TpTuple& t) {
+    return static_cast<std::uint64_t>(t.t.end) -
+           static_cast<std::uint64_t>(min_end);
+  };
+  auto start_key = [min_start](const TpTuple& t) {
+    return static_cast<std::uint64_t>(t.t.start) -
+           static_cast<std::uint64_t>(min_start);
   };
   auto fact_key = [](const TpTuple& t) { return std::uint64_t{t.fact}; };
 
-  for (int shift = 0; shift < 64; shift += 16) pass(end_key, shift, 16);
-  for (int shift = 0; shift < 64; shift += 16) pass(start_key, shift, 16);
-  for (int shift = 0; shift < 32; shift += 16) pass(fact_key, shift, 16);
+  // Least-significant component first; within each, least-significant digit
+  // first (LSD). Stability makes the skipped high digits (and whole skipped
+  // components) correct.
+  const int end_digits = digits_for(end_range);
+  for (int d = 0; d < end_digits; ++d) pass(end_key, d * kDigitBits);
+  const int start_digits = digits_for(start_range);
+  for (int d = 0; d < start_digits; ++d) pass(start_key, d * kDigitBits);
+  const int fact_digits = digits_for(std::uint64_t{max_fact});
+  for (int d = 0; d < fact_digits; ++d) pass(fact_key, d * kDigitBits);
 }
 
 }  // namespace
@@ -59,8 +107,42 @@ void SortTuples(std::vector<TpTuple>* tuples, SortMode mode) {
   }
 }
 
+const char* SweepKernelName(SweepKernel kernel) {
+  switch (kernel) {
+    case SweepKernel::kAuto:
+      return "auto";
+    case SweepKernel::kScalar:
+      return "scalar";
+    case SweepKernel::kColumnar:
+      return "columnar";
+  }
+  return "unknown";
+}
+
+void NoteSweepKernels(SweepKernel resolved, std::size_t count,
+                      LawaStats* stats) {
+  if (count == 0) return;
+  assert(resolved != SweepKernel::kAuto && "record the resolved kernel");
+  static obs::Counter& scalar_sweeps =
+      obs::MetricsRegistry::Global().GetCounter(
+          "tpset_lawa_sweep_kernel_scalar_total",
+          "LAWA sweeps run by the scalar (tuple-at-a-time) kernel");
+  static obs::Counter& columnar_sweeps =
+      obs::MetricsRegistry::Global().GetCounter(
+          "tpset_lawa_sweep_kernel_columnar_total",
+          "LAWA sweeps run by the columnar (SoA) kernel");
+  if (resolved == SweepKernel::kColumnar) {
+    columnar_sweeps.Increment(count);
+    if (stats != nullptr) stats->sweeps_columnar += count;
+  } else {
+    scalar_sweeps.Increment(count);
+    if (stats != nullptr) stats->sweeps_scalar += count;
+  }
+}
+
 TpRelation LawaSetOp(SetOpKind op, const TpRelation& r, const TpRelation& s,
-                     SortMode sort_mode, LawaStats* stats) {
+                     SortMode sort_mode, LawaStats* stats,
+                     SweepKernel kernel) {
   assert(ValidateSetOpInputs(r, s).ok());
   LineageManager& mgr = r.context()->lineage();
   TpRelation out(r.context(), r.schema(),
@@ -89,10 +171,9 @@ TpRelation LawaSetOp(SetOpKind op, const TpRelation& r, const TpRelation& s,
   }
 
   // Steps 2-4: advance windows; filter on (λr, λs); concatenate lineages.
-  // The drain conditions and λ-filters live in ForEachSurvivingWindow
-  // (set_ops.h), shared with the parallel sweep kernels.
-  LineageAwareWindowAdvancer adv(*rv, *sv);
-  ForEachSurvivingWindow(op, adv, [&](const LineageAwareWindow& w) {
+  // The drain conditions and λ-filters live in ForEachSurvivingWindow /
+  // ColumnarAdvancer::Sweep, shared with the parallel sweep kernels.
+  auto concat_emit = [&](const LineageAwareWindow& w) {
     LineageId lineage = kNullLineage;
     switch (op) {
       case SetOpKind::kIntersect:
@@ -106,9 +187,37 @@ TpRelation LawaSetOp(SetOpKind op, const TpRelation& r, const TpRelation& s,
         break;
     }
     out.AddDerived(w.fact, w.t, lineage);
-  });
+  };
+  const SweepKernel resolved = ResolveSweepKernel(kernel, rv->size() + sv->size());
+  std::size_t windows = 0;
+  if (resolved == SweepKernel::kColumnar) {
+    // Witnessed inputs reuse the relation's cached SoA view; a locally
+    // sorted copy gets a local projection for the duration of the sweep.
+    ColumnarView local_r, local_s;
+    ColumnSpan rc, sc;
+    if (r.known_sorted()) {
+      rc = r.columnar();
+    } else {
+      local_r.Build(rv->data(), rv->size());
+      rc = local_r.Columns();
+    }
+    if (s.known_sorted()) {
+      sc = s.columnar();
+    } else {
+      local_s.Build(sv->data(), sv->size());
+      sc = local_s.Columns();
+    }
+    ColumnarAdvancer adv(rc, sc);
+    adv.Sweep(op, concat_emit);
+    windows = adv.windows_produced();
+  } else {
+    LineageAwareWindowAdvancer adv(*rv, *sv);
+    ForEachSurvivingWindow(op, adv, concat_emit);
+    windows = adv.windows_produced();
+  }
+  NoteSweepKernels(resolved, 1, stats);
   if (stats != nullptr) {
-    stats->windows_produced = adv.windows_produced();
+    stats->windows_produced = windows;
     stats->output_tuples = out.size();
     stats->sort_skipped = sort_skipped;
   }

@@ -17,6 +17,29 @@ namespace tpset {
 /// (radix) sort makes the whole operation linear when applicable.
 enum class SortMode { kComparison = 0, kCounting = 1 };
 
+/// Which sweep kernel runs the LAWA advance loop. kScalar is the reference
+/// tuple-at-a-time advancer (lawa/advancer.h); kColumnar is the fused SoA
+/// kernel (lawa/columnar_advancer.h) — identical window stream, kept
+/// switchable for A/B benchmarking and differential testing. kAuto picks
+/// columnar above kColumnarAutoThreshold combined input tuples and scalar
+/// below it (tiny sweeps — the incremental engine's per-fact states — don't
+/// amortize a column build).
+enum class SweepKernel { kAuto = 0, kScalar = 1, kColumnar = 2 };
+
+/// kAuto cutover point, in combined input tuples (nr + ns).
+inline constexpr std::size_t kColumnarAutoThreshold = 64;
+
+/// The concrete kernel kAuto resolves to for a sweep of `combined_tuples`.
+inline SweepKernel ResolveSweepKernel(SweepKernel kernel,
+                                      std::size_t combined_tuples) {
+  if (kernel != SweepKernel::kAuto) return kernel;
+  return combined_tuples >= kColumnarAutoThreshold ? SweepKernel::kColumnar
+                                                   : SweepKernel::kScalar;
+}
+
+/// "auto" / "scalar" / "columnar" — flag values and EXPLAIN/bench labels.
+const char* SweepKernelName(SweepKernel kernel);
+
 /// Per-run statistics for complexity checks and benchmarks.
 struct LawaStats {
   std::size_t windows_produced = 0;  ///< candidate windows (Prop. 1 bound)
@@ -62,7 +85,19 @@ struct LawaStats {
   std::size_t tuples_retired = 0;
   /// O(1) fact-tail lookups served by the storage tail map.
   std::size_t tail_hits = 0;
+
+  // Sweep-kernel counters (which kernel ran the advance loop). Sequential
+  // runs record 1 sweep; parallel runs one per morsel; incremental runs one
+  // per fact apply. EXPLAIN renders `kernel=` from these.
+  std::size_t sweeps_scalar = 0;
+  std::size_t sweeps_columnar = 0;
 };
+
+/// Records `count` sweeps run under `resolved` (a concrete kernel, not
+/// kAuto) into the process metrics (tpset_lawa_sweep_kernel_*_total) and,
+/// if `stats` is non-null, its sweeps_scalar / sweeps_columnar.
+void NoteSweepKernels(SweepKernel resolved, std::size_t count,
+                      LawaStats* stats);
 
 /// Computes r opTp s with LAWA. Inputs must satisfy ValidateSetOpInputs
 /// (asserted in debug builds, unchecked in release — use the Checked variant
@@ -76,7 +111,8 @@ struct LawaStats {
 /// relations; normalize those with CoalesceEquivalent (algebra/) first.
 TpRelation LawaSetOp(SetOpKind op, const TpRelation& r, const TpRelation& s,
                      SortMode sort_mode = SortMode::kComparison,
-                     LawaStats* stats = nullptr);
+                     LawaStats* stats = nullptr,
+                     SweepKernel kernel = SweepKernel::kAuto);
 
 /// Validating wrapper around LawaSetOp.
 Result<TpRelation> LawaSetOpChecked(SetOpKind op, const TpRelation& r,

@@ -8,9 +8,11 @@
 #include <vector>
 
 #include "lawa/advancer.h"
+#include "lawa/columnar_advancer.h"
 #include "lineage/staging.h"
 #include "parallel/partition.h"
 #include "parallel/scheduler.h"
+#include "relation/columnar.h"
 #include "relation/validate.h"
 
 namespace tpset {
@@ -47,6 +49,20 @@ PartitionSweep SweepPartition(SetOpKind op, const TpTuple* r, std::size_t nr,
   PartitionSweep out;
   LineageAwareWindowAdvancer adv(r, nr, s, ns);
   ForEachSurvivingWindow(op, adv, [&](const LineageAwareWindow& w) {
+    out.windows.push_back({w.fact, w.t, w.lr, w.ls});
+  });
+  out.windows_produced = adv.windows_produced();
+  return out;
+}
+
+// The same deferred sweep on the columnar kernel: a morsel is a column
+// sub-span of the shared SoA view, the fused advance loop replaces the
+// per-window Next() calls. Window stream identical to SweepPartition.
+PartitionSweep SweepPartitionColumnar(SetOpKind op, ColumnSpan r,
+                                      ColumnSpan s) {
+  PartitionSweep out;
+  ColumnarAdvancer adv(r, s);
+  adv.Sweep(op, [&](const LineageAwareWindow& w) {
     out.windows.push_back({w.fact, w.t, w.lr, w.ls});
   });
   out.windows_produced = adv.windows_produced();
@@ -92,6 +108,32 @@ StagedSweep SweepPartitionStaged(SetOpKind op, const TpTuple* r, std::size_t nr,
   StagedSweep out{StagingArena(frozen, hash_consing), {}, 0};
   LineageAwareWindowAdvancer adv(r, nr, s, ns);
   ForEachSurvivingWindow(op, adv, [&](const LineageAwareWindow& w) {
+    LineageId lineage = kNullLineage;
+    switch (op) {
+      case SetOpKind::kIntersect:
+        lineage = out.arena.ConcatAnd(w.lr, w.ls);
+        break;
+      case SetOpKind::kUnion:
+        lineage = out.arena.ConcatOr(w.lr, w.ls);
+        break;
+      case SetOpKind::kExcept:
+        lineage = out.arena.ConcatAndNot(w.lr, w.ls);
+        break;
+    }
+    out.tuples.push_back({w.fact, w.t, lineage});
+  });
+  out.windows_produced = adv.windows_produced();
+  return out;
+}
+
+// Staged sweep on the columnar kernel (concatenations interned into the
+// thread-local staging arena, as in SweepPartitionStaged).
+StagedSweep SweepPartitionStagedColumnar(SetOpKind op, ColumnSpan r,
+                                         ColumnSpan s, LineageId frozen,
+                                         bool hash_consing) {
+  StagedSweep out{StagingArena(frozen, hash_consing), {}, 0};
+  ColumnarAdvancer adv(r, s);
+  adv.Sweep(op, [&](const LineageAwareWindow& w) {
     LineageId lineage = kNullLineage;
     switch (op) {
       case SetOpKind::kIntersect:
@@ -205,13 +247,15 @@ ParallelSetOpAlgorithm::ParallelSetOpAlgorithm(std::size_t num_threads,
                                                SortMode sort_mode,
                                                std::size_t partitions_per_thread,
                                                ApplyMode apply_mode,
-                                               MorselOptions morsel)
+                                               MorselOptions morsel,
+                                               SweepKernel kernel)
     : num_threads_(num_threads),
       sort_mode_(sort_mode),
       partitions_per_thread_(
           partitions_per_thread == 0 ? 1 : partitions_per_thread),
       apply_mode_(apply_mode),
-      morsel_(morsel) {}
+      morsel_(morsel),
+      kernel_(kernel) {}
 
 ParallelSetOpAlgorithm::~ParallelSetOpAlgorithm() = default;
 
@@ -256,7 +300,7 @@ TpRelation ParallelSetOpAlgorithm::ComputeSequenced(SetOpKind op,
     turn.Wait();
     Clock::time_point t0 = Clock::now();
     LawaStats local_stats;
-    TpRelation out = LawaSetOp(op, r, s, sort_mode_, &local_stats);
+    TpRelation out = LawaSetOp(op, r, s, sort_mode_, &local_stats, kernel_);
     if (span != nullptr) {
       // The sequential algorithm interleaves all phases; report its whole
       // wall time as the sweep.
@@ -353,6 +397,31 @@ TpRelation ParallelSetOpAlgorithm::ComputeSequenced(SetOpKind op,
   double split_ms = MsSince(t0);
   t0 = Clock::now();
 
+  // Sweep-kernel resolution (once per operation, on the combined input
+  // size). Under kColumnar, witnessed inputs reuse the relation's cached
+  // SoA view and locally sorted copies get local projections; the builds
+  // count into advance_ms — they are work the columnar kernel needs. The
+  // local views outlive every morsel sweep (WaitMorsel/WaitAll below
+  // complete before they leave scope).
+  const SweepKernel resolved = ResolveSweepKernel(kernel_, rn + sn);
+  const bool columnar = resolved == SweepKernel::kColumnar;
+  ColumnarView local_rview, local_sview;
+  ColumnSpan rcols, scols;
+  if (columnar) {
+    if (r.known_sorted()) {
+      rcols = r.columnar();
+    } else {
+      local_rview.Build(rdata, rn);
+      rcols = local_rview.Columns();
+    }
+    if (s.known_sorted()) {
+      scols = s.columnar();
+    } else {
+      local_sview.Build(sdata, sn);
+      scols = local_sview.Columns();
+    }
+  }
+
   // Phase 3: sweep morsels on the work-stealing batch; each result lands in
   // its own slot, so the apply below can consume them strictly in morsel
   // index order regardless of which worker ran what. In staged mode the
@@ -363,23 +432,42 @@ TpRelation ParallelSetOpAlgorithm::ComputeSequenced(SetOpKind op,
   std::function<void(std::size_t)> body;
   if (staged) {
     staged_results.resize(n_morsels);
-    body = [op, rdata, sdata, frozen, hash_consing, &plan,
-            &staged_results](std::size_t i) {
-      const FactPartition& part = plan.morsels[i];
-      staged_results[i] = SweepPartitionStaged(
-          op, rdata + part.r_begin, part.r_end - part.r_begin,
-          sdata + part.s_begin, part.s_end - part.s_begin, frozen,
-          hash_consing);
-    };
+    if (columnar) {
+      body = [op, rcols, scols, frozen, hash_consing, &plan,
+              &staged_results](std::size_t i) {
+        const FactPartition& part = plan.morsels[i];
+        staged_results[i] = SweepPartitionStagedColumnar(
+            op, rcols.Slice(part.r_begin, part.r_end),
+            scols.Slice(part.s_begin, part.s_end), frozen, hash_consing);
+      };
+    } else {
+      body = [op, rdata, sdata, frozen, hash_consing, &plan,
+              &staged_results](std::size_t i) {
+        const FactPartition& part = plan.morsels[i];
+        staged_results[i] = SweepPartitionStaged(
+            op, rdata + part.r_begin, part.r_end - part.r_begin,
+            sdata + part.s_begin, part.s_end - part.s_begin, frozen,
+            hash_consing);
+      };
+    }
   } else {
     results.resize(n_morsels);
-    body = [op, rdata, sdata, &plan, &results](std::size_t i) {
-      const FactPartition& part = plan.morsels[i];
-      results[i] = SweepPartition(op, rdata + part.r_begin,
-                                  part.r_end - part.r_begin,
-                                  sdata + part.s_begin,
-                                  part.s_end - part.s_begin);
-    };
+    if (columnar) {
+      body = [op, rcols, scols, &plan, &results](std::size_t i) {
+        const FactPartition& part = plan.morsels[i];
+        results[i] =
+            SweepPartitionColumnar(op, rcols.Slice(part.r_begin, part.r_end),
+                                   scols.Slice(part.s_begin, part.s_end));
+      };
+    } else {
+      body = [op, rdata, sdata, &plan, &results](std::size_t i) {
+        const FactPartition& part = plan.morsels[i];
+        results[i] = SweepPartition(op, rdata + part.r_begin,
+                                    part.r_end - part.r_begin,
+                                    sdata + part.s_begin,
+                                    part.s_end - part.s_begin);
+      };
+    }
   }
   // Stealing applies in both scheduler modes: in the legacy static model it
   // is what the old shared FIFO pool queue provided (any idle worker takes
@@ -461,6 +549,7 @@ TpRelation ParallelSetOpAlgorithm::ComputeSequenced(SetOpKind op,
   local_stats.morsels_run = batch.morsels_run();
   local_stats.morsels_stolen = batch.morsels_stolen();
   local_stats.facts_split = plan.facts_split;
+  NoteSweepKernels(resolved, n_morsels, &local_stats);
   if (stats != nullptr) *stats = local_stats;
   if (span != nullptr) {
     span->AddChild("sort")->wall_ms = sort_ms;
@@ -470,6 +559,7 @@ TpRelation ParallelSetOpAlgorithm::ComputeSequenced(SetOpKind op,
     span->AttachStats(local_stats);
     span->SetAttr("out", out.size());
     span->SetAttr("morsels", batch.morsels_run());
+    span->SetAttr("kernel", std::string(SweepKernelName(resolved)));
   }
   return out;
 }

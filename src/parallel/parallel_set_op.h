@@ -104,11 +104,16 @@ class ParallelSetOpAlgorithm final : public SetOpAlgorithm {
   /// first use. `morsel` configures the work-stealing refinement of the
   /// partition plan (scheduler.h); MorselOptions{.enabled = false} restores
   /// the legacy one-task-per-partition model with a barrier before apply.
+  /// `kernel` selects the sweep kernel for phase 3 (set_ops.h SweepKernel);
+  /// morsels sweep column sub-spans of one shared SoA view under
+  /// kColumnar. Kernel choice never changes the output — both kernels
+  /// produce the identical window stream.
   explicit ParallelSetOpAlgorithm(std::size_t num_threads,
                                   SortMode sort_mode = SortMode::kComparison,
                                   std::size_t partitions_per_thread = 4,
                                   ApplyMode apply_mode = ApplyMode::kBitIdentical,
-                                  MorselOptions morsel = {});
+                                  MorselOptions morsel = {},
+                                  SweepKernel kernel = SweepKernel::kAuto);
   ~ParallelSetOpAlgorithm() override;
 
   std::string name() const override { return "LAWA-P"; }
@@ -148,6 +153,7 @@ class ParallelSetOpAlgorithm final : public SetOpAlgorithm {
   std::size_t num_threads() const { return num_threads_; }
   ApplyMode apply_mode() const { return apply_mode_; }
   const MorselOptions& morsel_options() const { return morsel_; }
+  SweepKernel sweep_kernel() const { return kernel_; }
 
  private:
   ThreadPool* pool() const;
@@ -157,6 +163,7 @@ class ParallelSetOpAlgorithm final : public SetOpAlgorithm {
   std::size_t partitions_per_thread_;
   ApplyMode apply_mode_;
   MorselOptions morsel_;
+  SweepKernel kernel_;
   mutable std::once_flag pool_once_;
   mutable std::unique_ptr<ThreadPool> pool_;
 };

@@ -236,6 +236,12 @@ Result<TpRelation> QueryExecutor::Execute(const QueryNode& query,
     if (options.profile != nullptr) {
       return ExecuteProfiled(query, options, algorithm);
     }
+    // A pinned sweep kernel must reach LawaSetOp even without a profile:
+    // route default LAWA through the degenerate (sequential) partitioned
+    // algorithm, which carries the kernel. kAuto keeps the plain path.
+    if (algorithm == nullptr && options.sweep_kernel != SweepKernel::kAuto) {
+      return Execute(query, ParallelAlgoFor(options));
+    }
     return Execute(query, algorithm);
   }
   return ExecuteConcurrent(query, options, algorithm);
@@ -246,14 +252,15 @@ const ParallelSetOpAlgorithm* QueryExecutor::ParallelAlgoFor(
   std::lock_guard<std::mutex> lock(parallel_mu_);
   std::unique_ptr<ParallelSetOpAlgorithm>& slot = parallel_algos_[{
       options.num_threads, options.apply_mode, options.morsel_size,
-      options.steal}];
+      options.steal, options.sweep_kernel}];
   if (slot == nullptr) {
     MorselOptions morsel;
     morsel.morsel_size = options.morsel_size;
     morsel.steal = options.steal;
     slot = std::make_unique<ParallelSetOpAlgorithm>(
         options.num_threads, SortMode::kComparison,
-        /*partitions_per_thread=*/4, options.apply_mode, morsel);
+        /*partitions_per_thread=*/4, options.apply_mode, morsel,
+        options.sweep_kernel);
   }
   return slot.get();
 }

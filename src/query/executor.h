@@ -56,6 +56,15 @@ struct ExecOptions {
   /// stealing effect).
   bool steal = true;
 
+  /// Which kernel runs the LAWA advance loop (set_ops.h SweepKernel):
+  /// kAuto (default) picks columnar for large sweeps and scalar for tiny
+  /// ones; kScalar / kColumnar pin it for A/B runs. Results are unaffected
+  /// — both kernels produce the identical window stream (under kScalar vs
+  /// kColumnar with apply_mode kBitIdentical, outputs are byte-equal).
+  /// Applies under the same algorithm rules as num_threads, including the
+  /// sequential (num_threads <= 1) path.
+  SweepKernel sweep_kernel = SweepKernel::kAuto;
+
   /// When non-null, the execution records its span tree here: root (whole
   /// query; admission timestamp on start_unix_us) → "parse"/"analyze" →
   /// one span per plan node ("relation <name>" leaves, operator nodes with
@@ -215,8 +224,9 @@ class QueryExecutor {
   // (Append applies them one at a time, so at most one pool is ever busy).
   std::map<std::size_t, std::unique_ptr<ThreadPool>> continuous_pools_;
   mutable std::mutex parallel_mu_;
-  mutable std::map<std::tuple<std::size_t, ApplyMode, std::size_t, bool>,
-                   std::unique_ptr<ParallelSetOpAlgorithm>>
+  mutable std::map<
+      std::tuple<std::size_t, ApplyMode, std::size_t, bool, SweepKernel>,
+      std::unique_ptr<ParallelSetOpAlgorithm>>
       parallel_algos_;
 };
 

@@ -73,9 +73,17 @@ void RenderNode(const obs::Span& span, int depth, std::string* out) {
                 t.sort_ms, t.split_ms, t.advance_ms, t.apply_ms,
                 span.stats.morsels_run, span.stats.morsels_stolen,
                 span.stats.facts_split);
+  // Which sweep kernel ran this node, from the attached LawaStats (a
+  // parallel node sweeps one kernel across all morsels; "mixed" can only
+  // appear on aggregated spans, e.g. incremental per-epoch deltas).
+  const char* kernel = span.stats.sweeps_columnar > 0
+                           ? (span.stats.sweeps_scalar > 0 ? "mixed"
+                                                           : "columnar")
+                           : "scalar";
   *out += indent + span.name + "  [out=" + span.Attr("out") +
           ", windows=" + std::to_string(span.stats.windows_produced) + "/" +
-          span.Attr("bound") + "(bound)" + phases + "]\n";
+          span.Attr("bound") + "(bound)" + phases + " kernel=" + kernel +
+          "]\n";
 }
 
 Result<std::string> ExplainInto(const QueryExecutor& exec,

@@ -1,0 +1,144 @@
+// Struct-of-arrays (SoA) projection of a sorted tuple array, for the
+// columnar sweep kernel (lawa/columnar_advancer.h).
+//
+// TpTuple is a 24-byte AoS record; the advancer's compare-advance loop reads
+// only the two 8-byte endpoints of each tuple, so sweeping the AoS layout
+// strides over lineage ids it never touches and defeats vectorization. A
+// ColumnarView splits one sorted tuple span into four contiguous columns
+// (start / end / fact / lineage); the columnar kernel then runs its endpoint
+// math over dense 8-byte lanes, and a fact-range morsel is simply a sub-span
+// of the columns — no per-morsel rebuild (parallel morsel bounds are tuple
+// indices, which slice all four columns at once).
+//
+// Relations cache their view next to the `known_sorted` witness
+// (TpRelation::columnar): built lazily on first use, shared by every sweep
+// until the next mutation invalidates it together with the tuple content it
+// snapshots. See DESIGN.md, "Columnar sweep kernel".
+#ifndef TPSET_RELATION_COLUMNAR_H_
+#define TPSET_RELATION_COLUMNAR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+#include "relation/tuple.h"
+
+namespace tpset {
+
+/// A borrowed, contiguous slice of SoA columns: tuple i of the slice is
+/// {fact[i], [start[i], end[i]), lineage[i]}. Plain pointers — the backing
+/// ColumnarView (or the columns' owner) must outlive every slice.
+struct ColumnSpan {
+  const TimePoint* start = nullptr;
+  const TimePoint* end = nullptr;
+  const FactId* fact = nullptr;
+  const LineageId* lineage = nullptr;
+  std::size_t n = 0;
+
+  /// The sub-span [begin, end_index) — a fact-range morsel's share.
+  ColumnSpan Slice(std::size_t begin, std::size_t end_index) const {
+    return {start + begin, end + begin, fact + begin, lineage + begin,
+            end_index - begin};
+  }
+};
+
+/// Owning SoA projection of a (fact, start, end)-sorted tuple array.
+struct ColumnarView {
+  std::vector<TimePoint> start;
+  std::vector<TimePoint> end;
+  std::vector<FactId> fact;
+  std::vector<LineageId> lineage;
+
+  std::size_t size() const { return fact.size(); }
+
+  /// (Re)builds the columns from `tuples[0..n)`. Records the build latency
+  /// into the tpset_lawa_columnar_build_usec histogram.
+  void Build(const TpTuple* tuples, std::size_t n);
+
+  ColumnSpan Columns() const {
+    return {start.data(), end.data(), fact.data(), lineage.data(), size()};
+  }
+};
+
+/// Lazily-built, copyable cache cell for a relation's ColumnarView.
+///
+/// Concurrency contract (the same one TpRelation already lives by): readers
+/// of a non-mutated relation may race freely — the mutex below serializes
+/// only the one first-use build among concurrent GetOrBuild callers (e.g.
+/// two query leaves naming the same catalog relation); mutation must not
+/// race with reads, so Invalidate never contends with a build. Invalidate
+/// is called from every tuple-mutating TpRelation method, including the
+/// per-tuple Add* hot path — the relaxed `has_` pre-check keeps it at one
+/// relaxed load (no lock) for relations that never built a view, which is
+/// every output relation under construction.
+///
+/// Copies share the (immutable once built) view; moves behave like copies —
+/// both exist so TpRelation keeps its implicitly-defined copy/move members
+/// despite the mutex.
+class ColumnarCache {
+ public:
+  ColumnarCache() = default;
+  ColumnarCache(const ColumnarCache& other) { StoreUnlocked(other.Snapshot()); }
+  ColumnarCache(ColumnarCache&& other) noexcept {
+    StoreUnlocked(other.Snapshot());
+  }
+  ColumnarCache& operator=(const ColumnarCache& other) {
+    if (this != &other) Store(other.Snapshot());
+    return *this;
+  }
+  ColumnarCache& operator=(ColumnarCache&& other) noexcept {
+    if (this != &other) Store(other.Snapshot());
+    return *this;
+  }
+
+  /// The cached columns, building them from `tuples[0..n)` on first use.
+  /// The returned span is valid until the next Invalidate (i.e. the next
+  /// mutation of the owning relation).
+  ColumnSpan GetOrBuild(const TpTuple* tuples, std::size_t n) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (view_ == nullptr) {
+      auto v = std::make_shared<ColumnarView>();
+      v->Build(tuples, n);
+      view_ = std::move(v);
+      has_.store(true, std::memory_order_relaxed);
+    }
+    return view_->Columns();
+  }
+
+  /// Drops the cached view (the owning relation mutated).
+  void Invalidate() {
+    if (!has_.load(std::memory_order_relaxed)) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    view_.reset();
+    has_.store(false, std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<const ColumnarView> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return view_;
+  }
+  void Store(std::shared_ptr<const ColumnarView> v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    StoreHeld(std::move(v));
+  }
+  // For constructors: members are freshly built, no lock needed yet.
+  void StoreUnlocked(std::shared_ptr<const ColumnarView> v) {
+    StoreHeld(std::move(v));
+  }
+  void StoreHeld(std::shared_ptr<const ColumnarView> v) {
+    has_.store(v != nullptr, std::memory_order_relaxed);
+    view_ = std::move(v);
+  }
+
+  mutable std::mutex mu_;
+  mutable std::shared_ptr<const ColumnarView> view_;
+  mutable std::atomic<bool> has_{false};
+};
+
+}  // namespace tpset
+
+#endif  // TPSET_RELATION_COLUMNAR_H_
