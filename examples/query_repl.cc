@@ -26,23 +26,33 @@
 //                                       retired, continuous queries rebase
 //   \compact <rel>                      fold pending append runs into the
 //                                       base level (applies the watermark)
-//   \metrics                            scrape the process-wide metrics
-//                                       registry (Prometheus text format)
+//   \metrics [prefix]                   scrape the process-wide metrics
+//                                       registry (Prometheus text format),
+//                                       optionally filtered to names with
+//                                       the given prefix
+//   \top [window_sec]                   live per-metric rates over the
+//                                       flight recorder's ring history
+//   \events [n]                         recent structured events
+//   \slow                               retained slow-query exemplars
+//   \dump <path>                        write the flight record as JSON
 //   \profile [on|off]                   show or toggle profiling: when on,
 //                                       every query and \append also prints
 //                                       its trace-span tree (wall/CPU per
 //                                       phase, LAWA counters)
 //   \quit                               exit
 // (.cmd spellings of every command are accepted too; \help lists them.)
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "lineage/eval.h"
+#include "obs/events.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/recorder.h"
 #include "query/analyzer.h"
 #include "query/executor.h"
 #include "query/explain.h"
@@ -132,9 +142,87 @@ constexpr const char* kHelp =
     "  \\explain <name>                     continuous plan with counters\n"
     "  \\retain <rel> <watermark>           advance retention, compact\n"
     "  \\compact <rel>                      fold append runs into the base\n"
-    "  \\metrics                            scrape the metrics registry\n"
+    "  \\metrics [prefix]                   scrape the metrics registry\n"
+    "  \\top [window_sec]                   live rates from ring history\n"
+    "  \\events [n]                         recent structured events\n"
+    "  \\slow                               retained slow-query exemplars\n"
+    "  \\dump <path>                        write the flight-record JSON\n"
     "  \\profile [on|off]                   print trace spans per query\n"
     "  \\quit                               exit\n";
+
+// \top: one line per tracked metric with ring samples in the window,
+// grouped by subsystem (the second `_`-separated component of the name).
+void PrintTop(std::chrono::milliseconds window) {
+  const obs::Recorder& rec = obs::Recorder::Global();
+  if (rec.ticks() < 2) {
+    std::cout << "(flight recorder warming up: " << rec.ticks()
+              << " collector ticks so far)\n";
+    return;
+  }
+  std::printf("%-44s %10s %12s %12s\n", "metric", "last", "rate/s", "p99");
+  std::string current_subsystem;
+  for (const std::string& name : rec.TrackedMetrics()) {
+    Result<obs::HistoryStats> h = rec.History(name, window);
+    if (!h.ok() || h->samples < 2) continue;
+    // tpset_<subsystem>_<rest>
+    const std::size_t first = name.find('_');
+    const std::size_t second =
+        first == std::string::npos ? std::string::npos
+                                   : name.find('_', first + 1);
+    const std::string subsystem =
+        second == std::string::npos
+            ? std::string("other")
+            : name.substr(first + 1, second - first - 1);
+    if (subsystem != current_subsystem) {
+      std::printf("-- %s\n", subsystem.c_str());
+      current_subsystem = subsystem;
+    }
+    if (h->kind == obs::MetricSnapshot::Kind::kHistogram) {
+      std::printf("%-44s %10lld %12.2f %12.0f\n", name.c_str(),
+                  static_cast<long long>(h->last), h->rate_per_sec, h->p99);
+    } else {
+      std::printf("%-44s %10lld %12.2f %12s\n", name.c_str(),
+                  static_cast<long long>(h->last), h->rate_per_sec, "-");
+    }
+  }
+  std::printf("(window %.1fs, tick %lldms, %llu ticks)\n",
+              static_cast<double>(window.count()) / 1000.0,
+              static_cast<long long>(rec.options().tick.count()),
+              static_cast<unsigned long long>(rec.ticks()));
+}
+
+void PrintEvents(std::size_t max_events) {
+  const std::vector<obs::Event> events =
+      obs::EventLog::Global().Snapshot(max_events);
+  if (events.empty()) {
+    std::cout << "(no events)\n";
+    return;
+  }
+  for (const obs::Event& e : events) {
+    std::printf("%12lld  #%-5llu %-5s %-8s %s\n",
+                static_cast<long long>(e.ts_unix_us),
+                static_cast<unsigned long long>(e.seq),
+                obs::SeverityName(e.severity), e.subsystem, e.message);
+  }
+}
+
+void PrintSlowQueries() {
+  const std::vector<obs::SlowExemplar> slow =
+      obs::Recorder::Global().SlowQueries();
+  if (slow.empty()) {
+    std::cout << "(no slow executions retained; threshold query="
+              << obs::Recorder::Global().SlowThresholdMs("query")
+              << "ms epoch=" << obs::Recorder::Global().SlowThresholdMs("epoch")
+              << "ms)\n";
+    return;
+  }
+  for (const obs::SlowExemplar& e : slow) {
+    std::printf("#%-5llu %-6s %10.2fms (threshold %.2fms)  %s\n",
+                static_cast<unsigned long long>(e.seq), e.kind.c_str(),
+                e.wall_ms, e.threshold_ms, e.label.c_str());
+  }
+  std::cout << "(profiles retained as JSON; \\dump <path> exports them)\n";
+}
 
 void PrintDelta(const std::string& watch_name, const EpochDelta& d,
                 const TpContext& ctx) {
@@ -204,6 +292,10 @@ int main(int argc, char** argv) {
   if (num_threads > 1) {
     std::cout << "parallel execution: " << num_threads << " threads\n";
   }
+
+  // The shell is interactive telemetry's natural home: start the flight
+  // recorder's collector up front so \top has ring history immediately.
+  obs::Recorder::Global().Start();
 
   std::string line;
   std::cout << "tpset> " << std::flush;
@@ -335,8 +427,38 @@ int main(int argc, char** argv) {
       }
     } else if (line == "\\help" || line == "\\h") {
       std::cout << kHelp;
-    } else if (line == "\\metrics") {
-      std::cout << obs::PrometheusText(obs::MetricsRegistry::Global().Scrape());
+    } else if (line == "\\metrics" || line.rfind("\\metrics ", 0) == 0) {
+      const std::string prefix =
+          line.size() > 9 ? line.substr(9) : std::string();
+      obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Scrape();
+      if (!prefix.empty()) {
+        std::erase_if(snap.metrics, [&prefix](const obs::MetricSnapshot& m) {
+          return m.name.rfind(prefix, 0) != 0;
+        });
+        if (snap.metrics.empty()) {
+          std::cout << "(no metrics with prefix '" << prefix << "')\n";
+        }
+      }
+      std::cout << obs::PrometheusText(snap);
+    } else if (line == "\\top" || line.rfind("\\top ", 0) == 0) {
+      long window_sec =
+          line.size() > 5 ? std::atol(line.c_str() + 5) : 10;
+      if (window_sec < 1) window_sec = 10;
+      PrintTop(std::chrono::milliseconds(window_sec * 1000));
+    } else if (line == "\\events" || line.rfind("\\events ", 0) == 0) {
+      long n = line.size() > 8 ? std::atol(line.c_str() + 8) : 20;
+      if (n < 1) n = 20;
+      PrintEvents(static_cast<std::size_t>(n));
+    } else if (line == "\\slow") {
+      PrintSlowQueries();
+    } else if (line.rfind("\\dump ", 0) == 0) {
+      const std::string path = line.substr(6);
+      Status st = obs::Recorder::Global().DumpNow(path);
+      if (st.ok()) {
+        std::cout << "flight record written to " << path << '\n';
+      } else {
+        std::cout << st.ToString() << '\n';
+      }
     } else if (line == "\\profile" || line.rfind("\\profile ", 0) == 0) {
       const std::string arg =
           line.size() > 9 ? line.substr(9) : std::string();

@@ -45,6 +45,7 @@ test -s "$BUILD_DIR/BENCH_parallel.json"
 grep -q '"operations"' "$BUILD_DIR/BENCH_parallel.json"
 grep -q '"skew"' "$BUILD_DIR/BENCH_parallel.json"
 grep -q '"host_cpus"' "$BUILD_DIR/BENCH_parallel.json"
+grep -q '"obs"' "$BUILD_DIR/BENCH_parallel.json"
 grep -q '"kernel_ab"' "$BUILD_DIR/BENCH_parallel.json"
 echo "bench_parallel smoke OK"
 
@@ -87,6 +88,25 @@ TPSET_BENCH_SCALE=0.002 "$BUILD_DIR/bench/bench_streaming" \
 test -s "$BUILD_DIR/BENCH_streaming.json"
 grep -q '"points"' "$BUILD_DIR/BENCH_streaming.json"
 echo "bench_streaming smoke OK"
+
+# Flight-record smoke: drive a continuous workload through the REPL (which
+# starts the obs::Recorder collector), hold the session open long enough for
+# a few collector ticks, dump the flight record, and validate it against the
+# checked-in schema. A malformed dump (broken seqlock read, bad JSON
+# formatter, dropped field) fails the build here — the same validator is the
+# oracle for the crash-handler test in tests/recorder_test.cc.
+{
+  printf '\\watch w1 c - (a | b)\n'
+  printf '\\append a milk 12 14 0.5\n'
+  printf '\\append b beer 1 9 0.25\n'
+  printf '\\append a milk 2 6 0.75\n'
+  sleep 1
+  printf '\\dump %s/flight_record.json\n' "$BUILD_DIR"
+  printf '\\quit\n'
+} | "$BUILD_DIR/examples/query_repl" > "$BUILD_DIR/repl_smoke.out"
+python3 scripts/validate_flight_record.py "$BUILD_DIR/flight_record.json" \
+  scripts/flight_record_schema.json
+echo "flight record smoke OK"
 
 # Storage smoke: run-index append path vs MergeSortedAppend, compaction and
 # the retention-bounds-resident-state sweep, plus the BENCH_storage.json

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Validates a flight-record JSON dump against flight_record_schema.json.
+
+Usage: validate_flight_record.py <flight_record.json> [schema.json]
+
+Checks (any failure exits non-zero with a message per violation):
+  * the file parses as one JSON object with every top-level field present
+    and of the declared type (metrics/events/slow_queries are arrays);
+  * every metric entry carries the declared fields, a known kind, a
+    tpset_-prefixed name, samples == len(series) clamped to the trailing-
+    series cap, and internally consistent window stats (min <= avg <= max
+    for gauges; non-negative rate inputs for counters/histograms);
+  * counter and histogram series are monotone non-decreasing (cumulative
+    samples — a decreasing series means torn ring reads);
+  * every event carries the declared fields, a known severity, and a
+    positive seq; seqs are strictly increasing (emission order);
+  * every slow-query exemplar carries the declared fields, a known kind,
+    wall_ms >= threshold_ms (it was retained *because* it was slow), and a
+    profile that is an object or null.
+
+Run by scripts/ci.sh after the REPL-driven flight-record smoke; also the
+oracle for the forked-child crash-dump test. Stdlib only.
+"""
+
+import json
+import os
+import sys
+
+TYPE_CHECKS = {
+    "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "str": lambda v: isinstance(v, str),
+    "array": lambda v: isinstance(v, list),
+    "object_or_null": lambda v: v is None or isinstance(v, dict),
+}
+
+
+def fail(errors):
+    for e in errors:
+        print(f"validate_flight_record: {e}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_fields(obj, fields, label, errors):
+    ok = True
+    for name, kind in fields.items():
+        if name not in obj:
+            errors.append(f"{label}: missing field {name!r}")
+            ok = False
+        elif not TYPE_CHECKS[kind](obj[name]):
+            errors.append(
+                f"{label}: field {name!r} = {obj[name]!r} is not a {kind}"
+            )
+            ok = False
+    return ok
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail(["usage: validate_flight_record.py <flight_record.json> [schema.json]"])
+    record_path = sys.argv[1]
+    schema_path = (
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else os.path.join(os.path.dirname(__file__), "flight_record_schema.json")
+    )
+
+    with open(schema_path) as f:
+        schema = json.load(f)
+
+    errors = []
+    try:
+        with open(record_path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail([f"{record_path}: not valid JSON ({e})"])
+    if not isinstance(doc, dict):
+        fail([f"{record_path}: top level is not an object"])
+
+    check_fields(doc, schema["top_level"], "top level", errors)
+    if errors:
+        fail(errors)
+
+    if doc["flight_record"] != schema["version"]:
+        errors.append(
+            f"flight_record version {doc['flight_record']} != "
+            f"schema version {schema['version']}"
+        )
+
+    for i, m in enumerate(doc["metrics"]):
+        label = f"metrics[{i}]"
+        if not isinstance(m, dict):
+            errors.append(f"{label}: not an object")
+            continue
+        if not check_fields(m, schema["metric_fields"], label, errors):
+            continue
+        label = f"metrics[{i}] ({m['name']})"
+        if not m["name"].startswith("tpset_"):
+            errors.append(f"{label}: name lacks the tpset_ prefix")
+        if m["kind"] not in schema["metric_kinds"]:
+            errors.append(f"{label}: unknown kind {m['kind']!r}")
+        if m["samples"] <= 0:
+            errors.append(f"{label}: entry emitted with no samples")
+        if len(m["series"]) > m["samples"]:
+            errors.append(
+                f"{label}: series longer than samples "
+                f"({len(m['series'])} > {m['samples']})"
+            )
+        if m["kind"] == "gauge":
+            if not (m["min"] <= m["avg"] <= m["max"]):
+                errors.append(
+                    f"{label}: avg {m['avg']} outside [min={m['min']}, "
+                    f"max={m['max']}]"
+                )
+        else:
+            # Cumulative series must be monotone; a dip means a torn read.
+            series = m["series"]
+            if any(a > b for a, b in zip(series, series[1:])):
+                errors.append(f"{label}: cumulative series is not monotone")
+            if m["last"] < m["first"]:
+                errors.append(
+                    f"{label}: last {m['last']} < first {m['first']} "
+                    "(cumulative metric went backwards)"
+                )
+
+    prev_seq = 0
+    for i, e in enumerate(doc["events"]):
+        label = f"events[{i}]"
+        if not isinstance(e, dict):
+            errors.append(f"{label}: not an object")
+            continue
+        if not check_fields(e, schema["event_fields"], label, errors):
+            continue
+        if e["severity"] not in schema["event_severities"]:
+            errors.append(f"{label}: unknown severity {e['severity']!r}")
+        if e["seq"] <= prev_seq:
+            errors.append(
+                f"{label}: seq {e['seq']} not increasing (prev {prev_seq})"
+            )
+        prev_seq = e["seq"]
+
+    for i, s in enumerate(doc["slow_queries"]):
+        label = f"slow_queries[{i}]"
+        if not isinstance(s, dict):
+            errors.append(f"{label}: not an object")
+            continue
+        if not check_fields(s, schema["slow_query_fields"], label, errors):
+            continue
+        if s["kind"] not in schema["slow_query_kinds"]:
+            errors.append(f"{label}: unknown kind {s['kind']!r}")
+        if s["wall_ms"] < s["threshold_ms"]:
+            errors.append(
+                f"{label}: wall {s['wall_ms']}ms below its own threshold "
+                f"{s['threshold_ms']}ms"
+            )
+
+    if errors:
+        fail(errors)
+    print(
+        f"validate_flight_record: OK ({len(doc['metrics'])} metrics, "
+        f"{len(doc['events'])} events, {len(doc['slow_queries'])} slow, "
+        f"crash_signal={doc['crash_signal']})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,10 @@ Usage: validate_metrics.py <snapshot.jsonl> [schema.json]
 Checks (any failure exits non-zero with a message per violation):
   * every line parses as a JSON object with string `name` and `type`;
   * names match the schema's `name_pattern` (tpset_<subsystem>_<name>);
+  * unit suffixes match the metric type: counters end `_total`, time-valued
+    histograms end `_usec` or `_ms`, and gauges are bare nouns (no counter
+    or time suffix) — so new instrumentation cannot drift from the naming
+    scheme documented in src/obs/metrics.h;
   * every exported metric is declared in the schema (`required` or `known`)
     with a matching type — an undeclared name means the schema and the code
     drifted apart;
@@ -65,6 +69,15 @@ def main():
                 continue
             if not name_re.match(name):
                 errors.append(f"{name}: does not match {schema['name_pattern']}")
+            # Unit-suffix discipline per type (see src/obs/metrics.h).
+            if kind == "counter" and not name.endswith("_total"):
+                errors.append(f"{name}: counters must end in _total")
+            elif kind == "histogram" and not name.endswith(("_usec", "_ms")):
+                errors.append(f"{name}: histograms must end in _usec or _ms")
+            elif kind == "gauge" and name.endswith(("_total", "_usec", "_ms")):
+                errors.append(
+                    f"{name}: gauges are bare nouns (no _total/_usec/_ms)"
+                )
             if name in seen:
                 errors.append(f"{name}: exported twice (lines {seen[name]}, {lineno})")
             seen[name] = lineno

@@ -6,7 +6,9 @@
 #include <utility>
 
 #include "common/setop.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 
 namespace tpset {
 
@@ -54,6 +56,32 @@ obs::Counter& RetractionsCounter() {
       "tpset_incr_retractions_total",
       "tuples retracted from continuous-query root deltas");
   return c;
+}
+
+// Streaming telemetry (flight recorder, PR 8). The epoch end-to-end
+// histogram spans the executor's write fence to delta delivery; the lag and
+// watermark gauges track the most recently updated DAG (their per-query
+// values live on SubscriberInfos/LowWatermark and in ExplainContinuous).
+obs::Histogram& EpochE2eHistogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "tpset_incr_epoch_e2e_usec",
+      "wall microseconds from append fence entry to delta delivered");
+  return h;
+}
+
+obs::Gauge& SubscriberLagGauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "tpset_incr_subscriber_lag",
+      "max (log epoch - last delivered epoch) over the last-touched query's "
+      "subscriptions");
+  return g;
+}
+
+obs::Gauge& LowWatermarkGauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "tpset_incr_low_watermark",
+      "event-time low watermark of the last-applied continuous DAG");
+  return g;
 }
 
 // Per-epoch delta of the cumulative per-operator counters.
@@ -217,7 +245,8 @@ TupleDelta ContinuousQuery::Propagate(
 
 void ContinuousQuery::ApplyAppend(EpochId epoch,
                                   const std::string& relation_name,
-                                  const DeltaMap& delta) {
+                                  const DeltaMap& delta,
+                                  std::chrono::steady_clock::time_point fence_t0) {
   assert(Reads(relation_name));
   std::map<std::string, const DeltaMap*> leaf_deltas;
   leaf_deltas.emplace(relation_name, &delta);
@@ -234,7 +263,8 @@ void ContinuousQuery::ApplyAppend(EpochId epoch,
   root.SetAttr("relation", relation_name);
   root.SetAttr("inserted", ed.delta.inserted.size());
   root.SetAttr("retracted", ed.delta.retracted.size());
-  EpochLatencyHistogram().Observe(obs::ElapsedUsec(t0));
+  const std::uint64_t propagate_usec = obs::ElapsedUsec(t0);
+  EpochLatencyHistogram().Observe(propagate_usec);
   EpochsCounter().Increment();
   if (!ed.delta.retracted.empty()) {
     RetractionsCounter().Increment(ed.delta.retracted.size());
@@ -251,25 +281,94 @@ void ContinuousQuery::ApplyAppend(EpochId epoch,
     }
   }
   last_epoch_ = epoch;
+  if (epoch > log_epoch_) log_epoch_ = epoch;
   // Snapshot the list: a callback may (un)subscribe on this query, which
   // would otherwise mutate the vector mid-iteration.
-  const std::vector<std::pair<SubscriptionId, Callback>> subs = subscribers_;
-  for (const auto& [id, cb] : subs) {
-    (void)id;
-    cb(ed);
+  std::vector<SubscriptionId> delivered;
+  delivered.reserve(subscribers_.size());
+  {
+    std::vector<Subscriber> subs = subscribers_;
+    for (const Subscriber& s : subs) {
+      s.cb(ed);
+      delivered.push_back(s.id);
+    }
   }
+  for (SubscriptionId id : delivered) {
+    for (Subscriber& s : subscribers_) {
+      if (s.id == id) s.last_delivered = epoch;
+    }
+  }
+  // End-to-end latency closes only after the last subscriber has the delta.
+  EpochE2eHistogram().Observe(obs::ElapsedUsec(fence_t0));
+  SubscriberLagGauge().Set(0);
+  const TimePoint low = LowWatermark();
+  if (low != kNoWatermark) LowWatermarkGauge().Set(low);
+  obs::EmitEvent(obs::Severity::kInfo, "incr",
+                 "epoch applied epoch=%llu query=%.32s +%zu -%zu",
+                 static_cast<unsigned long long>(epoch), name_.c_str(),
+                 ed.delta.inserted.size(), ed.delta.retracted.size());
+  // Slow epochs retain their span tree as an exemplar (threshold is the
+  // larger of the configured floor and the ring-derived p99).
+  obs::Recorder::Global().RecordExecution(
+      "epoch", name_, static_cast<double>(propagate_usec) / 1000.0, &profile_);
+}
+
+void ContinuousQuery::NoteLogEpoch(EpochId epoch) {
+  if (epoch > log_epoch_) log_epoch_ = epoch;
+  std::uint64_t max_lag = 0;
+  for (const Subscriber& s : subscribers_) {
+    const std::uint64_t lag =
+        log_epoch_ > s.last_delivered ? log_epoch_ - s.last_delivered : 0;
+    max_lag = std::max(max_lag, lag);
+  }
+  SubscriberLagGauge().Set(static_cast<std::int64_t>(max_lag));
+}
+
+TimePoint ContinuousQuery::LowWatermark() const {
+  TimePoint low = kNoWatermark;
+  bool first = true;
+  for (const PlanNode& n : nodes_) {
+    if (!n.leaf) continue;
+    const TimePoint leaf_max = n.relation->max_interval_end();
+    if (leaf_max == kNoWatermark) return kNoWatermark;  // empty leaf: unknown
+    low = first ? leaf_max : std::min(low, leaf_max);
+    first = false;
+  }
+  return low;
+}
+
+std::vector<ContinuousQuery::SubscriberInfo> ContinuousQuery::SubscriberInfos()
+    const {
+  std::vector<SubscriberInfo> out;
+  out.reserve(subscribers_.size());
+  for (const Subscriber& s : subscribers_) {
+    SubscriberInfo info;
+    info.id = s.id;
+    info.last_delivered = s.last_delivered;
+    info.lag =
+        log_epoch_ > s.last_delivered ? log_epoch_ - s.last_delivered : 0;
+    out.push_back(info);
+  }
+  return out;
 }
 
 ContinuousQuery::SubscriptionId ContinuousQuery::Subscribe(Callback cb) {
   const SubscriptionId id = next_subscription_++;
-  subscribers_.emplace_back(id, std::move(cb));
+  Subscriber s;
+  s.id = id;
+  s.cb = std::move(cb);
+  // A fresh subscription has seen nothing yet, but it is not "lagging"
+  // behind epochs that predate it: treat everything up to the current log
+  // epoch as delivered.
+  s.last_delivered = log_epoch_;
+  subscribers_.push_back(std::move(s));
   return id;
 }
 
 void ContinuousQuery::Unsubscribe(SubscriptionId id) {
   subscribers_.erase(
       std::remove_if(subscribers_.begin(), subscribers_.end(),
-                     [id](const auto& s) { return s.first == id; }),
+                     [id](const auto& s) { return s.id == id; }),
       subscribers_.end());
 }
 
@@ -308,6 +407,9 @@ std::size_t ContinuousQuery::Rebase() {
   for (const PlanNode& n : nodes_) {
     if (!n.leaf) retired += n.state->Rebase(w);
   }
+  obs::EmitEvent(obs::Severity::kInfo, "incr",
+                 "retention rebased query=%.32s watermark=%lld retired=%zu",
+                 name_.c_str(), static_cast<long long>(w), retired);
   return retired;
 }
 
@@ -359,13 +461,23 @@ void ContinuousQuery::DescribeNode(int index, int depth, std::set<int>* visited,
 std::string ContinuousQuery::Describe() const {
   std::string out = "continuous query " + name_ + ": " + text() + "\n";
   out += "epoch: " + std::to_string(last_epoch_) +
+         ", log_epoch: " + std::to_string(log_epoch_) +
          ", size: " + std::to_string(size()) +
          ", threads: " + std::to_string(options_.num_threads) +
          ", subscribers: " + std::to_string(subscriber_count());
   if (rebased_watermark_ != kNoWatermark) {
     out += ", watermark: " + std::to_string(rebased_watermark_);
   }
+  const TimePoint low = LowWatermark();
+  if (low != kNoWatermark) {
+    out += ", low_watermark: " + std::to_string(low);
+  }
   out += "\n";
+  for (const SubscriberInfo& s : SubscriberInfos()) {
+    out += "  subscription " + std::to_string(s.id) +
+           ": delivered=" + std::to_string(s.last_delivered) +
+           ", lag=" + std::to_string(s.lag) + "\n";
+  }
   std::set<int> visited;
   DescribeNode(static_cast<int>(nodes_.size()) - 1, 1, &visited, &out);
   return out;

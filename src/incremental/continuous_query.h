@@ -16,6 +16,7 @@
 #ifndef TPSET_INCREMENTAL_CONTINUOUS_QUERY_H_
 #define TPSET_INCREMENTAL_CONTINUOUS_QUERY_H_
 
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
@@ -83,12 +84,41 @@ class ContinuousQuery {
   void Unsubscribe(SubscriptionId id);
   std::size_t subscriber_count() const { return subscribers_.size(); }
 
+  /// Streaming-telemetry view of one subscription.
+  struct SubscriberInfo {
+    SubscriptionId id = 0;
+    EpochId last_delivered = 0;  ///< last epoch whose delta reached the callback
+    std::uint64_t lag = 0;       ///< log_epoch() - last_delivered
+  };
+  std::vector<SubscriberInfo> SubscriberInfos() const;
+
   /// Applies one epoch: `delta` is the leaf insert delta (the batch's
   /// tuples grouped per fact, GroupInsertsByFact) for relation
   /// `relation_name`. Called by the executor's Append for every query that
   /// reads the relation; the map is shared across queries, not copied.
+  /// `fence_t0` is when the epoch entered the executor's write fence — the
+  /// end-to-end latency histogram (tpset_incr_epoch_e2e_usec) measures fence
+  /// to delta-delivered, so it includes storage append and queueing, not
+  /// just propagation.
   void ApplyAppend(EpochId epoch, const std::string& relation_name,
-                   const DeltaMap& delta);
+                   const DeltaMap& delta,
+                   std::chrono::steady_clock::time_point fence_t0 =
+                       std::chrono::steady_clock::now());
+
+  /// Records that the append log advanced to `epoch` (whether or not this
+  /// query reads the appended relation) and refreshes the subscriber-lag
+  /// gauge. Called by the executor for every registered query on every
+  /// Append; ApplyAppend follows for readers, zeroing their lag.
+  void NoteLogEpoch(EpochId epoch);
+
+  /// Latest log epoch observed via NoteLogEpoch/ApplyAppend (0 if none).
+  EpochId log_epoch() const { return log_epoch_; }
+
+  /// Event-time low watermark of the DAG: the minimum over the leaves of
+  /// the maximum interval end each leaf has stored — no future delta can
+  /// carry an interval ending at or before it (appends extend fact
+  /// timelines monotonically). kNoWatermark while any leaf is empty.
+  TimePoint LowWatermark() const;
 
   /// True iff the query reads `relation_name`.
   bool Reads(const std::string& relation_name) const {
@@ -159,6 +189,12 @@ class ContinuousQuery {
   void DescribeNode(int index, int depth, std::set<int>* visited,
                     std::string* out) const;
 
+  struct Subscriber {
+    SubscriptionId id = 0;
+    Callback cb;
+    EpochId last_delivered = 0;
+  };
+
   std::string name_;
   QueryPtr query_;
   std::shared_ptr<TpContext> ctx_;
@@ -167,8 +203,9 @@ class ContinuousQuery {
   std::set<std::string> leaves_;
   Schema schema_;
   EpochId last_epoch_ = 0;
+  EpochId log_epoch_ = 0;
   TimePoint rebased_watermark_ = kNoWatermark;
-  std::vector<std::pair<SubscriptionId, Callback>> subscribers_;
+  std::vector<Subscriber> subscribers_;
   SubscriptionId next_subscription_ = 1;
   ThreadPool* pool_ = nullptr;  // shared, executor-owned; null = sequential
   obs::QueryProfile profile_{"epoch"};  // last-epoch span tree (reused)

@@ -1,0 +1,162 @@
+#include "obs/events.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+
+namespace tpset::obs {
+
+namespace {
+
+obs::Counter& EventsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tpset_obs_events_total", "structured events emitted into the ring");
+  return c;
+}
+
+obs::Counter& EventsDroppedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tpset_obs_events_dropped_total",
+      "events dropped: ring slot contended past the bounded claim retries");
+  return c;
+}
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 8;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void EventLog::Slot::Store(const Event& e) {
+  std::uint64_t packed[kEventWords] = {0};
+  std::memcpy(packed, &e, sizeof(Event));
+  for (std::size_t i = 0; i < kEventWords; ++i) {
+    words[i].store(packed[i], std::memory_order_relaxed);
+  }
+}
+
+Event EventLog::Slot::Load() const {
+  std::uint64_t packed[kEventWords];
+  for (std::size_t i = 0; i < kEventWords; ++i) {
+    packed[i] = words[i].load(std::memory_order_relaxed);
+  }
+  Event e;
+  std::memcpy(&e, packed, sizeof(Event));
+  return e;
+}
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarn:
+      return "warn";
+    case Severity::kError:
+      return "error";
+  }
+  return "info";
+}
+
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(RoundUpPow2(capacity)), slots_(new Slot[capacity_]) {}
+
+EventLog::~EventLog() { delete[] slots_; }
+
+EventLog& EventLog::Global() {
+  // Leaked like MetricsRegistry::Global: subsystems may emit during static
+  // destruction, and the crash handler reads it at arbitrary points.
+  static EventLog* global = new EventLog(1024);
+  return *global;
+}
+
+void EventLog::Emit(Severity severity, const char* subsystem, const char* fmt,
+                    ...) {
+  va_list args;
+  va_start(args, fmt);
+  EmitV(severity, subsystem, fmt, args);
+  va_end(args);
+}
+
+void EventLog::EmitV(Severity severity, const char* subsystem, const char* fmt,
+                     va_list args) {
+#ifdef TPSET_OBS_DISABLED
+  (void)severity;
+  (void)subsystem;
+  (void)fmt;
+  (void)args;
+#else
+  if (!internal::RecordingEnabled()) return;
+  Event e;
+  e.ts_unix_us = NowUnixUs();
+  e.severity = severity;
+  std::snprintf(e.subsystem, sizeof(e.subsystem), "%s", subsystem);
+  std::vsnprintf(e.message, sizeof(e.message), fmt, args);
+  const std::uint64_t seq =
+      next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  e.seq = seq;
+  Slot& slot = slots_[(seq - 1) & (capacity_ - 1)];
+
+  // Claim the slot: CAS its stamp from any even (published / never written)
+  // value to "writing" (odd). A concurrent writer lapping onto the same slot
+  // mid-write — possible only when `capacity_` events race one in-flight
+  // Emit — makes the CAS fail; we retry a few times, then drop the event
+  // rather than spin (the ring is diagnostics, not a transaction log).
+  std::uint64_t expected = slot.stamp.load(std::memory_order_relaxed);
+  for (int attempt = 0;; ++attempt) {
+    if (expected % 2 == 0 &&
+        slot.stamp.compare_exchange_weak(expected, seq * 2 - 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+      break;
+    }
+    if (attempt >= 64) {
+      EventsDroppedCounter().Increment();
+      return;
+    }
+  }
+  slot.Store(e);
+  slot.stamp.store(seq * 2, std::memory_order_release);
+  EventsCounter().Increment();
+#endif
+}
+
+std::size_t EventLog::SnapshotInto(Event* out, std::size_t max_events) const {
+  const std::uint64_t emitted = next_seq_.load(std::memory_order_acquire);
+  if (emitted == 0 || max_events == 0) return 0;
+  std::uint64_t want = emitted < capacity_ ? emitted : capacity_;
+  if (want > max_events) want = max_events;
+  const std::uint64_t first = emitted - want + 1;
+  std::size_t n = 0;
+  for (std::uint64_t seq = first; seq <= emitted; ++seq) {
+    const Slot& slot = slots_[(seq - 1) & (capacity_ - 1)];
+    const std::uint64_t s1 = slot.stamp.load(std::memory_order_acquire);
+    if (s1 != seq * 2) continue;  // unpublished, torn, or already lapped
+    Event copy = slot.Load();
+    const std::uint64_t s2 = slot.stamp.load(std::memory_order_acquire);
+    if (s2 != s1) continue;  // overwritten mid-copy
+    out[n++] = copy;
+  }
+  return n;
+}
+
+std::vector<Event> EventLog::Snapshot(std::size_t max_events) const {
+  const std::size_t cap =
+      max_events < capacity_ ? max_events : capacity_;
+  std::vector<Event> out(cap);
+  out.resize(SnapshotInto(out.data(), cap));
+  return out;
+}
+
+void EmitEvent(Severity severity, const char* subsystem, const char* fmt,
+               ...) {
+  va_list args;
+  va_start(args, fmt);
+  EventLog::Global().EmitV(severity, subsystem, fmt, args);
+  va_end(args);
+}
+
+}  // namespace tpset::obs

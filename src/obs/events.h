@@ -1,0 +1,114 @@
+// Bounded structured event log: the flight recorder's second data source.
+//
+// Metrics answer "how much / how fast"; events answer "what happened and
+// when" — the state transitions a counter cannot express: an epoch was
+// applied, a compaction ran, retention rebased a DAG, the morsel pool
+// saturated, an append was rejected. Each event is one fixed-size slot
+// (timestamp, severity, subsystem, preformatted message) in a process-wide
+// ring:
+//
+//  * Append is lock-free for writers: a relaxed fetch_add claims a slot, the
+//    payload is written into the slot's fixed char buffers (no allocation),
+//    and a per-slot sequence stamp is published with release order.
+//  * Readers (Snapshot, the crash-dump path) copy a slot and re-check its
+//    stamp — a torn read (the ring lapped the slot mid-copy) is detected and
+//    the slot skipped, never returned half-written. The retry count is
+//    bounded, so the read path stays usable from a signal handler even if a
+//    writer died mid-slot (fork, crash).
+//  * The ring overwrites oldest-first; overwritten events count into
+//    tpset_obs_events_dropped_total so saturation is itself observable.
+//
+// Emit formats with snprintf into the slot, so call sites pay one claim +
+// one format — cheap enough for per-epoch emission, not meant for per-tuple
+// loops. All of it honors the obs kill switches (runtime flag and
+// TPSET_OBS_DISABLED), like every other record path.
+#ifndef TPSET_OBS_EVENTS_H_
+#define TPSET_OBS_EVENTS_H_
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tpset::obs {
+
+enum class Severity : std::uint8_t { kInfo = 0, kWarn = 1, kError = 2 };
+
+/// "info" / "warn" / "error".
+const char* SeverityName(Severity s);
+
+/// One logged state transition. Plain copyable data; char buffers are always
+/// NUL-terminated.
+struct Event {
+  std::int64_t ts_unix_us = 0;  ///< microseconds since the Unix epoch
+  std::uint64_t seq = 0;        ///< global emission order (1-based)
+  Severity severity = Severity::kInfo;
+  char subsystem[16] = {0};  ///< metric-subsystem spelling: incr, storage, ...
+  char message[104] = {0};   ///< preformatted "key=value ..." payload
+};
+
+/// Fixed-capacity multi-writer event ring. See the file comment.
+class EventLog {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 8).
+  explicit EventLog(std::size_t capacity = 1024);
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+  ~EventLog();
+
+  /// The process-wide log every subsystem emits into.
+  static EventLog& Global();
+
+  /// Appends one event; printf-style message formatting, truncated to the
+  /// slot buffer. No-op when recording is disabled.
+  void Emit(Severity severity, const char* subsystem, const char* fmt, ...)
+      __attribute__((format(printf, 4, 5)));
+  void EmitV(Severity severity, const char* subsystem, const char* fmt,
+             va_list args);
+
+  /// Events emitted since construction (including overwritten ones).
+  std::uint64_t emitted() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// The most recent `max_events` events in emission order (oldest first).
+  /// Safe to call concurrently with Emit: torn slots are skipped.
+  std::vector<Event> Snapshot(std::size_t max_events = SIZE_MAX) const;
+
+  /// Copies the most recent events into a caller-provided array without
+  /// allocating — the async-signal-safe read path behind Recorder's crash
+  /// dump. Returns the number of events written (oldest first).
+  std::size_t SnapshotInto(Event* out, std::size_t max_events) const;
+
+ private:
+  // The payload is stored as relaxed-atomic words (not a plain Event): a
+  // snapshot racing a lapping writer reads the words while they are being
+  // rewritten, which the stamp check then discards — storing through atomics
+  // makes that benign race well-defined (and TSan-clean) instead of UB.
+  static constexpr std::size_t kEventWords = (sizeof(Event) + 7) / 8;
+
+  struct Slot {
+    // Even = published (seq of the event stored, times 2); odd = a writer is
+    // mid-copy. 0 = never written.
+    std::atomic<std::uint64_t> stamp{0};
+    std::atomic<std::uint64_t> words[kEventWords] = {};
+
+    void Store(const Event& e);
+    Event Load() const;
+  };
+
+  std::size_t capacity_;  // power of two
+  Slot* slots_;
+  std::atomic<std::uint64_t> next_seq_{0};
+};
+
+/// Shorthand: EventLog::Global().Emit(...).
+void EmitEvent(Severity severity, const char* subsystem, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace tpset::obs
+
+#endif  // TPSET_OBS_EVENTS_H_

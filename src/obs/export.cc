@@ -1,5 +1,7 @@
 #include "obs/export.h"
 
+#include "obs/recorder.h"
+
 namespace tpset::obs {
 
 namespace {
@@ -86,6 +88,10 @@ std::string JsonLines(const MetricsSnapshot& snapshot) {
     out += "}\n";
   }
   return out;
+}
+
+std::string ExportFlightRecord() {
+  return Recorder::Global().FlightRecordJson();
 }
 
 }  // namespace tpset::obs

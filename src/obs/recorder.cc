@@ -1,0 +1,832 @@
+#include "obs/recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace tpset::obs {
+
+namespace {
+
+obs::Counter& CollectorTicksCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tpset_obs_collector_ticks_total",
+      "flight-recorder collector passes (registry scrapes into the rings)");
+  return c;
+}
+
+obs::Counter& SlowExecsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tpset_obs_slow_execs_total",
+      "executions retained as slow-query exemplars");
+  return c;
+}
+
+constexpr std::size_t kHistWidth = 2 + kHistogramBuckets;  // count, sum, buckets
+
+const char* KindName(MetricSnapshot::Kind kind) {
+  switch (kind) {
+    case MetricSnapshot::Kind::kCounter:
+      return "counter";
+    case MetricSnapshot::Kind::kGauge:
+      return "gauge";
+    case MetricSnapshot::Kind::kHistogram:
+      return "histogram";
+  }
+  return "counter";
+}
+
+}  // namespace
+
+// ---- MetricRing -------------------------------------------------------------
+
+// Single-writer ring of fixed-width samples stored as relaxed-atomic words.
+// The writer fills the slot for sample n, then publishes by storing count =
+// n+1 with release order; readers copy at most capacity-1 trailing samples
+// after an acquire load of count and re-check count afterwards — if the
+// writer lapped into the copied range the copy retries. See recorder.h.
+struct Recorder::MetricRing {
+  MetricRing(MetricSnapshot::Kind k, std::size_t w, std::size_t cap)
+      : kind(k),
+        width(w),
+        capacity(cap < 4 ? 4 : cap),
+        data(new std::atomic<std::uint64_t>[capacity * width]),
+        ts(new std::atomic<std::int64_t>[capacity]) {
+    for (std::size_t i = 0; i < capacity * width; ++i) data[i] = 0;
+    for (std::size_t i = 0; i < capacity; ++i) ts[i] = 0;
+  }
+
+  void Append(const std::uint64_t* sample, std::int64_t now_us) {
+    const std::uint64_t n = count.load(std::memory_order_relaxed);
+    const std::size_t slot = static_cast<std::size_t>(n % capacity);
+    for (std::size_t i = 0; i < width; ++i) {
+      data[slot * width + i].store(sample[i], std::memory_order_relaxed);
+    }
+    ts[slot].store(now_us, std::memory_order_relaxed);
+    count.store(n + 1, std::memory_order_release);
+  }
+
+  /// Copies up to `want` trailing samples (oldest first) into `out`
+  /// (`want * width` words) and `out_ts`. Returns the number copied.
+  std::size_t CopyTrailing(std::uint64_t* out, std::int64_t* out_ts,
+                           std::size_t want) const {
+    if (want > capacity - 1) want = capacity - 1;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const std::uint64_t n1 = count.load(std::memory_order_acquire);
+      const std::size_t k =
+          static_cast<std::size_t>(n1 < want ? n1 : want);
+      if (k == 0) return 0;
+      const std::uint64_t start = n1 - k;
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::size_t slot = static_cast<std::size_t>((start + j) % capacity);
+        for (std::size_t i = 0; i < width; ++i) {
+          out[j * width + i] =
+              data[slot * width + i].load(std::memory_order_relaxed);
+        }
+        out_ts[j] = ts[slot].load(std::memory_order_relaxed);
+      }
+      const std::uint64_t n2 = count.load(std::memory_order_acquire);
+      // The writer may be filling sample n2's slot right now; the copy is
+      // untorn iff no copied slot was reused, i.e. n2 stayed strictly within
+      // one lap of the oldest copied sample.
+      if (n2 - start < capacity) return k;
+    }
+    return 0;  // persistently lapped (collector tick far faster than reader)
+  }
+
+  const MetricSnapshot::Kind kind;
+  const std::size_t width;
+  const std::size_t capacity;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> data;
+  std::unique_ptr<std::atomic<std::int64_t>[]> ts;
+  std::atomic<std::uint64_t> count{0};
+};
+
+// ---- SlowSlot ---------------------------------------------------------------
+
+struct Recorder::SlowSlot {
+  struct Payload {
+    std::uint64_t seq = 0;
+    std::int64_t ts_unix_us = 0;
+    double wall_ms = 0.0;
+    double threshold_ms = 0.0;
+    char kind[16] = {0};
+    char label[104] = {0};
+    char profile_json[8056] = {0};  // "null" when absent or oversized
+  };
+  static constexpr std::size_t kWords = (sizeof(Payload) + 7) / 8;
+
+  // Stamp protocol as in EventLog: odd = writing, seq*2 = published.
+  std::atomic<std::uint64_t> stamp{0};
+  std::atomic<std::uint64_t> words[kWords] = {};
+
+  void Store(const Payload& p) {
+    std::uint64_t packed[kWords] = {0};
+    std::memcpy(packed, &p, sizeof(Payload));
+    for (std::size_t i = 0; i < kWords; ++i) {
+      words[i].store(packed[i], std::memory_order_relaxed);
+    }
+  }
+
+  /// Copies the payload words into `out` (sizeof(Payload) bytes, suitably
+  /// aligned scratch). No allocation; signal-safe.
+  void LoadInto(void* out) const {
+    std::uint64_t packed[8];  // stream in chunks to keep stack use small
+    auto* dst = static_cast<unsigned char*>(out);
+    std::size_t i = 0;
+    while (i < kWords) {
+      const std::size_t n = std::min<std::size_t>(8, kWords - i);
+      for (std::size_t j = 0; j < n; ++j) {
+        packed[j] = words[i + j].load(std::memory_order_relaxed);
+      }
+      const std::size_t bytes =
+          std::min(sizeof(Payload) - i * 8, n * 8);
+      std::memcpy(dst + i * 8, packed, bytes);
+      i += n;
+    }
+  }
+};
+
+// ---- Stats ------------------------------------------------------------------
+
+namespace {
+
+// Windowed statistics over `k` sample rows (oldest first). No allocation.
+HistoryStats ComputeStats(MetricSnapshot::Kind kind, const std::uint64_t* rows,
+                          const std::int64_t* ts, std::size_t k,
+                          std::size_t width) {
+  HistoryStats h;
+  h.kind = kind;
+  h.samples = k;
+  if (k == 0) return h;
+  h.window_sec =
+      k >= 2 ? static_cast<double>(ts[k - 1] - ts[0]) / 1e6 : 0.0;
+
+  auto value = [&](std::size_t j) {
+    // Counters/gauges: the sampled value. Histograms: cumulative count.
+    return rows[j * width];
+  };
+
+  if (kind == MetricSnapshot::Kind::kGauge) {
+    const auto signed_value = [&](std::size_t j) {
+      return static_cast<std::int64_t>(value(j));
+    };
+    h.first = signed_value(0);
+    h.last = signed_value(k - 1);
+    h.min = h.max = h.first;
+    double sum = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::int64_t v = signed_value(j);
+      h.min = std::min(h.min, v);
+      h.max = std::max(h.max, v);
+      sum += static_cast<double>(v);
+    }
+    h.avg = sum / static_cast<double>(k);
+    return h;
+  }
+
+  // Counter or histogram: monotone cumulative series; stats over per-tick
+  // deltas, rate over the window. A counter reset (fresh registry in tests)
+  // would make a delta negative; clamp to 0 rather than wrap.
+  h.first = static_cast<std::int64_t>(value(0));
+  h.last = static_cast<std::int64_t>(value(k - 1));
+  if (k >= 2) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j + 1 < k; ++j) {
+      const std::uint64_t a = value(j), b = value(j + 1);
+      const std::int64_t d =
+          b >= a ? static_cast<std::int64_t>(b - a) : 0;
+      if (j == 0) {
+        h.min = h.max = d;
+      } else {
+        h.min = std::min(h.min, d);
+        h.max = std::max(h.max, d);
+      }
+      sum += static_cast<double>(d);
+    }
+    h.avg = sum / static_cast<double>(k - 1);
+    if (h.window_sec > 0) {
+      h.rate_per_sec =
+          static_cast<double>(h.last - h.first) / h.window_sec;
+    }
+  }
+
+  if (kind == MetricSnapshot::Kind::kHistogram && k >= 2) {
+    const std::uint64_t* first_row = rows;
+    const std::uint64_t* last_row = rows + (k - 1) * width;
+    const std::uint64_t count_delta =
+        last_row[0] >= first_row[0] ? last_row[0] - first_row[0] : 0;
+    const std::uint64_t sum_delta =
+        last_row[1] >= first_row[1] ? last_row[1] - first_row[1] : 0;
+    if (count_delta > 0) {
+      h.avg_value =
+          static_cast<double>(sum_delta) / static_cast<double>(count_delta);
+      // Windowed p99: walk the bucket-count deltas to the 99th-percentile
+      // observation; report that bucket's inclusive upper bound.
+      const std::uint64_t target =
+          (count_delta * 99 + 99) / 100;  // ceil(0.99 * delta)
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        const std::uint64_t ba = first_row[2 + b], bb = last_row[2 + b];
+        cumulative += bb >= ba ? bb - ba : 0;
+        if (cumulative >= target) {
+          h.p99 = static_cast<double>(HistogramBucketBound(b));
+          break;
+        }
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+// ---- Recorder lifecycle -----------------------------------------------------
+
+Recorder::Recorder(const MetricsRegistry* registry)
+    : registry_(registry != nullptr ? registry : &MetricsRegistry::Global()) {}
+
+Recorder::~Recorder() {
+  Stop();
+  const std::size_t n = tracked_count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) delete tracked_[i].ring;
+  delete[] slow_slots_.load(std::memory_order_acquire);
+}
+
+Recorder& Recorder::Global() {
+  // Leaked like the registry: the crash handler may fire at any point of
+  // static destruction.
+  static Recorder* global = new Recorder();
+  return *global;
+}
+
+void Recorder::Start(const RecorderOptions& options) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_) {
+    if (!running_.load(std::memory_order_acquire)) {
+      stop_requested_ = false;
+      collector_ = std::thread([this]() { CollectorLoop(); });
+      running_.store(true, std::memory_order_release);
+    }
+    return;
+  }
+  options_ = options;
+  if (options_.ring_capacity < 4) options_.ring_capacity = 4;
+  if (options_.slow_capacity < 1) options_.slow_capacity = 1;
+  if (options_.tick.count() < 1) options_.tick = std::chrono::milliseconds(1);
+  started_ = true;
+  PreallocateDumpBuffers();
+  stop_requested_ = false;
+  collector_ = std::thread([this]() { CollectorLoop(); });
+  running_.store(true, std::memory_order_release);
+}
+
+void Recorder::EnsureStarted() {
+  if (!running_.load(std::memory_order_acquire)) Start(options_);
+}
+
+void Recorder::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (!running_.load(std::memory_order_acquire)) return;
+    stop_requested_ = true;
+    stop_cv_.notify_all();
+    to_join = std::move(collector_);
+  }
+  if (to_join.joinable()) to_join.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void Recorder::CollectorLoop() {
+  std::unique_lock<std::mutex> lock(lifecycle_mu_);
+  while (!stop_requested_) {
+    lock.unlock();
+    TickOnce();
+    lock.lock();
+    stop_cv_.wait_for(lock, options_.tick, [this]() { return stop_requested_; });
+  }
+}
+
+// ---- Sampling ---------------------------------------------------------------
+
+Recorder::MetricRing* Recorder::RingFor(const std::string& name,
+                                        MetricSnapshot::Kind kind,
+                                        std::size_t width) {
+  const std::size_t n = tracked_count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (name == tracked_[i].name) return tracked_[i].ring;
+  }
+  if (n >= kMaxTracked || name.size() >= sizeof(TrackedMetric::name)) {
+    return nullptr;  // table full / name oversized: skip, keep sampling rest
+  }
+  std::memcpy(tracked_[n].name, name.c_str(), name.size() + 1);
+  tracked_[n].ring = new MetricRing(kind, width, options_.ring_capacity);
+  tracked_count_.store(n + 1, std::memory_order_release);
+  return tracked_[n].ring;
+}
+
+const Recorder::MetricRing* Recorder::FindRing(const char* name) const {
+  const std::size_t n = tracked_count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::strcmp(name, tracked_[i].name) == 0) return tracked_[i].ring;
+  }
+  return nullptr;
+}
+
+void Recorder::TickOnce() {
+  std::lock_guard<std::mutex> lock(tick_mu_);
+  const MetricsSnapshot snap = registry_->Scrape();
+  const std::int64_t now = NowUnixUs();
+  std::uint64_t sample[kHistWidth];
+  for (const MetricSnapshot& m : snap.metrics) {
+    const bool hist = m.kind == MetricSnapshot::Kind::kHistogram;
+    const std::size_t width = hist ? kHistWidth : 1;
+    MetricRing* ring = RingFor(m.name, m.kind, width);
+    if (ring == nullptr) continue;
+    if (hist) {
+      sample[0] = m.hist_count;
+      sample[1] = m.hist_sum;
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        sample[2 + b] = b < m.buckets.size() ? m.buckets[b] : 0;
+      }
+    } else if (m.kind == MetricSnapshot::Kind::kCounter) {
+      sample[0] = m.counter;
+    } else {
+      sample[0] = static_cast<std::uint64_t>(m.gauge);
+    }
+    ring->Append(sample, now);
+  }
+  ticks_.fetch_add(1, std::memory_order_release);
+  CollectorTicksCounter().Increment();
+}
+
+// ---- History ----------------------------------------------------------------
+
+Result<HistoryStats> Recorder::History(const std::string& name,
+                                       std::chrono::milliseconds window) const {
+  const MetricRing* ring = FindRing(name.c_str());
+  if (ring == nullptr) {
+    return Status::NotFound("no ring samples for metric '" + name +
+                            "' (collector not started, or metric never "
+                            "registered)");
+  }
+  std::vector<std::uint64_t> rows((ring->capacity - 1) * ring->width);
+  std::vector<std::int64_t> ts(ring->capacity - 1);
+  const std::size_t k =
+      ring->CopyTrailing(rows.data(), ts.data(), ring->capacity - 1);
+  if (k == 0) {
+    return Status::NotFound("metric '" + name + "' has no samples yet");
+  }
+  // Trim to the trailing window, keeping the newest sample at or before the
+  // window start as the delta baseline (deltas need an edge sample).
+  const std::int64_t cutoff = ts[k - 1] - window.count() * 1000;
+  std::size_t begin = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    if (ts[j] >= cutoff) {
+      begin = j > 0 ? j - 1 : 0;
+      break;
+    }
+  }
+  return ComputeStats(ring->kind, rows.data() + begin * ring->width,
+                      ts.data() + begin, k - begin, ring->width);
+}
+
+std::vector<std::string> Recorder::TrackedMetrics() const {
+  const std::size_t n = tracked_count_.load(std::memory_order_acquire);
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) names.emplace_back(tracked_[i].name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// ---- Slow-execution log -----------------------------------------------------
+
+double Recorder::SlowThresholdMs(const char* kind) const {
+  const char* metric = std::strcmp(kind, "epoch") == 0
+                           ? "tpset_incr_epoch_usec"
+                           : "tpset_exec_query_usec";
+  const auto window = options_.tick * static_cast<int>(options_.ring_capacity);
+  Result<HistoryStats> h =
+      History(metric, std::chrono::duration_cast<std::chrono::milliseconds>(
+                          window));
+  double threshold = options_.slow_floor_ms;
+  if (h.ok() && h->samples >= 2 && h->p99 > 0) {
+    threshold = std::max(threshold, h->p99 / 1000.0);
+  }
+  return threshold;
+}
+
+void Recorder::RecordExecution(const char* kind, const std::string& label,
+                               double wall_ms, const QueryProfile* profile) {
+#ifdef TPSET_OBS_DISABLED
+  (void)kind;
+  (void)label;
+  (void)wall_ms;
+  (void)profile;
+#else
+  if (!internal::RecordingEnabled()) return;
+  const double threshold = SlowThresholdMs(kind);
+  if (wall_ms < threshold) return;
+
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  SlowSlot* slots = slow_slots_.load(std::memory_order_relaxed);
+  if (slots == nullptr) {
+    slow_capacity_ = options_.slow_capacity;
+    slots = new SlowSlot[slow_capacity_];
+    slow_slots_.store(slots, std::memory_order_release);
+  }
+  auto payload = std::make_unique<SlowSlot::Payload>();
+  const std::uint64_t seq =
+      slow_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  payload->seq = seq;
+  payload->ts_unix_us = NowUnixUs();
+  payload->wall_ms = wall_ms;
+  payload->threshold_ms = threshold;
+  std::snprintf(payload->kind, sizeof(payload->kind), "%s", kind);
+  std::snprintf(payload->label, sizeof(payload->label), "%s", label.c_str());
+  std::strcpy(payload->profile_json, "null");
+  if (profile != nullptr) {
+    const std::string json = profile->ToJson();
+    if (json.size() < sizeof(payload->profile_json)) {
+      std::memcpy(payload->profile_json, json.c_str(), json.size() + 1);
+    }
+  }
+  SlowSlot& slot = slots[(seq - 1) % slow_capacity_];
+  slot.stamp.store(seq * 2 - 1, std::memory_order_release);
+  slot.Store(*payload);
+  slot.stamp.store(seq * 2, std::memory_order_release);
+  SlowExecsCounter().Increment();
+  EmitEvent(Severity::kWarn, "obs",
+            "slow %s wall_ms=%.2f threshold_ms=%.2f label=%.40s", kind,
+            wall_ms, threshold, label.c_str());
+#endif
+}
+
+std::vector<SlowExemplar> Recorder::SlowQueries() const {
+  std::vector<SlowExemplar> out;
+  const SlowSlot* slots = slow_slots_.load(std::memory_order_acquire);
+  if (slots == nullptr) return out;
+  const std::uint64_t emitted = slow_seq_.load(std::memory_order_acquire);
+  const std::uint64_t want =
+      emitted < slow_capacity_ ? emitted : slow_capacity_;
+  auto payload = std::make_unique<SlowSlot::Payload>();
+  for (std::uint64_t seq = emitted - want + 1; seq <= emitted; ++seq) {
+    const SlowSlot& slot = slots[(seq - 1) % slow_capacity_];
+    const std::uint64_t s1 = slot.stamp.load(std::memory_order_acquire);
+    if (s1 != seq * 2) continue;
+    slot.LoadInto(payload.get());
+    if (slot.stamp.load(std::memory_order_acquire) != s1) continue;
+    SlowExemplar e;
+    e.seq = payload->seq;
+    e.ts_unix_us = payload->ts_unix_us;
+    e.wall_ms = payload->wall_ms;
+    e.threshold_ms = payload->threshold_ms;
+    e.kind = payload->kind;
+    e.label = payload->label;
+    e.profile_json = payload->profile_json;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+// ---- Flight records ---------------------------------------------------------
+
+namespace {
+
+// Minimal JSON emission over a sink with `void Append(const char*, size_t)`.
+// Everything here is allocation-free and async-signal-safe; the only callers
+// that may allocate are the sinks themselves (StringSink).
+
+template <typename Sink>
+void Put(Sink* s, const char* text) {
+  s->Append(text, std::strlen(text));
+}
+
+template <typename Sink>
+void PutU64(Sink* s, std::uint64_t v) {
+  char buf[24];
+  char* p = buf + sizeof(buf);
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  s->Append(p, static_cast<std::size_t>(buf + sizeof(buf) - p));
+}
+
+template <typename Sink>
+void PutI64(Sink* s, std::int64_t v) {
+  if (v < 0) {
+    Put(s, "-");
+    PutU64(s, static_cast<std::uint64_t>(-(v + 1)) + 1);
+  } else {
+    PutU64(s, static_cast<std::uint64_t>(v));
+  }
+}
+
+// Fixed three decimals; clamps to +/-9e15 (flight records are diagnostics,
+// not accounting).
+template <typename Sink>
+void PutDouble(Sink* s, double v) {
+  if (!(v == v)) {  // NaN
+    Put(s, "0");
+    return;
+  }
+  if (v > 9e15) v = 9e15;
+  if (v < -9e15) v = -9e15;
+  if (v < 0) {
+    Put(s, "-");
+    v = -v;
+  }
+  const std::uint64_t scaled =
+      static_cast<std::uint64_t>(v * 1000.0 + 0.5);
+  PutU64(s, scaled / 1000);
+  Put(s, ".");
+  char frac[4] = {
+      static_cast<char>('0' + scaled / 100 % 10),
+      static_cast<char>('0' + scaled / 10 % 10),
+      static_cast<char>('0' + scaled % 10), '\0'};
+  Put(s, frac);
+}
+
+template <typename Sink>
+void PutJsonString(Sink* s, const char* text) {
+  Put(s, "\"");
+  for (const char* p = text; *p != '\0'; ++p) {
+    const unsigned char c = static_cast<unsigned char>(*p);
+    if (c == '"' || c == '\\') {
+      char esc[3] = {'\\', *p, '\0'};
+      Put(s, esc);
+    } else if (c < 0x20) {
+      Put(s, " ");
+    } else {
+      s->Append(p, 1);
+    }
+  }
+  Put(s, "\"");
+}
+
+struct StringSink {
+  std::string out;
+  void Append(const char* s, std::size_t n) { out.append(s, n); }
+};
+
+// Buffered fd writer over a caller-provided (pre-allocated) buffer.
+struct FdSink {
+  int fd;
+  char* buf;
+  std::size_t cap;
+  std::size_t len = 0;
+  std::size_t written = 0;
+
+  void Flush() {
+    std::size_t off = 0;
+    while (off < len) {
+      const ssize_t n = ::write(fd, buf + off, len - off);
+      if (n <= 0) break;  // best effort: a crash dump cannot retry forever
+      off += static_cast<std::size_t>(n);
+    }
+    written += off;
+    len = 0;
+  }
+
+  void Append(const char* s, std::size_t n) {
+    while (n > 0) {
+      if (len == cap) Flush();
+      const std::size_t take = n < cap - len ? n : cap - len;
+      std::memcpy(buf + len, s, take);
+      len += take;
+      s += take;
+      n -= take;
+    }
+  }
+};
+
+}  // namespace
+
+void Recorder::PreallocateDumpBuffers() const {
+  if (!dump_buf_.empty()) return;
+  dump_buf_.resize(64 * 1024);
+  event_scratch_.resize(EventLog::Global().capacity());
+  ring_scratch_.resize(options_.ring_capacity * kHistWidth);
+  slow_scratch_.resize(sizeof(SlowSlot::Payload) + 8);
+}
+
+template <typename Sink>
+void Recorder::WriteFlightRecord(Sink* sink, int crash_signal) const {
+  Put(sink, "{\"flight_record\":1,\"generated_unix_us\":");
+  PutI64(sink, NowUnixUs());
+  Put(sink, ",\"crash_signal\":");
+  PutI64(sink, crash_signal);
+  Put(sink, ",\"tick_ms\":");
+  PutI64(sink, static_cast<std::int64_t>(options_.tick.count()));
+  Put(sink, ",\"ring_capacity\":");
+  PutU64(sink, options_.ring_capacity);
+  Put(sink, ",\"ticks\":");
+  PutU64(sink, ticks_.load(std::memory_order_acquire));
+
+  // Per-metric ring summaries plus a short trailing series.
+  Put(sink, ",\"metrics\":[");
+  const std::size_t n = tracked_count_.load(std::memory_order_acquire);
+  bool first_metric = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const MetricRing* ring = tracked_[i].ring;
+    std::uint64_t* rows = ring_scratch_.data();
+    // Timestamp scratch stays on the stack (bounded, signal-safe); rings
+    // larger than this emit their newest 512 samples.
+    std::int64_t ts_buf[512];
+    const std::size_t max_samples =
+        std::min<std::size_t>(ring->capacity - 1,
+                              sizeof(ts_buf) / sizeof(ts_buf[0]));
+    const std::size_t k = ring->CopyTrailing(rows, ts_buf, max_samples);
+    if (k == 0) continue;
+    const HistoryStats h =
+        ComputeStats(ring->kind, rows, ts_buf, k, ring->width);
+    if (!first_metric) Put(sink, ",");
+    first_metric = false;
+    Put(sink, "{\"name\":");
+    PutJsonString(sink, tracked_[i].name);
+    Put(sink, ",\"kind\":\"");
+    Put(sink, KindName(ring->kind));
+    Put(sink, "\",\"samples\":");
+    PutU64(sink, h.samples);
+    Put(sink, ",\"window_sec\":");
+    PutDouble(sink, h.window_sec);
+    Put(sink, ",\"first\":");
+    PutI64(sink, h.first);
+    Put(sink, ",\"last\":");
+    PutI64(sink, h.last);
+    Put(sink, ",\"min\":");
+    PutI64(sink, h.min);
+    Put(sink, ",\"max\":");
+    PutI64(sink, h.max);
+    Put(sink, ",\"avg\":");
+    PutDouble(sink, h.avg);
+    Put(sink, ",\"rate_per_sec\":");
+    PutDouble(sink, h.rate_per_sec);
+    Put(sink, ",\"p99\":");
+    PutDouble(sink, h.p99);
+    // Trailing raw series (newest-last): sampled values for counters and
+    // gauges, cumulative observation counts for histograms.
+    Put(sink, ",\"series\":[");
+    const std::size_t series = k < 64 ? k : 64;
+    for (std::size_t j = k - series; j < k; ++j) {
+      if (j != k - series) Put(sink, ",");
+      if (ring->kind == MetricSnapshot::Kind::kGauge) {
+        PutI64(sink, static_cast<std::int64_t>(rows[j * ring->width]));
+      } else {
+        PutU64(sink, rows[j * ring->width]);
+      }
+    }
+    Put(sink, "]}");
+  }
+  Put(sink, "]");
+
+  // Recent events, oldest first.
+  Put(sink, ",\"events\":[");
+  const std::size_t num_events = EventLog::Global().SnapshotInto(
+      event_scratch_.data(), event_scratch_.size());
+  for (std::size_t i = 0; i < num_events; ++i) {
+    const Event& e = event_scratch_[i];
+    if (i != 0) Put(sink, ",");
+    Put(sink, "{\"ts_unix_us\":");
+    PutI64(sink, e.ts_unix_us);
+    Put(sink, ",\"seq\":");
+    PutU64(sink, e.seq);
+    Put(sink, ",\"severity\":\"");
+    Put(sink, SeverityName(e.severity));
+    Put(sink, "\",\"subsystem\":");
+    PutJsonString(sink, e.subsystem);
+    Put(sink, ",\"message\":");
+    PutJsonString(sink, e.message);
+    Put(sink, "}");
+  }
+  Put(sink, "]");
+
+  // Slow-execution exemplars, oldest retained first.
+  Put(sink, ",\"slow_queries\":[");
+  const SlowSlot* slots = slow_slots_.load(std::memory_order_acquire);
+  if (slots != nullptr) {
+    auto* payload =
+        reinterpret_cast<SlowSlot::Payload*>(slow_scratch_.data());
+    const std::uint64_t emitted = slow_seq_.load(std::memory_order_acquire);
+    const std::uint64_t want =
+        emitted < slow_capacity_ ? emitted : slow_capacity_;
+    bool first_slow = true;
+    for (std::uint64_t seq = emitted - want + 1; seq <= emitted; ++seq) {
+      const SlowSlot& slot = slots[(seq - 1) % slow_capacity_];
+      const std::uint64_t s1 = slot.stamp.load(std::memory_order_acquire);
+      if (s1 != seq * 2) continue;
+      slot.LoadInto(payload);
+      if (slot.stamp.load(std::memory_order_acquire) != s1) continue;
+      if (!first_slow) Put(sink, ",");
+      first_slow = false;
+      Put(sink, "{\"seq\":");
+      PutU64(sink, payload->seq);
+      Put(sink, ",\"ts_unix_us\":");
+      PutI64(sink, payload->ts_unix_us);
+      Put(sink, ",\"wall_ms\":");
+      PutDouble(sink, payload->wall_ms);
+      Put(sink, ",\"threshold_ms\":");
+      PutDouble(sink, payload->threshold_ms);
+      Put(sink, ",\"kind\":");
+      PutJsonString(sink, payload->kind);
+      Put(sink, ",\"label\":");
+      PutJsonString(sink, payload->label);
+      Put(sink, ",\"profile\":");
+      // Already valid JSON (QueryProfile::ToJson) or the literal null.
+      Put(sink, payload->profile_json);
+      Put(sink, "}");
+    }
+  }
+  Put(sink, "]}");
+  Put(sink, "\n");
+}
+
+std::string Recorder::FlightRecordJson(int crash_signal) const {
+  std::lock_guard<std::mutex> lock(dump_mu_);
+  PreallocateDumpBuffers();
+  StringSink sink;
+  WriteFlightRecord(&sink, crash_signal);
+  return std::move(sink.out);
+}
+
+Status Recorder::DumpNow(const std::string& path) const {
+  const std::string json = FlightRecordJson(0);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open flight-record path '" + path +
+                                   "'");
+  }
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.close();
+  if (!out) {
+    return Status::InvalidArgument("short write to flight-record path '" +
+                                   path + "'");
+  }
+  return Status::OK();
+}
+
+std::size_t Recorder::DumpToFdSignalSafe(int fd, int crash_signal) const {
+  if (dump_buf_.empty()) return 0;  // Start/InstallCrashHandler never ran
+  FdSink sink{fd, dump_buf_.data(), dump_buf_.size()};
+  WriteFlightRecord(&sink, crash_signal);
+  sink.Flush();
+  return sink.written;
+}
+
+// ---- Crash handler ----------------------------------------------------------
+
+namespace {
+
+std::atomic<Recorder*> g_crash_recorder{nullptr};
+char g_crash_dump_path[256] = {0};
+std::atomic<bool> g_crash_dumping{false};
+
+void CrashHandler(int sig) {
+  // First crasher wins; a second signal (possibly *caused by* the dump) must
+  // not recurse into it.
+  if (!g_crash_dumping.exchange(true, std::memory_order_acq_rel)) {
+    Recorder* recorder = g_crash_recorder.load(std::memory_order_acquire);
+    if (recorder != nullptr && g_crash_dump_path[0] != '\0') {
+      const int fd = ::open(g_crash_dump_path,
+                            O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd >= 0) {
+        recorder->DumpToFdSignalSafe(fd, sig);
+        ::close(fd);
+      }
+    }
+  }
+  // SA_RESETHAND already restored the default action; re-raise so the
+  // process terminates (and cores) the way it would have without us.
+  ::raise(sig);
+}
+
+}  // namespace
+
+void Recorder::InstallCrashHandler(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(dump_mu_);
+    PreallocateDumpBuffers();
+  }
+  std::snprintf(g_crash_dump_path, sizeof(g_crash_dump_path), "%s",
+                path.c_str());
+  g_crash_recorder.store(this, std::memory_order_release);
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &CrashHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESETHAND;
+  for (int sig : {SIGSEGV, SIGABRT, SIGTERM}) {
+    ::sigaction(sig, &sa, nullptr);
+  }
+}
+
+}  // namespace tpset::obs

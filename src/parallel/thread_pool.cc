@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
 
 namespace tpset {
@@ -50,11 +51,28 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Enqueue(std::function<void()> job) {
+  std::size_t depth;
+  bool newly_saturated = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(job));
+    depth = queue_.size();
+    // Saturation: every worker busy and a full round of tasks per worker
+    // already waiting. Edge-triggered (see saturated_ in the header).
+    const std::size_t threshold = workers_.size() * 8;
+    if (!saturated_ && depth >= threshold) {
+      saturated_ = true;
+      newly_saturated = true;
+    } else if (saturated_ && depth < threshold / 2) {
+      saturated_ = false;
+    }
   }
   QueueDepthGauge().Add(1);
+  if (newly_saturated) {
+    obs::EmitEvent(obs::Severity::kWarn, "pool",
+                   "pool saturated depth=%zu workers=%zu", depth,
+                   workers_.size());
+  }
   cv_.notify_one();
 }
 

@@ -55,6 +55,10 @@ class ThreadPool {
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
+  /// True while the queue sits above the saturation threshold — edge-detects
+  /// the "pool saturated" event so a sustained backlog emits once, not per
+  /// enqueue (re-arms when the queue drains below half the threshold).
+  bool saturated_ = false;
   std::vector<std::thread> workers_;
 };
 

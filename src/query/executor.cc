@@ -5,7 +5,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "parallel/parallel_set_op.h"
 #include "parallel/sequencer.h"
 #include "query/parser.h"
@@ -30,9 +32,19 @@ obs::Counter& QueriesCounter() {
   return c;
 }
 
-void RecordQuery(std::chrono::steady_clock::time_point t0) {
-  QueryLatencyHistogram().Observe(obs::ElapsedUsec(t0));
+void RecordQuery(std::chrono::steady_clock::time_point t0,
+                 const QueryNode& query,
+                 const obs::QueryProfile* profile = nullptr) {
+  const std::uint64_t usec = obs::ElapsedUsec(t0);
+  QueryLatencyHistogram().Observe(usec);
   QueriesCounter().Increment();
+  // Slow executions retain their span tree (when profiled) as an exemplar.
+  obs::Recorder& recorder = obs::Recorder::Global();
+  if (static_cast<double>(usec) / 1000.0 >=
+      recorder.SlowThresholdMs("query")) {
+    recorder.RecordExecution("query", QueryToString(query),
+                             static_cast<double>(usec) / 1000.0, profile);
+  }
 }
 
 }  // namespace
@@ -84,6 +96,10 @@ Result<const StoredRelation*> QueryExecutor::FindStored(
 Result<EpochId> QueryExecutor::Append(const std::string& relation,
                                       const DeltaBatch& batch) {
   std::lock_guard<std::mutex> fence(write_fence_);
+  // First epoch starts the flight recorder's collector: once a process
+  // appends, it is a streaming engine worth recording.
+  obs::Recorder::Global().EnsureStarted();
+  const auto fence_t0 = std::chrono::steady_clock::now();
   auto it = catalog_.find(relation);
   if (it == catalog_.end()) {
     return Status::NotFound("no relation named '" + relation +
@@ -91,11 +107,22 @@ Result<EpochId> QueryExecutor::Append(const std::string& relation,
   }
   std::vector<TpTuple> applied;
   Result<EpochId> epoch = append_log_.Append(&it->second, batch, &applied);
-  if (!epoch.ok()) return epoch;
+  if (!epoch.ok()) {
+    obs::EmitEvent(obs::Severity::kWarn, "storage",
+                   "append rejected relation=%.32s tuples=%zu: %.40s",
+                   relation.c_str(), batch.rows.size(),
+                   epoch.status().message().c_str());
+    return epoch;
+  }
   const DeltaMap grouped = GroupInsertsByFact(applied);  // shared, not copied
   for (auto& [name, cq] : continuous_) {
     (void)name;
-    if (cq->Reads(relation)) cq->ApplyAppend(*epoch, relation, grouped);
+    // Every query observes the log advancing (lag accounting); readers then
+    // absorb the delta, which zeroes their subscribers' lag.
+    cq->NoteLogEpoch(*epoch);
+    if (cq->Reads(relation)) {
+      cq->ApplyAppend(*epoch, relation, grouped, fence_t0);
+    }
   }
   return epoch;
 }
@@ -116,7 +143,11 @@ Result<std::size_t> QueryExecutor::Retain(const std::string& relation,
     (void)name;
     if (cq->Reads(relation)) cq->Rebase();
   }
-  return stored.stats().tuples_retired - retired_before;
+  const std::size_t retired = stored.stats().tuples_retired - retired_before;
+  obs::EmitEvent(obs::Severity::kInfo, "storage",
+                 "retention relation=%.32s watermark=%lld retired=%zu",
+                 relation.c_str(), static_cast<long long>(watermark), retired);
+  return retired;
 }
 
 Status QueryExecutor::Compact(const std::string& relation) {
@@ -192,7 +223,7 @@ Result<TpRelation> QueryExecutor::Execute(const QueryNode& query,
                                           const SetOpAlgorithm* algorithm) const {
   const auto t0 = std::chrono::steady_clock::now();
   Result<TpRelation> out = ExecuteTree(query, algorithm);
-  RecordQuery(t0);
+  RecordQuery(t0, query);
   return out;
 }
 
@@ -314,7 +345,7 @@ Result<TpRelation> QueryExecutor::ExecuteProfiled(
   Result<TpRelation> out = ExecuteNode(query, algorithm, parallel, &root);
   if (out.ok()) root.SetAttr("out", out->size());
   timer.Stop();
-  RecordQuery(t0);
+  RecordQuery(t0, query, options.profile);
   return out;
 }
 
@@ -446,7 +477,7 @@ Result<TpRelation> QueryExecutor::ExecuteConcurrent(
     profile_root->SetAttr("out", out->size());
   }
   profile_timer.Stop();
-  RecordQuery(t0);
+  RecordQuery(t0, query, options.profile);
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/interval.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "parallel/partition.h"
 #include "parallel/thread_pool.h"
@@ -83,6 +84,7 @@ StoredRelation::StoredRelation(TpRelation base) : base_(std::move(base)) {
     // (fact, start, end) order makes the last tuple of a fact's run the one
     // with the maximal end, so plain assignment leaves the tail map right.
     fact_tails_[t.fact] = t.t.end;
+    max_interval_end_ = std::max(max_interval_end_, t.t.end);
   }
   ResidentTuplesGauge().Add(static_cast<std::int64_t>(base_.size()));
 }
@@ -131,7 +133,10 @@ Status StoredRelation::AppendRun(std::vector<TpTuple> batch, EpochId epoch) {
     new_tails[t.fact] = t.t.end;
   }
   TPSET_RETURN_NOT_OK(tail_.Append(std::move(batch), epoch, &stats_));
-  for (const auto& [fact, end] : new_tails) fact_tails_[fact] = end;
+  for (const auto& [fact, end] : new_tails) {
+    fact_tails_[fact] = end;
+    max_interval_end_ = std::max(max_interval_end_, end);
+  }
   ++stats_.appends;
   AppendLatencyHistogram().Observe(obs::ElapsedUsec(t0));
   ResidentTuplesGauge().Add(static_cast<std::int64_t>(batch_size));
@@ -243,9 +248,15 @@ void StoredRelation::Compact(ThreadPool* pool) {
       !base_unretained_) {
     return;
   }
+  const std::size_t retired_before = stats_.tuples_retired;
+  const std::size_t runs_before = tail_.run_count();
   CompactLocked(watermark_, pool);
   compacted_watermark_ = watermark_;
   base_unretained_ = false;
+  obs::EmitEvent(obs::Severity::kInfo, "storage",
+                 "compaction relation=%.32s runs=%zu retired=%zu",
+                 base_.name().c_str(), runs_before,
+                 stats_.tuples_retired - retired_before);
 }
 
 const TpRelation& StoredRelation::View() const {

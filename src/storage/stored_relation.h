@@ -87,6 +87,14 @@ class StoredRelation {
   /// {false, 0} when the fact was never appended. O(1); counts a tail hit.
   std::pair<bool, TimePoint> FactTail(FactId fact) const;
 
+  /// Maximum interval end ever stored (kNoWatermark while empty). Monotone
+  /// and unaffected by retention — it tracks how far event time has
+  /// advanced, which is what continuous-query low watermarks fold over.
+  TimePoint max_interval_end() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_interval_end_;
+  }
+
   /// Sets the retention watermark (monotone: lowering it is rejected).
   /// Takes effect at the next Compact(); QueryExecutor::Retain couples the
   /// two and rebases dependent continuous queries.
@@ -142,6 +150,7 @@ class StoredRelation {
   mutable StorageStats stats_;
   mutable std::mutex mu_;
   std::unordered_map<FactId, TimePoint> fact_tails_;
+  TimePoint max_interval_end_ = kNoWatermark;
   TimePoint watermark_ = kNoWatermark;
   /// Watermark the base level was last retention-compacted to; lets
   /// Compact() skip the O(n) re-merge when nothing changed.

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <random>
 #include <string>
@@ -216,6 +217,92 @@ TEST(ObsExportTest, JsonLinesShapeAndConsistency) {
   std::size_t line_count = 0;
   for (char c : lines) line_count += c == '\n';
   EXPECT_EQ(line_count, snapshot.metrics.size());
+}
+
+// Scrape-while-record: exporters run against a registry that writers are
+// mutating and extending (new metrics registering mid-scrape). Every export
+// must be structurally complete — whole lines, no torn names — and once the
+// writers quiesce the export carries the exact final values. TSan-clean.
+TEST(ObsExportTest, ExportsStayWellFormedWhileRecording) {
+  obs::MetricsRegistry registry;
+  obs::Counter& ops = registry.GetCounter("tpset_race_ops_total", "ops");
+  obs::Histogram& lat = registry.GetHistogram("tpset_race_lat_usec", "lat");
+  obs::Gauge& depth = registry.GetGauge("tpset_race_depth", "depth");
+
+  constexpr int kDynamic = 64;
+  std::atomic<bool> done{false};
+  std::atomic<bool> well_formed{true};
+  std::thread mutator([&]() {
+    std::int64_t i = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      ops.Increment();
+      lat.Observe(static_cast<std::uint64_t>(i % 1024));
+      depth.Set(i % 32 - 16);
+      ++i;
+    }
+  });
+  std::thread registrar([&registry]() {
+    for (int i = 0; i < kDynamic; ++i) {
+      registry
+          .GetCounter("tpset_race_dyn" + std::to_string(i) + "_total", "dyn")
+          .Increment(static_cast<std::uint64_t>(i));
+    }
+  });
+  std::thread scraper([&]() {
+    while (!done.load(std::memory_order_acquire)) {
+      const obs::MetricsSnapshot snap = registry.Scrape();
+      // Prometheus: every line is a comment or starts with a metric name.
+      const std::string prom = obs::PrometheusText(snap);
+      std::size_t start = 0;
+      while (start < prom.size()) {
+        std::size_t end = prom.find('\n', start);
+        if (end == std::string::npos) end = prom.size();
+        const std::string line = prom.substr(start, end - start);
+        if (!line.empty() && line[0] != '#' &&
+            line.rfind("tpset_race_", 0) != 0) {
+          well_formed.store(false, std::memory_order_relaxed);
+        }
+        start = end + 1;
+      }
+      // JSON lines: one braced object per line, name always present.
+      const std::string lines = obs::JsonLines(snap);
+      start = 0;
+      while (start < lines.size()) {
+        std::size_t end = lines.find('\n', start);
+        if (end == std::string::npos) break;
+        const std::string line = lines.substr(start, end - start);
+        if (line.rfind("{\"name\":\"tpset_race_", 0) != 0 ||
+            line.back() != '}') {
+          well_formed.store(false, std::memory_order_relaxed);
+        }
+        start = end + 1;
+      }
+    }
+  });
+  registrar.join();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  done.store(true, std::memory_order_release);
+  mutator.join();
+  scraper.join();
+  EXPECT_TRUE(well_formed.load());
+
+  // Quiesced: the final export is exact and internally consistent.
+  const obs::MetricsSnapshot snap = registry.Scrape();
+  EXPECT_EQ(snap.metrics.size(), 3u + kDynamic);
+  const obs::MetricSnapshot* c = snap.Find("tpset_race_ops_total");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->counter, ops.Value());
+  const obs::MetricSnapshot* h = snap.Find("tpset_race_lat_usec");
+  ASSERT_NE(h, nullptr);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : h->buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, h->hist_count);
+  for (int i = 0; i < kDynamic; ++i) {
+    const obs::MetricSnapshot* d =
+        snap.Find("tpset_race_dyn" + std::to_string(i) + "_total");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->counter, static_cast<std::uint64_t>(i));
+  }
 }
 
 // Re-registration returns the same metric (stable handles).
