@@ -38,7 +38,13 @@
 // operation, and a machine-readable summary written to BENCH_parallel.json
 // (override with --json <path>) so the perf trajectory is tracked across
 // PRs.
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -54,7 +60,9 @@
 #include "lawa/columnar_advancer.h"
 #include "lawa/set_ops.h"
 #include "lineage/staging.h"
+#include "net/http_server.h"
 #include "obs/export.h"
+#include "obs/http_endpoints.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "parallel/parallel_set_op.h"
@@ -283,6 +291,35 @@ double Makespan(const std::vector<double>& durations, std::size_t workers) {
   return *std::max_element(load.begin(), load.end());
 }
 
+// ---- Serving-overhead harness (--serve) -----------------------------------
+
+// One blocking loopback GET, reading the response to EOF. Returns bytes
+// received (0 on any failure — the bench does not care why a scrape missed,
+// only that the server was under scrape load while it measured).
+std::size_t ScrapeOnce(std::uint16_t port, const char* target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  std::size_t total = 0;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    std::string request = std::string("GET ") + target +
+                          " HTTP/1.1\r\nHost: bench\r\n\r\n";
+    if (::send(fd, request.data(), request.size(), MSG_NOSIGNAL) ==
+        static_cast<ssize_t>(request.size())) {
+      char buf[4096];
+      ssize_t got;
+      while ((got = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+        total += static_cast<std::size_t>(got);
+      }
+    }
+  }
+  ::close(fd);
+  return total;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -293,6 +330,7 @@ int main(int argc, char** argv) {
   double scale = ScaleFactor(argc, argv);
   const char* json_path = "BENCH_parallel.json";
   const char* metrics_path = nullptr;
+  bool serve = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
@@ -302,7 +340,40 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
       metrics_path = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
     }
+  }
+
+  // --serve: run the introspection HTTP server on an ephemeral loopback
+  // port for the whole bench, with a client thread scraping /metrics every
+  // 100ms — the production "Prometheus is watching" configuration. Compare
+  // the measured walls against a --serve-less run to put a number on
+  // serving overhead (recorded in DESIGN.md; the gate is <= 3% on the
+  // advance wall).
+  std::unique_ptr<net::HttpServer> server;
+  std::thread scraper;
+  std::atomic<bool> scraping{false};
+  std::uint64_t scrapes = 0;
+  if (serve) {
+    server = std::make_unique<net::HttpServer>();
+    obs::RegisterIntrospectionEndpoints(server.get(), nullptr);
+    Status started = server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "bench_parallel: --serve failed: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    std::printf("# serving on http://%s (scraping /metrics every 100ms)\n",
+                server->address().c_str());
+    scraping.store(true, std::memory_order_release);
+    const std::uint16_t port = server->port();
+    scraper = std::thread([&scraping, &scrapes, port]() {
+      while (scraping.load(std::memory_order_acquire)) {
+        if (ScrapeOnce(port, "/metrics") > 0) ++scrapes;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    });
   }
 
   std::printf("# parallel scaling: LAWA-P threads=1/2/4/8 (bit-identical and "
@@ -693,8 +764,7 @@ int main(int argc, char** argv) {
   // the run — the CI stage validates this export against the checked-in
   // schema (scripts/metrics_schema.json).
   if (metrics_path != nullptr) {
-    const std::string lines =
-        obs::JsonLines(obs::MetricsRegistry::Global().Scrape());
+    const std::string lines = obs::JsonLines(obs::TakeScrape());
     if (std::FILE* f = std::fopen(metrics_path, "w")) {
       std::fputs(lines.c_str(), f);
       std::fclose(f);
@@ -703,6 +773,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bench_parallel: cannot write %s\n", metrics_path);
       return 1;
     }
+  }
+  if (serve) {
+    scraping.store(false, std::memory_order_release);
+    scraper.join();
+    const net::HttpServerStats stats = server->stats();
+    server->Stop();
+    std::printf("# serve: scrapes=%llu served=%llu shed=%llu\n",
+                static_cast<unsigned long long>(scrapes),
+                static_cast<unsigned long long>(stats.served),
+                static_cast<unsigned long long>(stats.saturated));
   }
   if (ab_diverged) {
     std::fprintf(stderr,

@@ -1,7 +1,7 @@
 // Mini query shell for TP set queries.
 //
 // Usage:
-//   query_repl [--threads=N] [name=file.csv ...]
+//   query_repl [--threads=N] [--serve=PORT] [name=file.csv ...]
 //
 // Loads the given CSV relations (see relation/io.h for the format) into one
 // context — or, with no arguments, the paper's supermarket relations a, b,
@@ -35,6 +35,10 @@
 //   \events [n]                         recent structured events
 //   \slow                               retained slow-query exemplars
 //   \dump <path>                        write the flight record as JSON
+//   \serve [port|stop]                  start (or stop) the introspection
+//                                       HTTP server; port 0 binds an
+//                                       ephemeral port, echoed on start.
+//                                       --serve=PORT does this at startup
 //   \profile [on|off]                   show or toggle profiling: when on,
 //                                       every query and \append also prints
 //                                       its trace-span tree (wall/CPU per
@@ -44,12 +48,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "lineage/eval.h"
+#include "net/http_server.h"
 #include "obs/events.h"
 #include "obs/export.h"
+#include "obs/http_endpoints.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/recorder.h"
@@ -147,6 +154,8 @@ constexpr const char* kHelp =
     "  \\events [n]                         recent structured events\n"
     "  \\slow                               retained slow-query exemplars\n"
     "  \\dump <path>                        write the flight-record JSON\n"
+    "  \\serve [port|stop]                  start/stop the introspection\n"
+    "                                      HTTP server (port 0 = ephemeral)\n"
     "  \\profile [on|off]                   print trace spans per query\n"
     "  \\quit                               exit\n";
 
@@ -239,6 +248,25 @@ void PrintDelta(const std::string& watch_name, const EpochDelta& d,
   for (const TpTuple& t : d.delta.inserted) print_tuple('+', t);
 }
 
+// Starts (or replaces nothing — at most one runs) the introspection server
+// on `port`, wiring every obs endpoint to `exec`. Prints the bound address
+// (meaningful with port 0) or the failure.
+std::unique_ptr<net::HttpServer> StartServing(std::uint16_t port,
+                                              const QueryExecutor* exec) {
+  net::HttpServerOptions options;
+  options.port = port;
+  auto server = std::make_unique<net::HttpServer>(options);
+  obs::RegisterIntrospectionEndpoints(server.get(), exec);
+  Status st = server->Start();
+  if (!st.ok()) {
+    std::cout << st.ToString() << '\n';
+    return nullptr;
+  }
+  std::cout << "serving on http://" << server->address()
+            << " (endpoints: /statusz /metrics /flight /queries ...)\n";
+  return server;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -247,6 +275,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> names;
   std::size_t num_threads = 1;
   bool profile_on = false;
+  bool serve = false;
+  std::uint16_t serve_port = 0;
 
   std::vector<std::string> rel_args;
   for (int i = 1; i < argc; ++i) {
@@ -258,6 +288,17 @@ int main(int argc, char** argv) {
         return 1;
       }
       num_threads = static_cast<std::size_t>(v);
+    } else if (arg.rfind("--serve=", 0) == 0) {
+      const char* text = arg.c_str() + 8;
+      char* end = nullptr;
+      const long v = std::strtol(text, &end, 10);
+      if (end == text || *end != '\0' || v < 0 || v > 65535) {
+        std::cerr << "--serve expects a port in [0, 65535], got '" << arg
+                  << "'\n";
+        return 1;
+      }
+      serve = true;
+      serve_port = static_cast<std::uint16_t>(v);
     } else {
       rel_args.push_back(arg);
     }
@@ -295,7 +336,25 @@ int main(int argc, char** argv) {
 
   // The shell is interactive telemetry's natural home: start the flight
   // recorder's collector up front so \top has ring history immediately.
-  obs::Recorder::Global().Start();
+  // Env knobs (TPSET_OBS_SAMPLE_MS, TPSET_OBS_RING_CAP) are validated, not
+  // clamped — a typo'd config refuses to run rather than silently sampling
+  // at the wrong rate.
+  Result<obs::RecorderOptions> recorder_options = obs::RecorderOptions::FromEnv();
+  if (!recorder_options.ok()) {
+    std::cerr << recorder_options.status().ToString() << '\n';
+    return 1;
+  }
+  Status recorder_started = obs::Recorder::Global().Start(*recorder_options);
+  if (!recorder_started.ok()) {
+    std::cerr << recorder_started.ToString() << '\n';
+    return 1;
+  }
+
+  std::unique_ptr<net::HttpServer> server;
+  if (serve) {
+    server = StartServing(serve_port, &exec);
+    if (server == nullptr) return 1;
+  }
 
   std::string line;
   std::cout << "tpset> " << std::flush;
@@ -430,7 +489,7 @@ int main(int argc, char** argv) {
     } else if (line == "\\metrics" || line.rfind("\\metrics ", 0) == 0) {
       const std::string prefix =
           line.size() > 9 ? line.substr(9) : std::string();
-      obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Scrape();
+      obs::MetricsSnapshot snap = obs::TakeScrape().snapshot;
       if (!prefix.empty()) {
         std::erase_if(snap.metrics, [&prefix](const obs::MetricSnapshot& m) {
           return m.name.rfind(prefix, 0) != 0;
@@ -458,6 +517,29 @@ int main(int argc, char** argv) {
         std::cout << "flight record written to " << path << '\n';
       } else {
         std::cout << st.ToString() << '\n';
+      }
+    } else if (line == "\\serve" || line.rfind("\\serve ", 0) == 0) {
+      const std::string arg = line.size() > 7 ? line.substr(7) : std::string();
+      if (arg == "stop") {
+        if (server == nullptr) {
+          std::cout << "not serving\n";
+        } else {
+          server->Stop();
+          server.reset();
+          std::cout << "introspection server stopped\n";
+        }
+      } else if (server != nullptr) {
+        std::cout << "already serving on http://" << server->address()
+                  << " (\\serve stop first)\n";
+      } else {
+        char* end = nullptr;
+        const long v = arg.empty() ? 0 : std::strtol(arg.c_str(), &end, 10);
+        if ((!arg.empty() && (end == arg.c_str() || *end != '\0')) || v < 0 ||
+            v > 65535) {
+          std::cout << "usage: \\serve [port|stop] (port 0 = ephemeral)\n";
+        } else {
+          server = StartServing(static_cast<std::uint16_t>(v), &exec);
+        }
       }
     } else if (line == "\\profile" || line.rfind("\\profile ", 0) == 0) {
       const std::string arg =

@@ -108,6 +108,60 @@ python3 scripts/validate_flight_record.py "$BUILD_DIR/flight_record.json" \
   scripts/flight_record_schema.json
 echo "flight record smoke OK"
 
+# Introspection-server smoke: start the REPL with --serve=0 (ephemeral port)
+# over a live parallel workload — 128-tuple CSV relations so the columnar
+# kernel and morsel scheduler register their metric families — then scrape
+# every contract from outside the process: /healthz, /metrics (Prometheus and
+# JSON, the latter against metrics_schema.json), /flight against the
+# flight-record schema, and /queries for continuous-query state. The wire
+# and the in-process exporters must agree because they share one snapshot
+# path (obs::TakeScrape).
+python3 - "$BUILD_DIR" <<'EOF'
+import sys
+build = sys.argv[1]
+for rel in ("a", "b", "c"):
+    with open(f"{build}/serve_{rel}.csv", "w") as f:
+        f.write("Product:str,ts,te,p,var\n")
+        for i in range(128):
+            f.write(f"p{i % 16},{i},{i + 7},0.5,{rel}x{i}\n")
+EOF
+SERVE_FIFO="$BUILD_DIR/serve_smoke.fifo"
+rm -f "$SERVE_FIFO"; mkfifo "$SERVE_FIFO"
+"$BUILD_DIR/examples/query_repl" --threads=2 --serve=0 \
+  a="$BUILD_DIR/serve_a.csv" b="$BUILD_DIR/serve_b.csv" \
+  c="$BUILD_DIR/serve_c.csv" \
+  < "$SERVE_FIFO" > "$BUILD_DIR/serve_smoke.out" 2>&1 &
+SERVE_PID=$!
+exec 9> "$SERVE_FIFO"  # hold the fifo open so the REPL's stdin stays live
+printf '\\watch w1 c - (a | b)\n' >&9
+printf 'c - (a | b)\n' >&9
+printf '\\append a milk 200 204 0.5\n' >&9
+for _ in $(seq 1 100); do
+  grep -q 'serving on http://' "$BUILD_DIR/serve_smoke.out" && break
+  sleep 0.1
+done
+SERVE_ADDR="$(grep -o 'http://[0-9.]*:[0-9]*' "$BUILD_DIR/serve_smoke.out" \
+  | head -1 | sed 's#http://##')"
+test -n "$SERVE_ADDR"
+sleep 1  # a few collector ticks so /flight and /top carry ring history
+curl -fsS "http://$SERVE_ADDR/healthz" | grep -q 'ok'
+curl -fsS "http://$SERVE_ADDR/readyz" | grep -q 'ready'
+curl -fsS "http://$SERVE_ADDR/metrics" \
+  | grep -q '^tpset_net_http_requests_total '
+curl -fsS "http://$SERVE_ADDR/metrics?format=json" \
+  > "$BUILD_DIR/serve_metrics.jsonl"
+python3 scripts/validate_metrics.py "$BUILD_DIR/serve_metrics.jsonl" \
+  scripts/metrics_schema.json
+curl -fsS "http://$SERVE_ADDR/flight" > "$BUILD_DIR/serve_flight.json"
+python3 scripts/validate_flight_record.py "$BUILD_DIR/serve_flight.json" \
+  scripts/flight_record_schema.json
+curl -fsS "http://$SERVE_ADDR/queries" | grep -q '"name":"w1"'
+printf '\\quit\n' >&9
+exec 9>&-
+wait "$SERVE_PID"
+rm -f "$SERVE_FIFO"
+echo "introspection server smoke OK"
+
 # Storage smoke: run-index append path vs MergeSortedAppend, compaction and
 # the retention-bounds-resident-state sweep, plus the BENCH_storage.json
 # emitter (the committed BENCH_storage.json comes from a full-scale run).

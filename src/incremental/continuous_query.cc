@@ -248,6 +248,7 @@ void ContinuousQuery::ApplyAppend(EpochId epoch,
                                   const DeltaMap& delta,
                                   std::chrono::steady_clock::time_point fence_t0) {
   assert(Reads(relation_name));
+  ++epochs_applied_;
   std::map<std::string, const DeltaMap*> leaf_deltas;
   leaf_deltas.emplace(relation_name, &delta);
   EpochDelta ed;

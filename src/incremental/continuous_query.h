@@ -144,6 +144,9 @@ class ContinuousQuery {
   const ContinuousOptions& options() const { return options_; }
   /// Last epoch applied to this query (0 if none since registration).
   EpochId last_epoch() const { return last_epoch_; }
+  /// Total ApplyAppend epochs that touched this query (epochs appending to
+  /// relations it does not read advance log_epoch() but not this count).
+  std::uint64_t epochs_applied() const { return epochs_applied_; }
   /// Current accumulated result size.
   std::size_t size() const;
 
@@ -204,6 +207,7 @@ class ContinuousQuery {
   Schema schema_;
   EpochId last_epoch_ = 0;
   EpochId log_epoch_ = 0;
+  std::uint64_t epochs_applied_ = 0;
   TimePoint rebased_watermark_ = kNoWatermark;
   std::vector<Subscriber> subscribers_;
   SubscriptionId next_subscription_ = 1;

@@ -1,0 +1,227 @@
+// Embedded HTTP/1.1 server: the network-facing substrate of the engine.
+//
+// The first consumer is the introspection plane (obs/http_endpoints.h):
+// Prometheus scrapes, flight-record pulls, and query-state reads against a
+// *live* engine. The design goal is therefore not throughput but containment
+// — an observability port must never become the process's DoS vector, and a
+// stuck scraper must never wedge the engine it observes:
+//
+//  * Bounded parsing. Requests are parsed incrementally (RequestParser), so
+//    split reads are handled naturally, and every dimension is capped:
+//    header bytes (431 when exceeded), body bytes (413), request-line shape
+//    (400), HTTP version (505). A connection can cost at most
+//    max_header_bytes + max_body_bytes of memory, ever.
+//  * Bounded time. Every connection carries an absolute deadline
+//    (request_timeout_ms). A client that trickles bytes or never finishes
+//    its request gets a 408 and its socket closed; a client that stops
+//    reading the response is cut off when the deadline passes (send(2) under
+//    SO_SNDTIMEO).
+//  * Bounded concurrency. Accepted connections wait in a fixed-capacity
+//    queue served by a small worker pool. When the queue is full the accept
+//    loop answers 503 immediately and closes — load-shedding at the door,
+//    with the rejection counted (tpset_net_http_saturated_total) so
+//    saturation is itself observable.
+//  * Graceful shutdown. Stop() halts the accept loop, then lets the workers
+//    drain every connection already accepted (in-flight requests complete,
+//    queued ones are served) before joining. Nothing in flight is dropped;
+//    new connections are refused the moment Stop begins.
+//
+// Handlers run on worker threads, concurrently with the engine — they must
+// only touch thread-safe state (metric scrapes, seqlock ring copies, or
+// reads behind the executor's write fence; see obs/http_endpoints.cc).
+// Protocol surface is deliberately small: HTTP/1.1, GET and HEAD only, one
+// request per connection (Connection: close), no TLS, loopback bind by
+// default. The multi-query serving layer (ROADMAP item 1) will reuse this
+// accept/worker substrate for client connections.
+#ifndef TPSET_NET_HTTP_SERVER_H_
+#define TPSET_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tpset::net {
+
+/// One parsed request. Header names are lowercased; query parameters are
+/// percent-decoded.
+struct HttpRequest {
+  std::string method;  ///< uppercase token (GET, HEAD, ...)
+  std::string target;  ///< raw request-target as received
+  std::string path;    ///< target up to '?'
+  std::map<std::string, std::string> query;    ///< decoded ?key=value params
+  std::map<std::string, std::string> headers;  ///< lowercased field names
+  std::string body;
+
+  /// Query parameter by name, or `fallback`.
+  std::string QueryParam(const std::string& name,
+                         const std::string& fallback = "") const;
+};
+
+/// One response. The server adds Content-Length and Connection: close.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+
+  static HttpResponse Text(int status, std::string body);
+  static HttpResponse Json(int status, std::string body);
+  static HttpResponse Html(int status, std::string body);
+};
+
+/// Standard reason phrase for `status` ("OK", "Not Found", ...).
+const char* StatusReason(int status);
+
+/// Incremental HTTP/1.1 request parser with hard caps on every dimension.
+/// Feed() accepts bytes as they arrive off the socket — a request split
+/// across arbitrarily many reads parses identically to one delivered whole.
+/// Exposed (rather than buried in the server) so request-parsing edge cases
+/// are unit-testable without sockets.
+class RequestParser {
+ public:
+  enum class State {
+    kNeedMore,  ///< incomplete; feed more bytes
+    kDone,      ///< request() is complete (trailing bytes are ignored)
+    kError,     ///< malformed/oversized; error_status() says which
+  };
+
+  RequestParser(std::size_t max_header_bytes, std::size_t max_body_bytes);
+
+  /// Consumes `n` bytes. Once kDone or kError is reached the parser stays
+  /// there; further calls return the same state.
+  State Feed(const char* data, std::size_t n);
+
+  State state() const { return state_; }
+  const HttpRequest& request() const { return request_; }
+
+  /// HTTP status describing the parse failure (400 bad request, 413 body
+  /// too large, 431 headers too large, 505 unsupported version). 0 unless
+  /// state() == kError.
+  int error_status() const { return error_status_; }
+
+ private:
+  State Fail(int status);
+  /// Parses the buffered header block; transitions to body collection or
+  /// completion.
+  State ParseHeaders(std::size_t header_end);
+
+  const std::size_t max_header_bytes_;
+  const std::size_t max_body_bytes_;
+  State state_ = State::kNeedMore;
+  int error_status_ = 0;
+  bool in_body_ = false;
+  std::size_t body_expected_ = 0;
+  std::string buffer_;  ///< header bytes until the blank line, then body bytes
+  HttpRequest request_;
+};
+
+struct HttpServerOptions {
+  /// IPv4 address to bind. Loopback by default: introspection is for the
+  /// operator on the box (or a port-forwarding sidecar), not the open net.
+  std::string bind_address = "127.0.0.1";
+
+  /// TCP port; 0 binds an ephemeral port (tests, CI) reported by port().
+  std::uint16_t port = 0;
+
+  /// Worker threads serving parsed requests.
+  std::size_t worker_threads = 2;
+
+  /// Accepted connections waiting for a worker. Beyond this the accept loop
+  /// sheds load with an immediate 503.
+  std::size_t max_queued_connections = 64;
+
+  std::size_t max_header_bytes = 8 * 1024;
+  std::size_t max_body_bytes = 64 * 1024;
+
+  /// Absolute per-connection deadline covering read, parse, handle, write.
+  int request_timeout_ms = 5000;
+};
+
+/// Served-traffic counters (monotone since Start). Also exported as
+/// tpset_net_* process metrics; this struct is for tests and callers that
+/// want this server instance's numbers, not the process-wide aggregate.
+struct HttpServerStats {
+  std::uint64_t accepted = 0;   ///< connections handed to the queue
+  std::uint64_t served = 0;     ///< worker responses written (any status)
+  std::uint64_t saturated = 0;  ///< shed with a canned 503 at accept
+                                ///< (never reached a worker; not in served)
+  std::uint64_t parse_errors = 0;
+  std::uint64_t timeouts = 0;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(HttpServerOptions options = {});
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+  ~HttpServer();  ///< Stop()s if running.
+
+  /// Registers `handler` for exact-path GET/HEAD requests. Must be called
+  /// before Start (routes are read lock-free while serving).
+  void Route(const std::string& path, Handler handler);
+
+  /// Binds, listens, and starts the accept loop + worker pool. Fails with
+  /// InvalidArgument on a bad bind address and IoError when the socket
+  /// layer refuses (port in use, privileged port). Idempotent error: a
+  /// second Start on a running server is InvalidArgument.
+  Status Start();
+
+  /// Graceful shutdown: stop accepting, serve everything already accepted,
+  /// join all threads. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (resolves port 0) — valid after a successful Start.
+  std::uint16_t port() const { return port_; }
+  /// "host:port" of the bound listener.
+  std::string address() const;
+
+  HttpServerStats stats() const;
+
+  const HttpServerOptions& options() const { return options_; }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  /// Reads, parses, dispatches, and answers one connection, honoring the
+  /// absolute deadline. Always closes `fd`.
+  void ServeConnection(int fd);
+  /// Formats and writes `response` (headers + body unless HEAD) to `fd`.
+  void WriteResponse(int fd, const HttpResponse& response, bool head_only);
+
+  HttpServerOptions options_;
+  std::map<std::string, Handler> routes_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  bool stop_requested_ = false;  // guarded by queue_mu_
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  ///< accepted fds awaiting a worker
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> saturated_{0};
+  std::atomic<std::uint64_t> parse_errors_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+};
+
+}  // namespace tpset::net
+
+#endif  // TPSET_NET_HTTP_SERVER_H_

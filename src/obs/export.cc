@@ -1,5 +1,6 @@
 #include "obs/export.h"
 
+#include "obs/profile.h"
 #include "obs/recorder.h"
 
 namespace tpset::obs {
@@ -19,6 +20,22 @@ const char* TypeName(MetricSnapshot::Kind kind) {
 }
 
 }  // namespace
+
+ScrapeSnapshot TakeScrape(MetricsRegistry* registry) {
+  if (registry == nullptr) registry = &MetricsRegistry::Global();
+  ScrapeSnapshot scrape;
+  scrape.scraped_unix_us = NowUnixUs();
+  scrape.snapshot = registry->Scrape();
+  return scrape;
+}
+
+std::string PrometheusText(const ScrapeSnapshot& scrape) {
+  return PrometheusText(scrape.snapshot);
+}
+
+std::string JsonLines(const ScrapeSnapshot& scrape) {
+  return JsonLines(scrape.snapshot);
+}
 
 std::string PrometheusText(const MetricsSnapshot& snapshot) {
   std::string out;

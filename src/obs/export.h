@@ -10,6 +10,19 @@
 
 namespace tpset::obs {
 
+/// One shard-aggregation pass over the registry, shared by every renderer.
+/// Scraping is the expensive half of an export (16 shards x all metrics);
+/// rendering is string formatting. Callers that serve multiple formats — or
+/// stamp the scrape time into their output — take one TakeScrape() and feed
+/// the same snapshot to PrometheusText and/or JsonLines.
+struct ScrapeSnapshot {
+  std::int64_t scraped_unix_us = 0;  ///< when the shards were aggregated
+  MetricsSnapshot snapshot;
+};
+
+/// Aggregates `registry` (the process-global one by default) once.
+ScrapeSnapshot TakeScrape(MetricsRegistry* registry = nullptr);
+
 /// Prometheus text exposition format, version 0.0.4:
 ///
 ///   # HELP tpset_pool_tasks_total tasks executed by all thread pools
@@ -19,6 +32,7 @@ namespace tpset::obs {
 /// Histograms emit the cumulative `_bucket{le="..."}` series (power-of-two
 /// bounds, see HistogramBucketBound) plus `_sum` and `_count`.
 std::string PrometheusText(const MetricsSnapshot& snapshot);
+std::string PrometheusText(const ScrapeSnapshot& scrape);
 
 /// JSON lines, one object per metric:
 ///
@@ -29,6 +43,7 @@ std::string PrometheusText(const MetricsSnapshot& snapshot);
 /// `buckets` are non-cumulative; their sum equals `count` (the consistency
 /// invariant the CI validator checks).
 std::string JsonLines(const MetricsSnapshot& snapshot);
+std::string JsonLines(const ScrapeSnapshot& scrape);
 
 /// The process-wide flight record (obs/recorder.h) as one JSON object:
 /// recorder config, per-metric ring histories, recent events, slow-query

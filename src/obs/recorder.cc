@@ -5,7 +5,9 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
@@ -42,6 +44,71 @@ const char* KindName(MetricSnapshot::Kind kind) {
 }
 
 }  // namespace
+
+// ---- RecorderOptions --------------------------------------------------------
+
+Status RecorderOptions::Validate() const {
+  if (tick.count() < kMinTickMs || tick.count() > kMaxTickMs) {
+    return Status::InvalidArgument(
+        "recorder tick must be in [" + std::to_string(kMinTickMs) + "ms, " +
+        std::to_string(kMaxTickMs) + "ms], got " +
+        std::to_string(tick.count()) + "ms");
+  }
+  if (ring_capacity < kMinRingCapacity || ring_capacity > kMaxRingCapacity) {
+    return Status::InvalidArgument(
+        "recorder ring_capacity must be in [" +
+        std::to_string(kMinRingCapacity) + ", " +
+        std::to_string(kMaxRingCapacity) + "], got " +
+        std::to_string(ring_capacity));
+  }
+  if (!(slow_floor_ms >= 0.0)) {  // negation catches NaN too
+    return Status::InvalidArgument(
+        "recorder slow_floor_ms must be >= 0, got " +
+        std::to_string(slow_floor_ms));
+  }
+  if (slow_capacity < 1 || slow_capacity > kMaxSlowCapacity) {
+    return Status::InvalidArgument(
+        "recorder slow_capacity must be in [1, " +
+        std::to_string(kMaxSlowCapacity) + "], got " +
+        std::to_string(slow_capacity));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Parses env var `name` as a non-negative integer into `*out`. Unset or
+/// empty leaves `*out` alone; garbage is InvalidArgument naming the var.
+Status EnvInt(const char* name, long long* out) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return Status::OK();
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || v < 0) {
+    return Status::InvalidArgument(std::string(name) + "='" + text +
+                                   "' is not a non-negative integer");
+  }
+  *out = v;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<RecorderOptions> RecorderOptions::FromEnv() {
+  return FromEnv(RecorderOptions{});
+}
+
+Result<RecorderOptions> RecorderOptions::FromEnv(RecorderOptions base) {
+  long long tick_ms = base.tick.count();
+  TPSET_RETURN_NOT_OK(EnvInt("TPSET_OBS_SAMPLE_MS", &tick_ms));
+  base.tick = std::chrono::milliseconds(tick_ms);
+  long long ring_cap = static_cast<long long>(base.ring_capacity);
+  TPSET_RETURN_NOT_OK(EnvInt("TPSET_OBS_RING_CAP", &ring_cap));
+  base.ring_capacity = static_cast<std::size_t>(ring_cap);
+  TPSET_RETURN_NOT_OK(base.Validate());
+  return base;
+}
 
 // ---- MetricRing -------------------------------------------------------------
 
@@ -265,7 +332,7 @@ Recorder& Recorder::Global() {
   return *global;
 }
 
-void Recorder::Start(const RecorderOptions& options) {
+Status Recorder::Start(const RecorderOptions& options) {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (started_) {
     if (!running_.load(std::memory_order_acquire)) {
@@ -273,21 +340,29 @@ void Recorder::Start(const RecorderOptions& options) {
       collector_ = std::thread([this]() { CollectorLoop(); });
       running_.store(true, std::memory_order_release);
     }
-    return;
+    return Status::OK();
   }
+  // Out-of-bounds knobs are rejected, not clamped: a recorder running with
+  // a config the operator didn't ask for is worse than one that refuses.
+  TPSET_RETURN_NOT_OK(options.Validate());
   options_ = options;
-  if (options_.ring_capacity < 4) options_.ring_capacity = 4;
-  if (options_.slow_capacity < 1) options_.slow_capacity = 1;
-  if (options_.tick.count() < 1) options_.tick = std::chrono::milliseconds(1);
   started_ = true;
   PreallocateDumpBuffers();
   stop_requested_ = false;
   collector_ = std::thread([this]() { CollectorLoop(); });
   running_.store(true, std::memory_order_release);
+  return Status::OK();
 }
 
 void Recorder::EnsureStarted() {
-  if (!running_.load(std::memory_order_acquire)) Start(options_);
+  if (running_.load(std::memory_order_acquire)) return;
+  // options_ is either the validated frozen config or the (valid) defaults,
+  // so this Start cannot fail on bounds; surface anything unexpected.
+  const Status status = Start(options_);
+  if (!status.ok()) {
+    EmitEvent(Severity::kError, "obs", "recorder start failed: %.80s",
+              status.message().c_str());
+  }
 }
 
 void Recorder::Stop() {

@@ -74,6 +74,30 @@ struct RecorderOptions {
 
   /// Retained slow-execution exemplars (oldest evicted).
   std::size_t slow_capacity = 16;
+
+  /// Bounds enforced by Validate(): nonsense configurations are rejected,
+  /// not silently clamped (a clamp hides the typo that made an operator
+  /// think they were sampling at 1ms when they got 1s).
+  static constexpr std::int64_t kMinTickMs = 1;
+  static constexpr std::int64_t kMaxTickMs = 60 * 60 * 1000;  // 1h: "idle"
+  static constexpr std::size_t kMinRingCapacity = 4;
+  static constexpr std::size_t kMaxRingCapacity = 1 << 20;
+  static constexpr std::size_t kMaxSlowCapacity = 65536;
+
+  /// InvalidArgument unless every knob is inside its documented bounds:
+  /// tick in [1ms, 1h], ring_capacity in [4, 1M], slow_floor_ms >= 0,
+  /// slow_capacity in [1, 65536].
+  Status Validate() const;
+
+  /// `base` overridden by the environment knobs, validated:
+  ///   TPSET_OBS_SAMPLE_MS — collector tick in milliseconds
+  ///   TPSET_OBS_RING_CAP  — samples retained per metric ring
+  /// Unset (or empty) variables keep `base`'s value; a non-numeric value or
+  /// one outside the Validate() bounds is InvalidArgument naming the
+  /// variable — callers should fail loudly rather than run with a config
+  /// the operator didn't ask for.
+  static Result<RecorderOptions> FromEnv(RecorderOptions base);
+  static Result<RecorderOptions> FromEnv();  ///< FromEnv over the defaults
 };
 
 /// Windowed statistics over one metric's ring. Semantics per kind:
@@ -126,9 +150,11 @@ class Recorder {
   static Recorder& Global();
 
   /// Starts the background collector (idempotent; options apply on the
-  /// first call only). Pre-allocates every buffer the crash path needs.
-  void Start(const RecorderOptions& options = {});
-  /// Start() with default options unless already running.
+  /// first call only and must pass RecorderOptions::Validate — out-of-bounds
+  /// knobs are rejected, never clamped). Pre-allocates every buffer the
+  /// crash path needs. On a rejected config nothing starts.
+  Status Start(const RecorderOptions& options = {});
+  /// Start() with the frozen (or default) options unless already running.
   void EnsureStarted();
   /// Stops and joins the collector thread (rings and exemplars persist).
   void Stop();

@@ -179,6 +179,14 @@ struct MorselBatch::State {
 MorselBatch::MorselBatch(ThreadPool* pool, std::size_t count,
                          std::function<void(std::size_t)> body, bool steal)
     : state_(std::make_shared<State>()) {
+  // Register the whole scheduler metric family up front. Steals and splits
+  // may legitimately never happen in a run, but a scrape should still see
+  // their counters at 0 rather than absent (absence reads as "renamed or
+  // dropped" to the schema validator and to Prometheus rate() queries).
+  MorselsRunCounter();
+  MorselsStolenCounter();
+  FactsSplitCounter();
+  MorselLatencyHistogram();
   state_->body = std::move(body);
   state_->steal = steal;
   state_->done.assign(count, 0);

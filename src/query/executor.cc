@@ -50,6 +50,8 @@ void RecordQuery(std::chrono::steady_clock::time_point t0,
 }  // namespace
 
 Status QueryExecutor::Register(const TpRelation& rel) {
+  // Registration is cold-path; the fence keeps catalog_ mutation serialized
+  // with concurrent appends and introspection reads.
   if (rel.name().empty()) {
     return Status::InvalidArgument("relations must be named to be registered");
   }
@@ -60,10 +62,6 @@ Status QueryExecutor::Register(const TpRelation& rel) {
   TPSET_RETURN_NOT_OK(ValidateWellFormed(rel));
   TPSET_RETURN_NOT_OK(ValidateDuplicateFree(rel));
   TPSET_RETURN_NOT_OK(ValidateSortedFactTime(rel));
-  if (catalog_.count(rel.name()) > 0) {
-    return Status::InvalidArgument("relation '" + rel.name() +
-                                   "' is already registered");
-  }
   // ValidateSortedFactTime just proved the order, so the catalog copy gets
   // the sortedness witness — every query leaf then takes the zero-sort
   // fast path. Armed here, on the copy we own, rather than memoized
@@ -71,8 +69,22 @@ Status QueryExecutor::Register(const TpRelation& rel) {
   // becomes the base level of the relation's run-indexed storage.
   TpRelation copy = rel;
   copy.MarkSortedUnchecked();
-  catalog_.emplace(std::piecewise_construct, std::forward_as_tuple(rel.name()),
-                   std::forward_as_tuple(std::move(copy)));
+  // The catalog entry is built into a detached map node *before* taking the
+  // write fence: copying/moving a TpRelation snapshots its ColumnarCache
+  // under that cache's mutex, and nothing may hold the fence across a cache
+  // lock (introspection handlers take the fence concurrently; fence ->
+  // cache here plus cache -> fence anywhere else would deadlock). Splicing
+  // the node under the fence acquires no lock but the fence itself.
+  std::map<std::string, StoredRelation> staging;
+  staging.emplace(std::piecewise_construct, std::forward_as_tuple(rel.name()),
+                  std::forward_as_tuple(std::move(copy)));
+  auto node = staging.extract(staging.begin());
+  std::lock_guard<std::mutex> fence(write_fence_);
+  if (catalog_.count(rel.name()) > 0) {
+    return Status::InvalidArgument("relation '" + rel.name() +
+                                   "' is already registered");
+  }
+  catalog_.insert(std::move(node));
   return Status::OK();
 }
 
@@ -180,6 +192,7 @@ Result<ContinuousQuery*> QueryExecutor::RegisterContinuous(
 Result<ContinuousQuery*> QueryExecutor::RegisterContinuous(
     const std::string& name, const QueryNode& query,
     const ContinuousOptions& options) {
+  std::lock_guard<std::mutex> fence(write_fence_);
   if (name.empty()) {
     return Status::InvalidArgument("continuous queries must be named");
   }
@@ -200,6 +213,47 @@ Result<ContinuousQuery*> QueryExecutor::RegisterContinuous(
   ContinuousQuery* ptr = cq->get();
   continuous_.emplace(name, std::move(*cq));
   return ptr;
+}
+
+std::vector<RelationIntrospection> QueryExecutor::IntrospectRelations() const {
+  std::lock_guard<std::mutex> fence(write_fence_);
+  std::vector<RelationIntrospection> out;
+  out.reserve(catalog_.size());
+  for (const auto& [name, stored] : catalog_) {
+    RelationIntrospection r;
+    r.name = name;
+    r.tuples = stored.size();
+    r.runs = stored.run_count() + 1;  // base level + pending tail runs
+    r.has_watermark = stored.has_watermark();
+    r.watermark = stored.watermark();
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<ContinuousIntrospection> QueryExecutor::IntrospectContinuous()
+    const {
+  std::lock_guard<std::mutex> fence(write_fence_);
+  std::vector<ContinuousIntrospection> out;
+  out.reserve(continuous_.size());
+  for (const auto& [name, cq] : continuous_) {
+    ContinuousIntrospection c;
+    c.name = name;
+    c.text = cq->text();
+    c.last_epoch = cq->last_epoch();
+    c.log_epoch = cq->log_epoch();
+    c.epochs_applied = cq->epochs_applied();
+    c.result_tuples = cq->size();
+    const TimePoint low = cq->LowWatermark();
+    c.has_low_watermark = low != kNoWatermark;
+    c.low_watermark = low;
+    const TimePoint effective = cq->effective_watermark();
+    c.has_effective_watermark = effective != kNoWatermark;
+    c.effective_watermark = effective;
+    c.subscribers = cq->SubscriberInfos();
+    out.push_back(std::move(c));
+  }
+  return out;
 }
 
 Result<ContinuousQuery*> QueryExecutor::FindContinuous(

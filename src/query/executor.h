@@ -8,6 +8,7 @@
 #include <string>
 #include <tuple>
 #include <utility>
+#include <vector>
 
 #include "baselines/algorithm.h"
 #include "common/status.h"
@@ -72,6 +73,33 @@ struct ExecOptions {
   /// Results are unaffected; the caller owns the profile and must keep it
   /// alive for the call. Not part of the algorithm cache key.
   obs::QueryProfile* profile = nullptr;
+};
+
+/// Point-in-time description of one stored relation, for introspection
+/// surfaces (the HTTP /queries and /statusz endpoints, obs/http_endpoints).
+/// Plain values copied under the write fence — safe to format after the
+/// fence is released, while appends continue.
+struct RelationIntrospection {
+  std::string name;
+  std::size_t tuples = 0;      ///< resident stored tuples across all runs
+  std::size_t runs = 0;        ///< physical runs (base + pending appends)
+  bool has_watermark = false;
+  TimePoint watermark = 0;     ///< meaningful when has_watermark
+};
+
+/// Point-in-time description of one continuous query (same contract).
+struct ContinuousIntrospection {
+  std::string name;
+  std::string text;            ///< query text as registered
+  EpochId last_epoch = 0;      ///< last epoch folded into the result
+  EpochId log_epoch = 0;       ///< last epoch observed in the append log
+  std::uint64_t epochs_applied = 0;  ///< ApplyAppend calls that touched it
+  std::size_t result_tuples = 0;
+  bool has_low_watermark = false;
+  TimePoint low_watermark = 0;
+  bool has_effective_watermark = false;
+  TimePoint effective_watermark = 0;
+  std::vector<ContinuousQuery::SubscriberInfo> subscribers;  ///< per-sub lag
 };
 
 /// Evaluates TP set queries bottom-up with a pluggable set-operation
@@ -169,6 +197,17 @@ class QueryExecutor {
   /// The most recently assigned append epoch (0 before any append).
   EpochId last_epoch() const { return append_log_.last_epoch(); }
 
+  // ---- Introspection (obs/http_endpoints.cc, REPL \status) --------------
+
+  /// Copies a point-in-time description of every stored relation /
+  /// continuous query out from under the write fence. Safe to call from any
+  /// thread concurrently with Append/Retain/Compact — the copy serializes
+  /// with writers on the fence, then formatting happens outside it. Must
+  /// NOT be called from a continuous-query subscriber callback (those fire
+  /// inside the fence; re-entering would deadlock).
+  std::vector<RelationIntrospection> IntrospectRelations() const;
+  std::vector<ContinuousIntrospection> IntrospectContinuous() const;
+
   const std::shared_ptr<TpContext>& context() const { return ctx_; }
 
   /// The executor-owned parallel algorithm for a (thread count, apply mode,
@@ -215,10 +254,12 @@ class QueryExecutor {
   // pointers.
   std::map<std::string, StoredRelation> catalog_;
   AppendLog append_log_;
-  // Serializes Append/Retain/Compact: epoch assignment, storage mutation
-  // and continuous-query propagation happen atomically per epoch, so
-  // concurrent writers observe a total epoch order end to end.
-  std::mutex write_fence_;
+  // Serializes Append/Retain/Compact (and, cold-path, Register /
+  // RegisterContinuous / the Introspect* readers): epoch assignment,
+  // storage mutation and continuous-query propagation happen atomically per
+  // epoch, so concurrent writers observe a total epoch order end to end.
+  // Mutable so const introspection can take the fence.
+  mutable std::mutex write_fence_;
   std::map<std::string, std::unique_ptr<ContinuousQuery>> continuous_;
   // Continuous queries with the same thread count share one worker pool
   // (Append applies them one at a time, so at most one pool is ever busy).

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -402,6 +403,77 @@ TEST(RecorderDumpTest, FlightRecordJsonShapeAndDumpNow) {
 }
 
 // ---- Event log --------------------------------------------------------------
+
+TEST(RecorderOptionsTest, ValidateRejectsOutOfBoundsKnobs) {
+  EXPECT_TRUE(obs::RecorderOptions{}.Validate().ok());
+
+  obs::RecorderOptions bad;
+  bad.tick = std::chrono::milliseconds(0);
+  EXPECT_FALSE(bad.Validate().ok());
+  bad.tick = std::chrono::milliseconds(2 * 60 * 60 * 1000);  // 2h > 1h cap
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = obs::RecorderOptions{};
+  bad.ring_capacity = 2;  // below the 4-sample floor readers rely on
+  EXPECT_FALSE(bad.Validate().ok());
+  bad.ring_capacity = (1u << 20) + 1;
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = obs::RecorderOptions{};
+  bad.slow_floor_ms = -1.0;
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = obs::RecorderOptions{};
+  bad.slow_capacity = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+
+  // A rejected config never starts a recorder (reject, don't clamp).
+  obs::MetricsRegistry registry;
+  obs::Recorder rec(&registry);
+  obs::RecorderOptions zero_tick;
+  zero_tick.tick = std::chrono::milliseconds(0);
+  EXPECT_FALSE(rec.Start(zero_tick).ok());
+  EXPECT_FALSE(rec.running());
+  EXPECT_TRUE(rec.Start(obs::RecorderOptions{}).ok());
+  EXPECT_TRUE(rec.running());
+  rec.Stop();
+}
+
+TEST(RecorderOptionsTest, FromEnvParsesAndValidates) {
+  // Unset: defaults pass through.
+  unsetenv("TPSET_OBS_SAMPLE_MS");
+  unsetenv("TPSET_OBS_RING_CAP");
+  Result<obs::RecorderOptions> options = obs::RecorderOptions::FromEnv();
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options->tick.count(), obs::RecorderOptions{}.tick.count());
+
+  setenv("TPSET_OBS_SAMPLE_MS", "50", 1);
+  setenv("TPSET_OBS_RING_CAP", "64", 1);
+  options = obs::RecorderOptions::FromEnv();
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options->tick.count(), 50);
+  EXPECT_EQ(options->ring_capacity, 64u);
+
+  // Garbage and out-of-bounds values are errors naming the variable, never
+  // silently clamped or ignored.
+  setenv("TPSET_OBS_SAMPLE_MS", "fast", 1);
+  Result<obs::RecorderOptions> bad = obs::RecorderOptions::FromEnv();
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("TPSET_OBS_SAMPLE_MS"),
+            std::string::npos);
+
+  setenv("TPSET_OBS_SAMPLE_MS", "0", 1);
+  EXPECT_FALSE(obs::RecorderOptions::FromEnv().ok());
+
+  setenv("TPSET_OBS_SAMPLE_MS", "250", 1);
+  setenv("TPSET_OBS_RING_CAP", "3", 1);  // below the floor
+  EXPECT_FALSE(obs::RecorderOptions::FromEnv().ok());
+  setenv("TPSET_OBS_RING_CAP", "-5", 1);
+  EXPECT_FALSE(obs::RecorderOptions::FromEnv().ok());
+
+  unsetenv("TPSET_OBS_SAMPLE_MS");
+  unsetenv("TPSET_OBS_RING_CAP");
+}
 
 TEST(EventLogTest, WrapKeepsNewestInOrder) {
 #ifdef TPSET_OBS_DISABLED
