@@ -15,13 +15,24 @@
 //  * retention — a continuous `r - s` over an unbounded stream with a
 //    sliding Retain horizon: max resident tuples stay bounded while the
 //    unretained twin grows linearly.
+//  * mixed — the snapshot-isolation claim: a reader thread scanning the
+//    relation while a writer appends and a compactor folds runs. Snapshot
+//    mode pins epoch generations (lock-free reads); locked mode emulates
+//    the pre-snapshot engine, where a View() fold required exclusive access
+//    against writers. Reader p50/p99 full-scan latency and writer
+//    throughput; acceptance: snapshot reader p99 with active compaction at
+//    or below the locked baseline.
 //
 // Output: harness CSV rows, one "# json {...}" line per point, and a
 // machine-readable summary in BENCH_storage.json (--json <path>).
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/harness.h"
@@ -214,6 +225,151 @@ RetentionPoint MeasureRetention(std::size_t batch_rows, std::size_t epochs) {
   return out;
 }
 
+double Percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const std::size_t i = std::min(
+      v.size() - 1, static_cast<std::size_t>(q * static_cast<double>(v.size())));
+  return v[i];
+}
+
+struct MixedPoint {
+  std::size_t n = 0;
+  std::size_t reads = 0;
+  std::size_t appends = 0;
+  double reader_p50_ms = 0;
+  double reader_p99_ms = 0;
+  double append_p99_ms = 0;  // includes the lock wait in locked mode
+  double appends_per_sec = 0;
+};
+
+// One mixed read/write run: a writer appending chain batches, a reader
+// repeatedly scanning the whole relation, and (snapshot mode) a compactor
+// folding runs underneath. `locked` emulates the pre-snapshot engine: one
+// exclusive lock serializes the reader's View() fold against every append —
+// the reader-blocks-writer regime this PR retires.
+MixedPoint MeasureMixed(std::size_t n, std::size_t batch_rows,
+                        std::size_t epochs, bool locked) {
+  MixedPoint p;
+  p.n = n;
+
+  auto ctx = std::make_shared<TpContext>();
+  const std::size_t num_facts = n >= 1000 ? n / 1000 : 1;
+  Rng rng(0x31AED5E);
+  Cursors cursors(num_facts, 0);
+  TpRelation seed(ctx, Schema::SingleInt("fact"), "r");
+  SeedFactChains(&seed, n, &cursors, &rng);
+  StoredRelation stored{[&] {
+    TpRelation base = seed;
+    base.MarkSortedUnchecked();
+    return base;
+  }()};
+  std::vector<std::vector<TpTuple>> batches =
+      BuildBatches(&seed, batch_rows, epochs, &cursors, &rng);
+
+  std::mutex view_mu;  // locked mode only
+  std::atomic<bool> done{false};
+  std::vector<double> read_ms;
+  read_ms.reserve(4096);
+  // Retention horizon: the watermark walks linearly to half the seeded
+  // span over the run, so compaction has real retirement work in both
+  // modes and the resident set stays comparable.
+  const TimePoint half_span = stored.max_interval_end() / 2;
+
+  // Deadline-paced stream: append i lands no earlier than t0 + i*pace, so
+  // both modes apply identical write work at an identical cadence — reader
+  // latency is then the only variable. The pace grows with n to stay above
+  // the worst-case in-lock fold, so even the blocked locked-mode writer can
+  // hold the schedule instead of silently doing less work.
+  const auto pace = std::chrono::microseconds(200 + n / 30);
+  const auto writer_t0 = std::chrono::steady_clock::now();
+  std::vector<double> append_ms;
+  append_ms.reserve(epochs);
+  std::thread writer([&] {
+    EpochId epoch = 1;
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      std::this_thread::sleep_until(writer_t0 + (i + 1) * pace);
+      Status st;
+      append_ms.push_back(TimeMs([&] {
+        if (locked) {
+          std::lock_guard<std::mutex> lock(view_mu);
+          st = stored.AppendRun(std::move(batches[i]), epoch++);
+        } else {
+          st = stored.AppendRun(std::move(batches[i]), epoch++);
+        }
+      }));
+      if (!st.ok()) std::exit(1);
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  // Retention + compaction, one thread, both modes advancing the same
+  // watermark schedule. Snapshot mode is the new engine: watermarks apply
+  // through budgeted off-lock CompactSteps, append debt drains only when it
+  // builds up (reads drain the tail too — every published fold empties it).
+  // Locked mode is the old engine: Retain was a stop-the-world
+  // SetWatermark + full Compact under the one lock readers and the writer
+  // share.
+  std::thread compactor([&] {
+    std::size_t tick = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(pace);
+      ++tick;
+      if (tick % 8 == 0 && half_span > 0) {
+        const TimePoint wm = static_cast<TimePoint>(
+            static_cast<double>(half_span) *
+            std::min(1.0, static_cast<double>(tick) /
+                              static_cast<double>(epochs)));
+        if (wm > 0) {
+          if (locked) {
+            std::lock_guard<std::mutex> lock(view_mu);
+            if (stored.SetWatermark(wm).ok()) stored.Compact();
+          } else if (stored.SetWatermark(wm).ok()) {
+            stored.CompactStep(8);
+          }
+        }
+      } else if (!locked && stored.compaction_debt() >= 4) {
+        stored.CompactStep(8);
+      }
+    }
+  });
+
+  // The reader runs on the bench thread: scan the whole relation, one
+  // latency sample per scan, until the writer finishes.
+  std::uint64_t checksum = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    read_ms.push_back(TimeMs([&] {
+      std::uint64_t local = 0;
+      if (locked) {
+        std::lock_guard<std::mutex> lock(view_mu);
+        const TpRelation& view = stored.View();
+        for (const TpTuple& t : view.tuples()) local += t.fact;
+      } else {
+        // The engine's read path: pin a snapshot, fold off-lock if the tail
+        // is dirty (the claimed fold publishes, so the next read is a flat
+        // scan), and scan — while appends and compaction land underneath.
+        const std::shared_ptr<const TpRelation> view = stored.FoldedView();
+        for (const TpTuple& t : view->tuples()) local += t.fact;
+      }
+      checksum += local;
+    }));
+  }
+  writer.join();
+  const auto writer_t1 = std::chrono::steady_clock::now();
+  compactor.join();
+  if (checksum == 0xdead) std::printf("# impossible\n");
+
+  p.reads = read_ms.size();
+  p.appends = epochs;
+  p.reader_p50_ms = Percentile(read_ms, 0.50);
+  p.reader_p99_ms = Percentile(read_ms, 0.99);
+  p.append_p99_ms = Percentile(append_ms, 0.99);
+  const double secs =
+      std::chrono::duration<double>(writer_t1 - writer_t0).count();
+  p.appends_per_sec = secs > 0 ? static_cast<double>(epochs) / secs : 0;
+  return p;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -269,6 +425,35 @@ int main(int argc, char** argv) {
     json += std::string("    ") + line;
   }
   json += "\n  ],\n";
+
+  // Mixed read/write: same relation size and batch shape as the append
+  // experiment's large point; the two modes run identical workloads.
+  {
+    const std::size_t n = Scaled(1000000, scale);
+    const std::size_t mixed_epochs = 60;
+    MixedPoint snap = MeasureMixed(n, batch_rows, mixed_epochs, false);
+    MixedPoint lock = MeasureMixed(n, batch_rows, mixed_epochs, true);
+    PrintRow("storage", "mixed", "snapshot-reader-p99", n, snap.reader_p99_ms);
+    PrintRow("storage", "mixed", "locked-reader-p99", n, lock.reader_p99_ms);
+    PrintRow("storage", "mixed", "snapshot-append-p99", n, snap.append_p99_ms);
+    PrintRow("storage", "mixed", "locked-append-p99", n, lock.append_p99_ms);
+    char line[512];
+    std::snprintf(
+        line, sizeof(line),
+        "{\"n\": %zu, \"appends\": %zu,\n"
+        "    \"snapshot\": {\"reads\": %zu, \"reader_p50_ms\": %.4f, "
+        "\"reader_p99_ms\": %.4f, \"append_p99_ms\": %.4f, "
+        "\"appends_per_sec\": %.1f},\n"
+        "    \"locked\": {\"reads\": %zu, \"reader_p50_ms\": %.4f, "
+        "\"reader_p99_ms\": %.4f, \"append_p99_ms\": %.4f, "
+        "\"appends_per_sec\": %.1f}}",
+        snap.n, snap.appends, snap.reads, snap.reader_p50_ms,
+        snap.reader_p99_ms, snap.append_p99_ms, snap.appends_per_sec,
+        lock.reads, lock.reader_p50_ms, lock.reader_p99_ms, lock.append_p99_ms,
+        lock.appends_per_sec);
+    std::printf("# json %s\n", line);
+    json += std::string("  \"mixed\": ") + line + ",\n";
+  }
 
   {
     RetentionPoint r = MeasureRetention(Scaled(1000, scale), 200);

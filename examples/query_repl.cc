@@ -372,7 +372,11 @@ int main(int argc, char** argv) {
         Result<const StoredRelation*> stored = exec.FindStored(n);
         if (stored.ok()) {
           std::cout << "  (" << (*stored)->size() << " tuples, runs="
-                    << (*stored)->run_count();
+                    << (*stored)->run_count() << ", gen="
+                    << (*stored)->generation();
+          if ((*stored)->compaction_debt() > 0) {
+            std::cout << ", debt=" << (*stored)->compaction_debt();
+          }
           if ((*stored)->has_watermark()) {
             std::cout << ", watermark=" << (*stored)->watermark();
           }

@@ -170,6 +170,26 @@ TPSET_BENCH_SCALE=0.002 "$BUILD_DIR/bench/bench_storage" \
 test -s "$BUILD_DIR/BENCH_storage.json"
 grep -q '"append"' "$BUILD_DIR/BENCH_storage.json"
 grep -q '"retention"' "$BUILD_DIR/BENCH_storage.json"
+grep -q '"mixed"' "$BUILD_DIR/BENCH_storage.json"
+
+# Snapshot-isolation gate: with a writer and background compaction active,
+# the lock-free snapshot reader's p99 full-scan latency must not regress
+# against the locked-View emulation (the pre-snapshot reader-blocks-writer
+# engine). The 1.5x tolerance absorbs smoke-scale timer noise; the committed
+# full-scale BENCH_storage.json is where the <= 1x claim is checked by hand.
+python3 - "$BUILD_DIR/BENCH_storage.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+mixed = doc["mixed"]
+snap, locked = mixed["snapshot"], mixed["locked"]
+assert snap["reads"] > 0 and locked["reads"] > 0, \
+    f"mixed bench sampled no reads: {mixed}"
+assert snap["reader_p99_ms"] <= 1.5 * locked["reader_p99_ms"] + 0.005, (
+    f"snapshot reader p99 {snap['reader_p99_ms']}ms regressed vs locked-View "
+    f"baseline {locked['reader_p99_ms']}ms (> 1.5x + 5us smoke tolerance)")
+print("snapshot mixed read/write gate OK")
+EOF
 echo "bench_storage smoke OK"
 
 if [[ "${TPSET_SKIP_TSAN:-0}" != "1" ]]; then

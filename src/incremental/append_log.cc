@@ -7,8 +7,22 @@
 #include <string>
 
 #include "common/interval.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
 
 namespace tpset {
+
+namespace {
+
+obs::Counter& BelowWatermarkCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "tpset_storage_append_below_watermark_total",
+      "appended rows dropped at the gate: interval ends at or below the "
+      "retention watermark (dead on arrival)");
+  return c;
+}
+
+}  // namespace
 
 Result<EpochId> AppendLog::Append(StoredRelation* rel, const DeltaBatch& batch,
                                   std::vector<TpTuple>* applied) {
@@ -70,9 +84,24 @@ Result<EpochId> AppendLog::Append(StoredRelation* rel, const DeltaBatch& batch,
   }
 
   // ---- Apply: intern variables and facts, stamp the ticket, land the run --
+  // The below-watermark gate: a row whose interval ends at or below the
+  // relation's retention watermark is dead on arrival — the next compaction
+  // pass would retire it unread, yet it would cost a run slot, a fact-tail
+  // advance and an interned variable until then. Such rows are dropped here
+  // (counted, warned), after the full batch validated: a malformed batch is
+  // still rejected whole, and surviving rows keep their validated chain
+  // (they start at or after the dead rows' ends, which sit at or below the
+  // watermark). An all-dead batch still lands as an empty run recording its
+  // epoch, so the writer's retry fence is unaffected.
+  const TimePoint gate = rel->watermark();
+  std::size_t below_watermark = 0;
   std::vector<TpTuple> tuples;
   tuples.reserve(batch.rows.size());
   for (const DeltaRow& row : batch.rows) {
+    if (gate != kNoWatermark && row.t.end <= gate) {
+      ++below_watermark;
+      continue;
+    }
     VarId v;
     if (row.var.empty()) {
       v = ctx.vars().Add(row.p);
@@ -83,6 +112,14 @@ Result<EpochId> AppendLog::Append(StoredRelation* rel, const DeltaBatch& batch,
     }
     FactId f = ctx.facts().Intern(row.fact);
     tuples.push_back({f, row.t, ctx.lineage().MakeVar(v)});
+  }
+  if (below_watermark > 0) {
+    BelowWatermarkCounter().Increment(below_watermark);
+    obs::EmitEvent(obs::Severity::kWarn, "storage",
+                   "append below watermark relation=%.32s dropped=%zu "
+                   "watermark=%lld",
+                   rel->name().c_str(), below_watermark,
+                   static_cast<long long>(gate));
   }
   std::sort(tuples.begin(), tuples.end(), FactTimeOrder());
   if (applied != nullptr) *applied = tuples;

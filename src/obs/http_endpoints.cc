@@ -176,7 +176,10 @@ std::string QueriesJson(const QueryExecutor* executor) {
       body += "{\"name\":" + Quoted(r.name) +
               ",\"tuples\":" + std::to_string(r.tuples) +
               ",\"runs\":" + std::to_string(r.runs) + ",\"watermark\":" +
-              (r.has_watermark ? std::to_string(r.watermark) : "null") + "}";
+              (r.has_watermark ? std::to_string(r.watermark) : "null") +
+              ",\"generation\":" + std::to_string(r.generation) +
+              ",\"compaction_debt\":" + std::to_string(r.compaction_debt) +
+              "}";
     }
   }
   body += "],\"continuous\":[";
@@ -246,7 +249,8 @@ HttpResponse Statusz(const QueryExecutor* executor) {
     body += "<h2>Engine</h2><p>no executor wired</p>";
   } else {
     body += "<h2>Relations</h2><table><tr><th>name</th><th>tuples</th>"
-            "<th>runs</th><th>watermark</th></tr>";
+            "<th>runs</th><th>watermark</th><th>generation</th>"
+            "<th>debt</th></tr>";
     for (const RelationIntrospection& r : executor->IntrospectRelations()) {
       body += "<tr><td>";
       AppendEscapedHtml(r.name, &body);
@@ -254,7 +258,8 @@ HttpResponse Statusz(const QueryExecutor* executor) {
               std::to_string(r.runs) + "</td><td>" +
               (r.has_watermark ? std::to_string(r.watermark)
                                : std::string("-")) +
-              "</td></tr>";
+              "</td><td>" + std::to_string(r.generation) + "</td><td>" +
+              std::to_string(r.compaction_debt) + "</td></tr>";
     }
     body += "</table><h2>Continuous queries (last_epoch=" +
             std::to_string(static_cast<std::uint64_t>(executor->last_epoch())) +

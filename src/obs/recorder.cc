@@ -345,7 +345,9 @@ Status Recorder::Start(const RecorderOptions& options) {
   // Out-of-bounds knobs are rejected, not clamped: a recorder running with
   // a config the operator didn't ask for is worse than one that refuses.
   TPSET_RETURN_NOT_OK(options.Validate());
-  options_ = options;
+  // EnsureStarted passes options_ itself; skip the self-assignment so the
+  // no-op write cannot race a concurrent reader taking a snapshot below.
+  if (&options != &options_) options_ = options;
   started_ = true;
   PreallocateDumpBuffers();
   stop_requested_ = false;
@@ -487,11 +489,19 @@ double Recorder::SlowThresholdMs(const char* kind) const {
   const char* metric = std::strcmp(kind, "epoch") == 0
                            ? "tpset_incr_epoch_usec"
                            : "tpset_exec_query_usec";
-  const auto window = options_.tick * static_cast<int>(options_.ring_capacity);
+  // Snapshot the knobs under the lifecycle lock: a first Start (possibly
+  // triggered by a concurrent writer's EnsureStarted) freezes options_ while
+  // query threads call in here.
+  RecorderOptions opts;
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    opts = options_;
+  }
+  const auto window = opts.tick * static_cast<int>(opts.ring_capacity);
   Result<HistoryStats> h =
       History(metric, std::chrono::duration_cast<std::chrono::milliseconds>(
                           window));
-  double threshold = options_.slow_floor_ms;
+  double threshold = opts.slow_floor_ms;
   if (h.ok() && h->samples >= 2 && h->p99 > 0) {
     threshold = std::max(threshold, h->p99 / 1000.0);
   }

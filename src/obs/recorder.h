@@ -266,7 +266,7 @@ class Recorder {
   std::atomic<bool> running_{false};
   bool started_ = false;  // options frozen once true
   std::thread collector_;
-  std::mutex lifecycle_mu_;
+  mutable std::mutex lifecycle_mu_;
   std::condition_variable stop_cv_;
   bool stop_requested_ = false;
 

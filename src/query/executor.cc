@@ -10,6 +10,7 @@
 #include "obs/recorder.h"
 #include "parallel/parallel_set_op.h"
 #include "parallel/sequencer.h"
+#include "parallel/thread_pool.h"
 #include "query/parser.h"
 #include "relation/validate.h"
 
@@ -105,6 +106,15 @@ Result<const StoredRelation*> QueryExecutor::FindStored(
   return &it->second;
 }
 
+Result<StorageSnapshot> QueryExecutor::SnapshotRelation(
+    const std::string& name) const {
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no relation named '" + name + "' is registered");
+  }
+  return it->second.Snapshot();
+}
+
 Result<EpochId> QueryExecutor::Append(const std::string& relation,
                                       const DeltaBatch& batch) {
   std::lock_guard<std::mutex> fence(write_fence_);
@@ -136,7 +146,29 @@ Result<EpochId> QueryExecutor::Append(const std::string& relation,
       cq->ApplyAppend(*epoch, relation, grouped, fence_t0);
     }
   }
+  // The append itself never merges: once run debt piles up, a budgeted
+  // background step claims it off the writer's (and every reader's) path.
+  ScheduleCompaction(it->second);
   return epoch;
+}
+
+void QueryExecutor::ScheduleCompaction(StoredRelation& stored) {
+  if (stored.compaction_debt() < kCompactDebtThreshold) return;
+  std::lock_guard<std::mutex> lock(bg_mu_);
+  if (!bg_scheduled_.insert(&stored).second) return;  // step already in flight
+  if (bg_pool_ == nullptr) bg_pool_ = std::make_unique<ThreadPool>(1);
+  StoredRelation* rel = &stored;
+  bg_pool_->Submit([this, rel]() {
+    const std::size_t debt = rel->CompactStep(kCompactBudgetRuns);
+    {
+      std::lock_guard<std::mutex> lock(bg_mu_);
+      bg_scheduled_.erase(rel);
+    }
+    // Reschedule while debt remains: each step claims a prefix, so the
+    // chain terminates once appends quiesce (ThreadPool runs tasks queued
+    // during shutdown to completion, and each one strictly shrinks debt).
+    if (debt >= kCompactDebtThreshold) ScheduleCompaction(*rel);
+  });
 }
 
 Result<std::size_t> QueryExecutor::Retain(const std::string& relation,
@@ -220,12 +252,15 @@ std::vector<RelationIntrospection> QueryExecutor::IntrospectRelations() const {
   std::vector<RelationIntrospection> out;
   out.reserve(catalog_.size());
   for (const auto& [name, stored] : catalog_) {
+    const StorageSnapshot snap = stored.Snapshot();
     RelationIntrospection r;
     r.name = name;
-    r.tuples = stored.size();
-    r.runs = stored.run_count() + 1;  // base level + pending tail runs
+    r.tuples = snap.size();
+    r.runs = snap.run_count() + 1;  // base level + pending tail runs
     r.has_watermark = stored.has_watermark();
     r.watermark = stored.watermark();
+    r.generation = snap.generation();
+    r.compaction_debt = stored.compaction_debt();
     out.push_back(std::move(r));
   }
   return out;
@@ -285,9 +320,13 @@ Result<TpRelation> QueryExecutor::ExecuteTree(
     const QueryNode& query, const SetOpAlgorithm* algorithm) const {
   if (algorithm == nullptr) algorithm = FindAlgorithm("LAWA");
   if (query.kind == QueryNode::Kind::kRelation) {
-    Result<const TpRelation*> rel = Find(query.relation_name);
-    if (!rel.ok()) return rel.status();
-    return **rel;
+    // Leaves read through a refcounted fold of the relation's current
+    // generation: no reference into the catalog entry survives the call, so
+    // concurrent Execute / append / compaction cannot invalidate anything.
+    Result<const StoredRelation*> stored = FindStored(query.relation_name);
+    if (!stored.ok()) return stored.status();
+    const std::shared_ptr<const TpRelation> rel = (*stored)->FoldedView();
+    return *rel;
   }
   if (!algorithm->Supports(query.op)) {
     return Status::NotSupported("algorithm " + algorithm->name() +
@@ -409,11 +448,12 @@ Result<TpRelation> QueryExecutor::ExecuteNode(
   if (node.kind == QueryNode::Kind::kRelation) {
     obs::Span* child = span->AddChild("relation " + node.relation_name);
     obs::SpanTimer timer(child);
-    Result<const TpRelation*> rel = Find(node.relation_name);
-    if (!rel.ok()) return rel.status();
+    Result<const StoredRelation*> stored = FindStored(node.relation_name);
+    if (!stored.ok()) return stored.status();
+    const std::shared_ptr<const TpRelation> rel = (*stored)->FoldedView();
     timer.Stop();
-    child->SetAttr("tuples", (*rel)->size());
-    return **rel;
+    child->SetAttr("tuples", rel->size());
+    return *rel;
   }
   // The operator's span holds both its input subtrees and (from the compute
   // below) its phase children; its own wall covers only the compute, like
@@ -478,13 +518,14 @@ Result<TpRelation> QueryExecutor::ExecuteConcurrent(
                           : span->AddChild("relation " + node.relation_name);
       std::promise<Result<TpRelation>> ready;
       obs::SpanTimer timer(child);
-      Result<const TpRelation*> rel = Find(node.relation_name);
+      Result<const StoredRelation*> stored = FindStored(node.relation_name);
       timer.Stop();
-      if (!rel.ok()) {
-        ready.set_value(rel.status());
+      if (!stored.ok()) {
+        ready.set_value(stored.status());
       } else {
-        if (child != nullptr) child->SetAttr("tuples", (*rel)->size());
-        ready.set_value(**rel);
+        const std::shared_ptr<const TpRelation> rel = (*stored)->FoldedView();
+        if (child != nullptr) child->SetAttr("tuples", rel->size());
+        ready.set_value(*rel);
       }
       return ready.get_future().share();
     }

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -85,6 +86,8 @@ struct RelationIntrospection {
   std::size_t runs = 0;        ///< physical runs (base + pending appends)
   bool has_watermark = false;
   TimePoint watermark = 0;     ///< meaningful when has_watermark
+  std::uint64_t generation = 0;      ///< published generation id (monotone)
+  std::size_t compaction_debt = 0;   ///< pending background compaction work
 };
 
 /// Point-in-time description of one continuous query (same contract).
@@ -135,10 +138,18 @@ class QueryExecutor {
                              const SetOpAlgorithm* algorithm = nullptr) const;
 
   /// Looks up a registered relation as its one logical sorted view
-  /// (StoredRelation::View — pending append runs are folded into the base
-  /// level first, so the returned relation is (fact, start)-sorted and
-  /// witness-armed regardless of the physical run count).
+  /// (StoredRelation::View — pending append runs are folded off-lock and
+  /// published as a new generation, so the returned relation is
+  /// (fact, start)-sorted and witness-armed regardless of the physical run
+  /// count). The reference contract is single-threaded (REPL, tests);
+  /// concurrent readers — including Execute's own leaves — go through
+  /// StoredRelation::FoldedView / SnapshotRelation instead.
   Result<const TpRelation*> Find(const std::string& name) const;
+
+  /// O(1) epoch-pinned read view of a registered relation: the generation
+  /// current at the call, refcounted. Safe from any thread, at any time —
+  /// appends and compactions publish successors without disturbing it.
+  Result<StorageSnapshot> SnapshotRelation(const std::string& name) const;
 
   /// Looks up a relation's storage engine (run counts, watermark, storage
   /// stats) without folding anything.
@@ -248,6 +259,17 @@ class QueryExecutor {
   /// sequentially then).
   ThreadPool* CompactionPool() const;
 
+  /// Queues one budgeted background compaction step for `stored` when its
+  /// debt crossed kCompactDebtThreshold (deduplicated per relation; the step
+  /// reschedules itself while debt remains). Called by Append after the
+  /// epoch lands, so appends never pay the merge themselves.
+  void ScheduleCompaction(StoredRelation& stored);
+
+  /// Budget: tail runs one background compaction step may claim.
+  static constexpr std::size_t kCompactBudgetRuns = 8;
+  /// Debt at or above which Append schedules a background step.
+  static constexpr std::size_t kCompactDebtThreshold = 4;
+
   std::shared_ptr<TpContext> ctx_;
   // Node-based map: StoredRelation addresses stay stable across Register
   // and Append, which is what lets continuous-query leaves hold plain
@@ -269,6 +291,13 @@ class QueryExecutor {
       std::tuple<std::size_t, ApplyMode, std::size_t, bool, SweepKernel>,
       std::unique_ptr<ParallelSetOpAlgorithm>>
       parallel_algos_;
+  // Background compaction: a lazily created single worker draining budgeted
+  // CompactStep tasks; bg_scheduled_ deduplicates one in-flight step per
+  // relation. Declared after catalog_ so destruction joins (and runs) any
+  // pending steps while the relations they reference are still alive.
+  mutable std::mutex bg_mu_;
+  std::set<StoredRelation*> bg_scheduled_;
+  std::unique_ptr<ThreadPool> bg_pool_;
 };
 
 }  // namespace tpset

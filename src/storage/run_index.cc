@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
 #include <string>
+#include <utility>
 
 namespace tpset {
 
@@ -51,7 +53,7 @@ std::size_t MergeRuns(const std::vector<TupleSpan>& spans, TimePoint watermark,
 }
 
 Status RunIndex::Append(std::vector<TpTuple> batch, EpochId epoch,
-                        StorageStats* stats) {
+                        StorageStats* stats, bool allow_roll) {
   if (epoch <= last_epoch_) {
     return Status::InvalidArgument(
         "stale or duplicate epoch " + std::to_string(epoch) +
@@ -63,33 +65,47 @@ Status RunIndex::Append(std::vector<TpTuple> batch, EpochId epoch,
   if (batch.empty()) return Status::OK();
 
   total_ += batch.size();
-  runs_.push_back({std::move(batch), epoch});
 
-  // Size-tiered roll: fold the youngest run into its predecessor while the
+  // Size-tiered roll: fold the incoming run into its predecessor while the
   // predecessor is less than twice its size. Every tuple is re-merged
   // O(log(appended / batch)) times before a compaction claims it, and the
   // run count stays logarithmic — the classic binary-counter amortization.
-  while (runs_.size() >= 2) {
-    SortedRun& a = runs_[runs_.size() - 2];
-    SortedRun& b = runs_.back();
-    if (a.tuples.size() >= 2 * b.tuples.size()) break;
-    const std::size_t mid = a.tuples.size();
-    a.tuples.insert(a.tuples.end(), b.tuples.begin(), b.tuples.end());
-    std::inplace_merge(a.tuples.begin(),
-                       a.tuples.begin() + static_cast<std::ptrdiff_t>(mid),
-                       a.tuples.end(), FactTimeOrder());
-    a.epoch = b.epoch;
-    runs_.pop_back();
-    if (stats != nullptr) stats->runs_merged += 2;
+  // Published runs are immutable, so each roll builds a fresh merged run.
+  if (allow_roll) {
+    while (!runs_.empty() &&
+           runs_.back()->tuples.size() < 2 * batch.size()) {
+      const SortedRun& prev = *runs_.back();
+      std::vector<TpTuple> merged;
+      merged.reserve(prev.tuples.size() + batch.size());
+      std::merge(prev.tuples.begin(), prev.tuples.end(), batch.begin(),
+                 batch.end(), std::back_inserter(merged), FactTimeOrder());
+      batch = std::move(merged);
+      runs_.pop_back();
+      if (stats != nullptr) stats->runs_merged += 2;
+    }
   }
+  runs_.push_back(
+      std::make_shared<const SortedRun>(SortedRun{std::move(batch), epoch}));
   return Status::OK();
 }
 
 std::vector<TupleSpan> RunIndex::spans() const {
   std::vector<TupleSpan> out;
   out.reserve(runs_.size());
-  for (const SortedRun& r : runs_) {
-    if (!r.tuples.empty()) out.push_back({r.tuples.data(), r.tuples.size()});
+  for (const std::shared_ptr<const SortedRun>& r : runs_) {
+    if (!r->tuples.empty()) out.push_back({r->tuples.data(), r->tuples.size()});
+  }
+  return out;
+}
+
+RunIndex RunIndex::WithoutPrefix(std::size_t k) const {
+  assert(k <= runs_.size());
+  RunIndex out;
+  out.runs_.assign(runs_.begin() + static_cast<std::ptrdiff_t>(k),
+                   runs_.end());
+  out.last_epoch_ = last_epoch_;
+  for (const std::shared_ptr<const SortedRun>& r : out.runs_) {
+    out.total_ += r->tuples.size();
   }
   return out;
 }

@@ -1,0 +1,352 @@
+// Property tests for snapshot isolation (src/storage/stored_relation.h):
+// under concurrent appends, budgeted compaction steps and watermark
+// advances, any StorageSnapshot must equal the logical relation at its
+// pinned epoch — exactly above its watermark, as a subset at or below it
+// (retention may or may not have retired those yet). Randomized schedules
+// over PropertySeeds; runs under the `concurrency` ctest label, so the CI
+// ThreadSanitizer job executes exactly this interleaving surface.
+//
+// The tuple universe is precomputed immutably before any thread starts:
+// epoch i lands batch i, so snapshot.epoch() identifies the exact logical
+// prefix the snapshot must reflect, with no cross-thread bookkeeping that
+// could itself race.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "incremental/delta.h"
+#include "query/executor.h"
+#include "relation/relation.h"
+#include "storage/run_index.h"
+#include "storage/stored_relation.h"
+#include "tests/test_util.h"
+
+namespace tpset {
+namespace {
+
+using testing::MakeRelation;
+using testing::PropertySeeds;
+
+TpTuple T(FactId fact, TimePoint ts, TimePoint te, LineageId lin) {
+  return {fact, Interval(ts, te), lin};
+}
+
+std::vector<TpTuple> Filtered(const std::vector<TpTuple>& sorted_tuples,
+                              TimePoint above) {
+  std::vector<TpTuple> out;
+  for (const TpTuple& t : sorted_tuples) {
+    if (above == kNoWatermark || t.t.end > above) out.push_back(t);
+  }
+  return out;
+}
+
+// One immutable randomized workload: per-epoch batches plus the cumulative
+// sorted prefix after each epoch. Batches keep each fact's intervals
+// strictly advancing, so (fact, start, end) is unique across the whole
+// workload and sorted-vector comparison is an exact multiset check.
+struct Workload {
+  std::vector<std::vector<TpTuple>> batches;   // batches[i] lands as epoch i+1
+  std::vector<std::vector<TpTuple>> prefixes;  // prefixes[e]: epochs 1..e merged
+  TimePoint max_end = 0;
+};
+
+Workload MakeWorkload(std::uint64_t seed, std::size_t epochs,
+                      std::size_t facts) {
+  Rng rng(seed);
+  Workload w;
+  w.batches.reserve(epochs);
+  w.prefixes.assign(1, {});
+  std::vector<TimePoint> cursor(facts, 0);
+  LineageId lin = 1;
+  for (std::size_t i = 0; i < epochs; ++i) {
+    std::vector<TpTuple> batch;
+    const std::size_t rows = 1 + static_cast<std::size_t>(rng.Below(4));
+    for (std::size_t j = 0; j < rows; ++j) {
+      const std::size_t f = static_cast<std::size_t>(rng.Below(facts));
+      const TimePoint start =
+          cursor[f] + static_cast<TimePoint>(rng.Below(2));
+      const TimePoint end = start + 1 + static_cast<TimePoint>(rng.Below(3));
+      cursor[f] = end;
+      batch.push_back(T(static_cast<FactId>(f), start, end, lin++));
+      w.max_end = std::max(w.max_end, end);
+    }
+    std::sort(batch.begin(), batch.end(), FactTimeOrder());
+    std::vector<TpTuple> prefix = w.prefixes.back();
+    prefix.insert(prefix.end(), batch.begin(), batch.end());
+    std::sort(prefix.begin(), prefix.end(), FactTimeOrder());
+    w.prefixes.push_back(std::move(prefix));
+    w.batches.push_back(std::move(batch));
+  }
+  return w;
+}
+
+// Checks one snapshot against the workload. Returns false (with gtest
+// failures recorded) when the snapshot diverges from the logical relation
+// at its epoch.
+bool CheckSnapshot(const StorageSnapshot& snap, const Workload& w) {
+  if (!snap.valid()) return true;
+  const EpochId epoch = snap.epoch();
+  if (epoch >= w.prefixes.size()) {
+    ADD_FAILURE() << "snapshot epoch " << epoch << " beyond workload";
+    return false;
+  }
+  std::vector<TpTuple> got;
+  got.reserve(snap.size());
+  snap.ForEachTuple([&](const TpTuple& t) { got.push_back(t); });
+  if (!std::is_sorted(got.begin(), got.end(), FactTimeOrder())) {
+    ADD_FAILURE() << "snapshot stream out of (fact, start, end) order at "
+                     "epoch "
+                  << epoch;
+    return false;
+  }
+  const std::vector<TpTuple>& expected = w.prefixes[epoch];
+  const TimePoint wm = snap.watermark();
+  // Above the snapshot's watermark the content is exact; at or below it,
+  // retention may already have retired tuples, so the snapshot holds a
+  // subset of the prefix there.
+  const std::vector<TpTuple> got_above = Filtered(got, wm);
+  const std::vector<TpTuple> want_above = Filtered(expected, wm);
+  if (got_above != want_above) {
+    ADD_FAILURE() << "snapshot diverges above watermark " << wm
+                  << " at epoch " << epoch << ": got " << got_above.size()
+                  << " tuples, want " << want_above.size();
+    return false;
+  }
+  if (!std::includes(expected.begin(), expected.end(), got.begin(), got.end(),
+                     FactTimeOrder())) {
+    ADD_FAILURE() << "snapshot holds tuples outside the epoch-" << epoch
+                  << " prefix";
+    return false;
+  }
+  return true;
+}
+
+// The tentpole invariant: writer, retainer, background compactor and two
+// readers race over one StoredRelation; every snapshot any reader pins must
+// be a consistent epoch-pinned view, and the fully compacted end state must
+// equal the final prefix clipped by the final watermark.
+TEST(SnapshotPropertyTest, SnapshotMatchesLogicalPrefixUnderConcurrentMutation) {
+  constexpr std::size_t kEpochs = 120;
+  constexpr std::size_t kFacts = 6;
+  for (std::uint64_t seed : PropertySeeds({11, 29})) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const Workload w = MakeWorkload(seed, kEpochs, kFacts);
+    const TimePoint final_wm = std::max<TimePoint>(1, w.max_end / 2);
+
+    StoredRelation stored;
+    std::atomic<bool> done{false};
+    std::atomic<bool> ok{true};
+
+    std::thread writer([&] {
+      for (std::size_t i = 0; i < kEpochs; ++i) {
+        std::vector<TpTuple> batch = w.batches[i];
+        ASSERT_TRUE(
+            stored.AppendRun(std::move(batch), static_cast<EpochId>(i + 1))
+                .ok());
+        if (i % 8 == 0) std::this_thread::yield();
+      }
+      done.store(true, std::memory_order_release);
+    });
+
+    // Advances the watermark in steps and compacts with a small budget —
+    // the Retain-shaped mutation path.
+    std::thread retainer([&] {
+      TimePoint wm = 0;
+      while (!done.load(std::memory_order_acquire) || wm < final_wm) {
+        wm = std::min<TimePoint>(final_wm, wm + 1 + final_wm / 16);
+        ASSERT_TRUE(stored.SetWatermark(wm).ok());
+        stored.CompactStep(2);
+        std::this_thread::yield();
+      }
+    });
+
+    // The background compactor path: drain debt a run or two at a time.
+    std::thread compactor([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        stored.CompactStep(1);
+        std::this_thread::yield();
+      }
+      stored.CompactStep(3);
+    });
+
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 2; ++r) {
+      readers.emplace_back([&, r] {
+        std::uint64_t last_gen = 0;
+        while (!done.load(std::memory_order_acquire)) {
+          const StorageSnapshot snap = stored.Snapshot();
+          if (snap.generation() < last_gen) {
+            ADD_FAILURE() << "generation id went backwards";
+            ok.store(false);
+            return;
+          }
+          last_gen = snap.generation();
+          if (!CheckSnapshot(snap, w)) {
+            ok.store(false);
+            return;
+          }
+          if (r == 0) {
+            // Exercise the fold-publish race too: a folded view is some
+            // consistent epoch's content, all of it from the workload.
+            const std::shared_ptr<const TpRelation> folded =
+                stored.FoldedView();
+            if (!folded->known_sorted() ||
+                folded->size() > w.prefixes.back().size()) {
+              ADD_FAILURE() << "folded view inconsistent";
+              ok.store(false);
+              return;
+            }
+          }
+          std::this_thread::yield();
+        }
+      });
+    }
+
+    writer.join();
+    retainer.join();
+    compactor.join();
+    for (std::thread& t : readers) t.join();
+    if (!ok.load()) return;
+
+    // Quiesced end state: full compaction leaves exactly the final prefix
+    // above the final watermark, with no pending runs.
+    stored.Compact();
+    const StorageSnapshot final_snap = stored.Snapshot();
+    EXPECT_EQ(final_snap.run_count(), 0u);
+    EXPECT_EQ(final_snap.epoch(), kEpochs);
+    EXPECT_EQ(final_snap.watermark(), final_wm);
+    std::vector<TpTuple> got;
+    final_snap.ForEachTuple([&](const TpTuple& t) { got.push_back(t); });
+    EXPECT_EQ(got, Filtered(w.prefixes[kEpochs], final_wm));
+    EXPECT_TRUE(CheckSnapshot(final_snap, w));
+  }
+}
+
+// Executor-level slice of the same invariant: Append (which schedules the
+// budgeted background compactor), Retain and lock-free readers race through
+// the public API. Readers pin SnapshotRelation views and run one-shot
+// queries; the quiesced end state must hold exactly the generated rows
+// surviving the final watermark (gate-dropped rows all ended at or below
+// it, so the clip above the final watermark is deterministic).
+TEST(SnapshotPropertyTest, ExecutorSnapshotsStayConsistentUnderAppendRetain) {
+  constexpr std::size_t kBatches = 48;
+  constexpr std::size_t kFacts = 4;
+  const std::vector<std::string> fact_names = {"milk", "chips", "dates",
+                                               "soda"};
+  for (std::uint64_t seed : PropertySeeds({7})) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed ^ 0xabcdefULL);
+
+    // Precompute all batches: per-fact strictly advancing intervals, unique
+    // variable names, and the final watermark the retainer will reach.
+    std::vector<DeltaBatch> batches(kBatches);
+    std::vector<TimePoint> cursor(kFacts, 0);
+    TimePoint max_end = 0;
+    for (std::size_t i = 0; i < kBatches; ++i) {
+      const std::size_t rows = 1 + static_cast<std::size_t>(rng.Below(3));
+      for (std::size_t j = 0; j < rows; ++j) {
+        const std::size_t f = static_cast<std::size_t>(rng.Below(kFacts));
+        const Interval t(cursor[f],
+                         cursor[f] + 1 + static_cast<TimePoint>(rng.Below(4)));
+        cursor[f] = t.end;
+        max_end = std::max(max_end, t.end);
+        batches[i].Add({Value(fact_names[f])}, t, 0.5,
+                       "w" + std::to_string(i) + "_" + std::to_string(j));
+      }
+    }
+    const TimePoint final_wm = std::max<TimePoint>(1, max_end / 3);
+
+    auto ctx = std::make_shared<TpContext>();
+    QueryExecutor exec(ctx);
+    ASSERT_TRUE(exec.Register(MakeRelation(ctx, "r", {})).ok());
+
+    std::atomic<bool> done{false};
+    std::thread writer([&] {
+      for (std::size_t i = 0; i < kBatches; ++i) {
+        const Result<EpochId> epoch = exec.Append("r", batches[i]);
+        ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+        if (i % 6 == 0) std::this_thread::yield();
+      }
+      done.store(true, std::memory_order_release);
+    });
+
+    std::thread retainer([&] {
+      TimePoint wm = 0;
+      while (!done.load(std::memory_order_acquire) || wm < final_wm) {
+        wm = std::min<TimePoint>(final_wm, wm + 1 + final_wm / 8);
+        const Result<std::size_t> retired = exec.Retain("r", wm);
+        ASSERT_TRUE(retired.ok()) << retired.status().ToString();
+        std::this_thread::yield();
+      }
+    });
+
+    std::thread reader([&] {
+      std::uint64_t last_gen = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const Result<StorageSnapshot> snap = exec.SnapshotRelation("r");
+        ASSERT_TRUE(snap.ok());
+        ASSERT_GE(snap->generation(), last_gen);
+        last_gen = snap->generation();
+        std::vector<TpTuple> got;
+        snap->ForEachTuple([&](const TpTuple& t) { got.push_back(t); });
+        EXPECT_TRUE(std::is_sorted(got.begin(), got.end(), FactTimeOrder()));
+        const Result<TpRelation> one_shot = exec.Execute("r");
+        ASSERT_TRUE(one_shot.ok()) << one_shot.status().ToString();
+        EXPECT_TRUE(one_shot->IsSortedFactTime());
+        std::this_thread::yield();
+      }
+    });
+
+    writer.join();
+    retainer.join();
+    reader.join();
+
+    // Quiesce: drain any background compaction debt, then compare the end
+    // state above the final watermark against the generated rows. Rows the
+    // append gate dropped all ended at or below some watermark <= final_wm,
+    // so they cannot affect the clip.
+    ASSERT_TRUE(exec.Compact("r").ok());
+    const Result<StorageSnapshot> final_snap = exec.SnapshotRelation("r");
+    ASSERT_TRUE(final_snap.ok());
+    EXPECT_EQ(final_snap->watermark(), final_wm);
+
+    std::vector<std::pair<FactId, Interval>> got;
+    final_snap->ForEachTuple([&](const TpTuple& t) {
+      if (t.t.end > final_wm) got.emplace_back(t.fact, t.t);
+    });
+    std::vector<std::pair<FactId, Interval>> want;
+    for (const DeltaBatch& batch : batches) {
+      for (const DeltaRow& row : batch.rows) {
+        if (row.t.end <= final_wm) continue;
+        const Result<FactId> fact = ctx->facts().Find(row.fact);
+        ASSERT_TRUE(fact.ok()) << "surviving fact never interned";
+        want.emplace_back(*fact, row.t);
+      }
+    }
+    auto order = [](const std::pair<FactId, Interval>& a,
+                    const std::pair<FactId, Interval>& b) {
+      if (a.first != b.first) return a.first < b.first;
+      if (a.second.start != b.second.start)
+        return a.second.start < b.second.start;
+      return a.second.end < b.second.end;
+    };
+    std::sort(got.begin(), got.end(), order);
+    std::sort(want.begin(), want.end(), order);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].first, want[i].first);
+      EXPECT_EQ(got[i].second.start, want[i].second.start);
+      EXPECT_EQ(got[i].second.end, want[i].second.end);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tpset

@@ -17,6 +17,7 @@
 
 #include "common/random.h"
 #include "incremental/delta.h"
+#include "obs/metrics.h"
 #include "parallel/partition.h"
 #include "parallel/thread_pool.h"
 #include "query/executor.h"
@@ -133,8 +134,8 @@ TEST(RunIndexTest, RollPolicyKeepsRunCountLogarithmic) {
   EXPECT_EQ(idx.size(), 256u);
   EXPECT_LE(idx.run_count(), 10u);
   EXPECT_GT(stats.runs_merged, 0u);
-  for (const SortedRun& run : idx.runs()) {
-    EXPECT_TRUE(std::is_sorted(run.tuples.begin(), run.tuples.end(),
+  for (const std::shared_ptr<const SortedRun>& run : idx.runs()) {
+    EXPECT_TRUE(std::is_sorted(run->tuples.begin(), run->tuples.end(),
                                FactTimeOrder()));
   }
   const std::vector<TpTuple> merged = Drain(idx.spans());
@@ -224,6 +225,100 @@ TEST(StoredRelationTest, RetentionCompactionRetiresBelowWatermark) {
   EXPECT_EQ(stored.FactTail(2), (std::pair<bool, TimePoint>{true, 4}));
   EXPECT_FALSE(stored.AppendRun({T(2, 1, 2)}, 2).ok());
   EXPECT_TRUE(stored.AppendRun({T(2, 5, 6)}, 2).ok());
+}
+
+TEST(StoredRelationTest, SnapshotsAreEpochPinnedAndImmutable) {
+  TpRelation base;
+  base.mutable_tuples() = {T(1, 0, 4), T(5, 0, 2)};
+  base.MarkSortedUnchecked();
+  StoredRelation stored(std::move(base));
+  ASSERT_TRUE(stored.AppendRun({T(1, 4, 7), T(2, 0, 3)}, 1).ok());
+
+  const StorageSnapshot snap = stored.Snapshot();
+  EXPECT_TRUE(snap.valid());
+  EXPECT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.epoch(), 1u);
+  const TpRelation pinned = snap.Materialize();
+
+  // Later appends, folds and a retention compaction publish successor
+  // generations; the pinned snapshot must not move a tuple.
+  ASSERT_TRUE(stored.AppendRun({T(2, 3, 9), T(6, 1, 2)}, 2).ok());
+  (void)stored.View();
+  ASSERT_TRUE(stored.SetWatermark(3).ok());
+  stored.Compact();
+  EXPECT_EQ(stored.size(), 3u);  // (2,[0,3)), (5,[0,2)), (6,[1,2)) retired
+
+  EXPECT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.epoch(), 1u);
+  EXPECT_EQ(snap.Materialize().tuples(), pinned.tuples());
+  EXPECT_EQ(Drain(snap.spans()), pinned.tuples());
+  // The live relation moved on: new generation, new epoch, retired content.
+  const StorageSnapshot now = stored.Snapshot();
+  EXPECT_GT(now.generation(), snap.generation());
+  EXPECT_EQ(now.epoch(), 2u);
+  EXPECT_EQ(now.watermark(), 3);
+  EXPECT_EQ(now.size(), 3u);
+}
+
+// Regression for the retired `base_unretained_` flag footgun: a View() fold
+// moves run tuples into the base without retention; a following SetWatermark
+// + Compact must still retire them (the fold now publishes its generation
+// with base_watermark = kNoWatermark, so the skip-when-unchanged check can
+// never mistake folded content for compacted content).
+TEST(StoredRelationTest, FoldThenSetWatermarkThenCompactStillRetires) {
+  TpRelation base;
+  base.mutable_tuples() = {T(1, 0, 3)};
+  base.MarkSortedUnchecked();
+  StoredRelation stored(std::move(base));
+  ASSERT_TRUE(stored.AppendRun({T(2, 0, 2)}, 1).ok());
+
+  // Fold first (no watermark set yet): run_count drops to 0.
+  const TpRelation& view = stored.View();
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_EQ(stored.run_count(), 0u);
+
+  ASSERT_TRUE(stored.SetWatermark(5).ok());
+  EXPECT_EQ(stored.compaction_debt(), 1u);  // retention pending, no runs
+  stored.Compact();
+  EXPECT_EQ(stored.size(), 0u);  // both windows end at or below 5
+  EXPECT_EQ(stored.stats().tuples_retired, 2u);
+  EXPECT_EQ(stored.compaction_debt(), 0u);
+
+  // And the skip path stays a skip: a second Compact is a no-op.
+  const std::size_t compactions = stored.stats().compactions;
+  stored.Compact();
+  EXPECT_EQ(stored.stats().compactions, compactions);
+}
+
+TEST(StoredRelationTest, CompactStepClaimsOldestRunsWithinBudget) {
+  TpRelation base;
+  base.mutable_tuples() = {T(1, 0, 1)};
+  base.MarkSortedUnchecked();
+  StoredRelation stored(std::move(base));
+  // Halving batch sizes defeat the roll policy, leaving four runs.
+  EpochId epoch = 1;
+  TimePoint t = 1;
+  for (std::size_t n : {8u, 4u, 2u, 1u}) {
+    std::vector<TpTuple> batch;
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(T(1, t, t + 1));
+      ++t;
+    }
+    ASSERT_TRUE(stored.AppendRun(std::move(batch), epoch++).ok());
+  }
+  ASSERT_EQ(stored.run_count(), 4u);
+  EXPECT_EQ(stored.compaction_debt(), 4u);
+  const TpRelation before = stored.Materialize();
+
+  // One budgeted step claims the two oldest runs; content is unchanged.
+  EXPECT_EQ(stored.CompactStep(2), 2u);
+  EXPECT_EQ(stored.run_count(), 2u);
+  EXPECT_EQ(stored.Materialize().tuples(), before.tuples());
+  // Draining the debt leaves one folded, retention-clean base.
+  EXPECT_EQ(stored.CompactStep(2), 0u);
+  EXPECT_EQ(stored.run_count(), 0u);
+  EXPECT_EQ(stored.Materialize().tuples(), before.tuples());
+  EXPECT_EQ(stored.generation(), stored.Snapshot().generation());
 }
 
 TEST(StoredRelationTest, ParallelCompactionMatchesSequential) {
@@ -353,6 +448,49 @@ TEST(ExecutorStorageTest, ExplainContinuousSurfacesStorageCounters) {
   EXPECT_NE(plan.find("tail_hits="), std::string::npos) << plan;
   EXPECT_NE(plan.find("tuples_retired="), std::string::npos) << plan;
   EXPECT_NE(plan.find("watermark=2"), std::string::npos) << plan;
+}
+
+TEST(ExecutorStorageTest, AppendGateDropsRowsEndingAtOrBelowWatermark) {
+  auto ctx = std::make_shared<TpContext>();
+  QueryExecutor exec(ctx);
+  TpRelation a = MakeRelation(ctx, "a", {{"milk", "a1", 0, 4, 0.5}});
+  a.SortFactTime();
+  ASSERT_TRUE(exec.Register(a).ok());
+  ASSERT_TRUE(exec.Retain("a", 5).ok());  // retires milk [0,4)
+  ASSERT_EQ(exec.FindStored("a").value()->size(), 0u);
+
+  obs::Counter& below = obs::MetricsRegistry::Global().GetCounter(
+      "tpset_storage_append_below_watermark_total", "");
+  const std::uint64_t dropped_before = below.Value();
+
+  // One dead row (ends at the watermark), one straddler, one clean row. The
+  // batch is accepted; only the dead row is dropped at the gate.
+  DeltaBatch batch;
+  batch.Add({Value(std::string("chips"))}, Interval(1, 5), 0.7);
+  batch.Add({Value(std::string("soda"))}, Interval(4, 9), 0.6);
+  batch.Add({Value(std::string("beer"))}, Interval(7, 8), 0.5);
+  Result<EpochId> epoch = exec.Append("a", batch);
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+  EXPECT_EQ(below.Value(), dropped_before + 1);
+
+  const StoredRelation* stored = exec.FindStored("a").value();
+  EXPECT_EQ(stored->size(), 2u);  // soda + beer landed, chips never did
+  // A dropped row leaves no fact tail behind: the fact can still append
+  // normally above the watermark later.
+  DeltaBatch retry;
+  retry.Add({Value(std::string("chips"))}, Interval(6, 7), 0.7);
+  ASSERT_TRUE(exec.Append("a", retry).ok());
+  EXPECT_EQ(exec.FindStored("a").value()->size(), 3u);
+
+  // An all-dead batch still lands as an empty epoch (the retry fence moves).
+  const EpochId last = exec.last_epoch();
+  DeltaBatch dead;
+  dead.Add({Value(std::string("candy"))}, Interval(0, 2), 0.5);
+  Result<EpochId> dead_epoch = exec.Append("a", dead);
+  ASSERT_TRUE(dead_epoch.ok());
+  EXPECT_EQ(*dead_epoch, last + 1);
+  EXPECT_EQ(exec.FindStored("a").value()->size(), 3u);
+  EXPECT_EQ(below.Value(), dropped_before + 2);
 }
 
 // ---- Multi-writer epoch fence ----------------------------------------------
